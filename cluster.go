@@ -1,0 +1,402 @@
+package ppm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ppm/internal/auth"
+	"ppm/internal/calib"
+	"ppm/internal/daemon"
+	"ppm/internal/kernel"
+	"ppm/internal/lpm"
+	"ppm/internal/proc"
+	"ppm/internal/sim"
+	"ppm/internal/simnet"
+	"ppm/internal/wire"
+)
+
+// Facade errors.
+var (
+	ErrUnknownHost = errors.New("ppm: unknown host")
+	ErrUnknownUser = errors.New("ppm: unknown user")
+	ErrAttach      = errors.New("ppm: attach failed")
+	ErrStalled     = errors.New("ppm: operation stalled (scheduler went idle)")
+)
+
+// HostType re-exports the 1986 machine models.
+type HostType = calib.HostType
+
+// The paper's three machine types.
+const (
+	VAX780 = calib.VAX780
+	VAX750 = calib.VAX750
+	SunII  = calib.SunII
+)
+
+// HostSpec declares one host of the installation.
+type HostSpec struct {
+	Name string
+	// Type selects the CPU model; the zero value is a VAX 11/780.
+	Type HostType
+}
+
+// ClusterConfig describes a simulated installation.
+type ClusterConfig struct {
+	// Seed feeds the deterministic random source (default 1).
+	Seed int64
+	// Hosts of the installation.
+	Hosts []HostSpec
+	// Segments maps Ethernet segment names to member host names. A
+	// host on two segments is a gateway. When empty, all hosts share
+	// one segment.
+	Segments map[string][]string
+	// LPM tunes every LPM created in the cluster (TTL, handler pool,
+	// broadcast dedup window, timeouts). Per-user recovery lists are
+	// set with SetRecoveryList.
+	LPM lpm.Config
+	// StableStorage enables the pmd's stable-storage table (a paper
+	// "not implemented" feature, implemented here).
+	StableStorage bool
+	// CCSNameServer installs an administrative name service that
+	// coordinates CCS assignment (the paper's §5 alternative to
+	// .recovery files): LPMs register CCS changes with it and consult
+	// it when seeking a coordinator.
+	CCSNameServer bool
+	// BreakDetect is how long circuit endpoints take to notice a lost
+	// peer (default 1s of virtual time).
+	BreakDetect time.Duration
+	// MaxSteps bounds each synchronous operation's event budget
+	// (default 10 million).
+	MaxSteps uint64
+}
+
+// Cluster is a simulated networked installation: hosts, kernels,
+// network, daemons and user accounts, all driven by one virtual clock.
+type Cluster struct {
+	cfg   ClusterConfig
+	sched *sim.Scheduler
+	net   *simnet.Network
+	kerns map[string]*kernel.Host
+	dir   *auth.Directory
+	trust *auth.Trust
+	dmns  map[string]*daemon.Daemons
+	lpms  map[string]*lpm.LPM // host + "/" + user
+	rlist map[string][]string // user -> .recovery host list
+	ns    *nameServer
+	port  uint16
+}
+
+// nameServer is the administrative CCS registry of the paper's §5
+// alternative ("the existence of name servers in the network could be
+// used to aid in crash recovery"). It is modelled as an always
+// available administrative service.
+type nameServer struct {
+	ccs map[string]string
+}
+
+// LocateCCS reports the registered CCS for a user.
+func (n *nameServer) LocateCCS(user string, cb func(string, bool)) {
+	h, ok := n.ccs[user]
+	cb(h, ok)
+}
+
+// RegisterCCS records a CCS change.
+func (n *nameServer) RegisterCCS(user, host string) {
+	n.ccs[user] = host
+}
+
+// NewCluster builds the installation: hosts booted, daemons running,
+// mutual trust established among all hosts.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if len(cfg.Hosts) == 0 {
+		return nil, errors.New("ppm: cluster needs at least one host")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 10_000_000
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		sched: sim.NewScheduler(cfg.Seed),
+		dir:   auth.NewDirectory(),
+		trust: auth.NewTrust(),
+		kerns: make(map[string]*kernel.Host),
+		dmns:  make(map[string]*daemon.Daemons),
+		lpms:  make(map[string]*lpm.LPM),
+		rlist: make(map[string][]string),
+		port:  2000,
+	}
+	c.net = simnet.New(c.sched, simnet.Options{BreakDetect: cfg.BreakDetect})
+	if cfg.CCSNameServer {
+		c.ns = &nameServer{ccs: make(map[string]string)}
+	}
+	var names []string
+	for _, hs := range cfg.Hosts {
+		if err := c.net.AddHost(hs.Name); err != nil {
+			return nil, err
+		}
+		c.kerns[hs.Name] = kernel.NewHost(c.sched, hs.Name, calib.Model(hs.Type))
+		names = append(names, hs.Name)
+	}
+	if len(cfg.Segments) == 0 {
+		if err := c.net.AddSegment("lan", names...); err != nil {
+			return nil, err
+		}
+	} else {
+		for seg, members := range cfg.Segments {
+			if err := c.net.AddSegment(seg, members...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c.trust.AllowAll(names...)
+	for _, h := range names {
+		if err := c.startDaemons(h); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// startDaemons boots inetd+pmd on a host with the LPM factory wired in.
+func (c *Cluster) startDaemons(host string) error {
+	factory := func(user string) (simnet.Addr, error) {
+		u, err := c.dir.Lookup(user)
+		if err != nil {
+			return simnet.Addr{}, err
+		}
+		c.port++
+		cfg := c.cfg.LPM
+		cfg.Recovery.List = append([]string(nil), c.rlist[user]...)
+		cfg.Recovery.User = user
+		if c.ns != nil {
+			cfg.Recovery.Locator = c.ns
+		}
+		l, err := lpm.New(c.kerns[host], c.net, c.dir, c.dmns[host], u, c.port, cfg)
+		if err != nil {
+			return simnet.Addr{}, err
+		}
+		c.lpms[host+"/"+user] = l
+		// Default CCS assignment: the name server's registration if one
+		// exists, else the top of the user's recovery list, else the
+		// host where the mechanism was first invoked.
+		if l.Recovery().CCS() == "" {
+			assigned := false
+			if c.ns != nil {
+				if h, ok := c.ns.ccs[user]; ok {
+					l.Recovery().SetCCS(h)
+					assigned = true
+				}
+			}
+			if !assigned {
+				if list := c.rlist[user]; len(list) > 0 {
+					l.Recovery().SetCCS(list[0])
+				} else {
+					l.Recovery().SetCCS(host)
+				}
+			}
+		}
+		return l.Accept(), nil
+	}
+	d, err := daemon.Start(c.kerns[host], c.net, c.dir, c.trust, factory,
+		daemon.Options{StableStorage: c.cfg.StableStorage})
+	if err != nil {
+		return err
+	}
+	c.dmns[host] = d
+	return nil
+}
+
+// AddUser registers an account, trusted for remote access from every
+// host (consistent password files plus .rhosts entries, as the paper
+// assumes of a cooperative administrative domain).
+func (c *Cluster) AddUser(name string) {
+	c.dir.AddUser(name)
+	for h := range c.kerns {
+		_ = c.dir.AllowRHost(name, h)
+	}
+}
+
+// SetRecoveryList installs the user's .recovery file: hosts in
+// decreasing priority order on which their CCS should reside. It must
+// be set before the user's LPMs are created.
+func (c *Cluster) SetRecoveryList(user string, hosts ...string) {
+	c.rlist[user] = append([]string(nil), hosts...)
+}
+
+// --- clock control ---
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() sim.Time { return c.sched.Now() }
+
+// Advance runs the simulation for a stretch of virtual time.
+func (c *Cluster) Advance(d time.Duration) error { return c.sched.RunFor(d) }
+
+// Settle runs until no events remain (careful: perpetual background
+// workloads never go idle; use Advance instead).
+func (c *Cluster) Settle() error { return c.sched.RunUntilIdle(c.cfg.MaxSteps) }
+
+// Scheduler exposes the discrete-event scheduler.
+func (c *Cluster) Scheduler() *sim.Scheduler { return c.sched }
+
+// Network exposes the simulated internetwork.
+func (c *Cluster) Network() *simnet.Network { return c.net }
+
+// TraceNetwork installs a bounded network trace collector (limit 0
+// means 4096 events) and returns it; use it to assess message routing,
+// as the paper's §7 plans.
+func (c *Cluster) TraceNetwork(limit int) *simnet.TraceCollector {
+	return c.net.Trace(limit)
+}
+
+// Kernel returns a host's simulated kernel.
+func (c *Cluster) Kernel(host string) (*kernel.Host, error) {
+	k, ok := c.kerns[host]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownHost, host)
+	}
+	return k, nil
+}
+
+// await drives the scheduler until done reports true.
+func (c *Cluster) await(done func() bool) error {
+	ok, err := c.sched.RunUntilDone(done, c.cfg.MaxSteps)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrStalled
+	}
+	return nil
+}
+
+// --- failure injection ---
+
+// Crash takes a host down: kernel, daemons, LPMs, processes and network
+// presence all vanish.
+func (c *Cluster) Crash(host string) error {
+	k, ok := c.kerns[host]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, host)
+	}
+	if err := c.net.Crash(host); err != nil {
+		return err
+	}
+	k.Crash()
+	if d, ok := c.dmns[host]; ok {
+		d.Stop()
+		delete(c.dmns, host)
+	}
+	for key := range c.lpms {
+		if len(key) > len(host) && key[:len(host)] == host && key[len(host)] == '/' {
+			delete(c.lpms, key)
+		}
+	}
+	return nil
+}
+
+// Restart boots a crashed host: fresh kernel state, daemons restarted.
+func (c *Cluster) Restart(host string) error {
+	k, ok := c.kerns[host]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, host)
+	}
+	if err := c.net.Restart(host); err != nil {
+		return err
+	}
+	k.Restart()
+	return c.startDaemons(host)
+}
+
+// Partition splits the network into isolated groups; hosts not named
+// stay in the default group.
+func (c *Cluster) Partition(groups ...[]string) error {
+	return c.net.Partition(groups...)
+}
+
+// Heal removes all partitions.
+func (c *Cluster) Heal() { c.net.Heal() }
+
+// --- load generation ---
+
+// SpawnBackgroundLoad creates n CPU-bound background processes with the
+// given duty cycle on a host, to drive its load average (the Table 1
+// experiment's knob).
+func (c *Cluster) SpawnBackgroundLoad(host, user string, n, dutyNum, dutyDen int) error {
+	k, ok := c.kerns[host]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, host)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := k.SpawnWorkload("hog", user, dutyNum, dutyDen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadAvg returns a host's current load average.
+func (c *Cluster) LoadAvg(host string) (float64, error) {
+	k, ok := c.kerns[host]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownHost, host)
+	}
+	return k.LoadAvg(), nil
+}
+
+// ManagerOn returns the user's LPM on a host if one currently exists
+// (it does not create one).
+func (c *Cluster) ManagerOn(host, user string) (*lpm.LPM, bool) {
+	l, ok := c.lpms[host+"/"+user]
+	if !ok || l.Exited() {
+		return nil, false
+	}
+	return l, true
+}
+
+// Attach obtains a Session for the user on a home host, creating the
+// LPM on demand through the Figure 2 inetd/pmd exchange. Re-attaching
+// finds an existing LPM: the PPM outlives login sessions.
+func (c *Cluster) Attach(user, host string) (*Session, error) {
+	u, err := c.dir.Lookup(user)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownUser, err)
+	}
+	if _, ok := c.kerns[host]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownHost, host)
+	}
+	var resp wire.LPMQueryResp
+	var qerr error
+	done := false
+	daemon.QueryLPM(c.net, host, host, u, func(r wire.LPMQueryResp, err error) {
+		resp, qerr, done = r, err, true
+	})
+	if err := c.await(func() bool { return done }); err != nil {
+		return nil, err
+	}
+	if qerr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAttach, qerr)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("%w: %s", ErrAttach, resp.Reason)
+	}
+	l, ok := c.lpms[host+"/"+user]
+	if !ok {
+		return nil, fmt.Errorf("%w: LPM not registered", ErrAttach)
+	}
+	return &Session{c: c, user: u, home: host, mgr: l}, nil
+}
+
+// Processes lists the user's processes currently in a host's kernel
+// table (a direct kernel view, bypassing the PPM; useful in tests and
+// examples).
+func (c *Cluster) Processes(host, user string) ([]proc.Info, error) {
+	k, ok := c.kerns[host]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownHost, host)
+	}
+	return k.ProcessesOf(user), nil
+}

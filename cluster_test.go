@@ -1,0 +1,162 @@
+package ppm_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ppm"
+)
+
+func TestClusterErrorPaths(t *testing.T) {
+	c := twoHostCluster(t)
+	if _, err := c.Kernel("ghost"); !errors.Is(err, ppm.ErrUnknownHost) {
+		t.Fatalf("Kernel: %v", err)
+	}
+	if _, err := c.LoadAvg("ghost"); !errors.Is(err, ppm.ErrUnknownHost) {
+		t.Fatalf("LoadAvg: %v", err)
+	}
+	if err := c.Crash("ghost"); !errors.Is(err, ppm.ErrUnknownHost) {
+		t.Fatalf("Crash: %v", err)
+	}
+	if err := c.Restart("ghost"); !errors.Is(err, ppm.ErrUnknownHost) {
+		t.Fatalf("Restart: %v", err)
+	}
+	if err := c.Partition([]string{"ghost"}); err == nil {
+		t.Fatal("Partition with unknown host accepted")
+	}
+	if err := c.SpawnBackgroundLoad("ghost", "felipe", 1, 1, 2); err == nil {
+		t.Fatal("SpawnBackgroundLoad on unknown host accepted")
+	}
+	if err := c.SpawnBackgroundLoad("vax1", "felipe", 1, 3, 2); err == nil {
+		t.Fatal("bad duty cycle accepted")
+	}
+	if _, err := c.Processes("ghost", "felipe"); !errors.Is(err, ppm.ErrUnknownHost) {
+		t.Fatalf("Processes: %v", err)
+	}
+}
+
+func TestClusterSettleAndScheduler(t *testing.T) {
+	c := twoHostCluster(t)
+	sess, _ := c.Attach("felipe", "vax1")
+	id, err := sess.Run("vax2", "job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no perpetual workloads the world goes quiet... except the
+	// LPM TTL timers re-arm; Settle would run virtual decades. Bound it
+	// with the scheduler API instead.
+	if c.Scheduler() == nil {
+		t.Fatal("scheduler not exposed")
+	}
+	before := c.Now()
+	if err := c.Advance(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Now().Sub(before) != time.Second {
+		t.Fatal("Advance did not advance")
+	}
+	procs, err := c.Processes("vax2", "felipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range procs {
+		if p.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("kernel view missing %v: %+v", id, procs)
+	}
+}
+
+func TestSessionSignalAllAndSignal(t *testing.T) {
+	c := twoHostCluster(t)
+	sess, _ := c.Attach("felipe", "vax1")
+	a, _ := sess.Run("vax1", "a")
+	b, _ := sess.Run("vax2", "b")
+	if err := sess.Signal(b, ppm.SIGUSR2); err != nil {
+		t.Fatal(err)
+	}
+	n, err := sess.SignalAll(ppm.SIGUSR1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("signalled %d, want 2", n)
+	}
+	// User signals do not change state.
+	snap, _ := sess.Snapshot()
+	for _, id := range []ppm.GPID{a, b} {
+		info, _ := snap.Find(id)
+		if info.State.String() != "running" {
+			t.Fatalf("%v state = %v", id, info.State)
+		}
+	}
+	// But they are recorded in the local history for the local process.
+	evs, _ := sess.History(ppm.HistoryQuery{Proc: a})
+	seen := false
+	for _, ev := range evs {
+		if ev.Signal == ppm.SIGUSR1 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("SIGUSR1 not in history")
+	}
+}
+
+func TestTraceNetworkViaFacade(t *testing.T) {
+	c := twoHostCluster(t)
+	tc := c.TraceNetwork(0)
+	sess, _ := c.Attach("felipe", "vax1")
+	if _, err := sess.Run("vax2", "job"); err != nil {
+		t.Fatal(err)
+	}
+	flows := tc.Flows()
+	if len(flows) == 0 {
+		t.Fatal("no flows captured")
+	}
+	out := tc.Format()
+	if !strings.Contains(out, "vax1") || !strings.Contains(out, "vax2") {
+		t.Fatalf("flow format:\n%s", out)
+	}
+}
+
+func TestMaxStepsGuardsRunaway(t *testing.T) {
+	c, err := ppm.NewCluster(ppm.ClusterConfig{
+		Hosts:    []ppm.HostSpec{{Name: "a"}},
+		MaxSteps: 3, // absurdly tight: any real operation exceeds it
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddUser("felipe")
+	if _, err := c.Attach("felipe", "a"); err == nil {
+		t.Fatal("attach should exhaust the 3-step budget")
+	}
+}
+
+func TestAttachAtUnknownHost(t *testing.T) {
+	c := twoHostCluster(t)
+	sess, _ := c.Attach("felipe", "vax1")
+	if _, err := sess.AttachAt("ghost"); err == nil {
+		t.Fatal("AttachAt unknown host accepted")
+	}
+}
+
+func TestManagerOnExitedLPMNotReturned(t *testing.T) {
+	c := twoHostCluster(t)
+	sess, _ := c.Attach("felipe", "vax1")
+	m, ok := c.ManagerOn("vax1", "felipe")
+	if !ok {
+		t.Fatal("manager missing")
+	}
+	m.Exit()
+	_ = sess
+	if _, ok := c.ManagerOn("vax1", "felipe"); ok {
+		t.Fatal("exited manager still returned")
+	}
+}

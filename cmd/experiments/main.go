@@ -1,0 +1,117 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section, printing measured (virtual-time) values
+// next to the published ones, plus the ablation studies of DESIGN.md.
+//
+// Usage:
+//
+//	experiments               # everything
+//	experiments -table 1      # only Table 1
+//	experiments -table 2      # only Table 2 (+ the §8 remote create)
+//	experiments -table 3      # only Table 3 / Figure 5
+//	experiments -figure 2     # only the Figure 2 LPM-creation exchange
+//	experiments -ablations    # only the ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ppm"
+)
+
+func main() {
+	table := flag.Int("table", 0, "run only this table (1-3)")
+	figure := flag.Int("figure", 0, "run only this figure (2)")
+	ablations := flag.Bool("ablations", false, "run only the ablations")
+	flag.Parse()
+	if err := run(*table, *figure, *ablations); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, figure int, onlyAblations bool) error {
+	all := table == 0 && figure == 0 && !onlyAblations
+
+	if all || table == 1 {
+		rows, err := ppm.RunTable1()
+		if err != nil {
+			return fmt.Errorf("table 1: %w", err)
+		}
+		fmt.Print(ppm.FormatTable1(rows))
+		fmt.Println()
+	}
+	if all || table == 2 {
+		rows, err := ppm.RunTable2()
+		if err != nil {
+			return fmt.Errorf("table 2: %w", err)
+		}
+		fmt.Print(ppm.FormatTable2(rows))
+		measured, paper, err := ppm.RemoteCreateWarm()
+		if err != nil {
+			return fmt.Errorf("remote create: %w", err)
+		}
+		fmt.Printf("§8 remote create over a warm circuit: measured %.1f ms, paper %.0f ms\n\n",
+			measured, paper)
+	}
+	if all || table == 3 {
+		rows, err := ppm.RunTable3()
+		if err != nil {
+			return fmt.Errorf("table 3: %w", err)
+		}
+		fmt.Print(ppm.FormatTable3(rows))
+		fmt.Println()
+	}
+	if all || figure == 2 {
+		res, err := ppm.RunFigure2()
+		if err != nil {
+			return fmt.Errorf("figure 2: %w", err)
+		}
+		fmt.Printf("Figure 2: LPM creation ab initio %.1f ms; finding an existing LPM %.1f ms\n",
+			res.CreateMS, res.FindMS)
+		o := ppm.RunOverhead()
+		fmt.Printf("§6 overhead: untraced syscall check %.0f ns (negligible); "+
+			"zero-load kernel->LPM delivery %.2f ms\n\n", o.UntracedCheckNS, o.TracedDeliveryMS)
+	}
+	if all || onlyAblations {
+		fmt.Println("Ablations (design choices, DESIGN.md §6)")
+		reuseMS, forkMS, reuseForks, noReuseForks, err := ppm.AblationHandlerReuse()
+		if err != nil {
+			return fmt.Errorf("handler ablation: %w", err)
+		}
+		fmt.Printf("  handler reuse: %.1f ms/op (%d forks) vs fork-per-request %.1f ms/op (%d forks)\n",
+			reuseMS, reuseForks, forkMS, noReuseForks)
+		circuitMS, datagramMS, err := ppm.AblationCircuitVsDatagramAuth()
+		if err != nil {
+			return fmt.Errorf("auth ablation: %w", err)
+		}
+		fmt.Printf("  auth-once circuits: %.1f ms/op vs per-message auth %.1f ms/op\n",
+			circuitMS, datagramMS)
+		onDemand, fullMesh, err := ppm.AblationOnDemandVsFullMesh(6)
+		if err != nil {
+			return fmt.Errorf("mesh ablation: %w", err)
+		}
+		fmt.Printf("  circuits on 6 hosts (2 active): on-demand %d vs full mesh %d\n",
+			onDemand, fullMesh)
+		points, err := ppm.AblationDedupWindow([]time.Duration{
+			time.Millisecond, time.Second, time.Minute,
+		})
+		if err != nil {
+			return fmt.Errorf("dedup ablation: %w", err)
+		}
+		for _, p := range points {
+			fmt.Printf("  dedup window %8v: %d duplicate snapshot records, %d suppressed floods\n",
+				p.Window, p.DuplicateRecs, p.Suppressed)
+		}
+		relayFirst, directFirst, relaySteady, directSteady, err := ppm.AblationRelayVsDirect()
+		if err != nil {
+			return fmt.Errorf("relay ablation: %w", err)
+		}
+		fmt.Printf("  routing to a distant host: first op relay %.1f ms vs direct+setup %.1f ms;\n"+
+			"                             steady state relay %.1f ms vs direct %.1f ms\n",
+			relayFirst, directFirst, relaySteady, directSteady)
+	}
+	return nil
+}

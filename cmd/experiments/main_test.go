@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSingleTables(t *testing.T) {
+	// Table 1 is the expensive one; cover tables 2-3 and figure 2 plus
+	// ablations here (the full Table 1 sweep is covered by the root
+	// package's tests and benchmarks).
+	if err := run(2, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(3, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(0, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunDemoPlan(t *testing.T) {
+	if err := run("", "vax1,vax2,sun1", false, 10*time.Second, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithSupervisionAndChaos(t *testing.T) {
+	if err := run("", "vax1,vax2,sun1", true, 30*time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlanFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.ppm")
+	plan := `
+computation filetest
+recovery alpha
+proc a on alpha
+proc b on beta parent a
+`
+	if err := os.WriteFile(path, []byte(plan), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "alpha,beta", false, 5*time.Second, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadPlanFile(t *testing.T) {
+	if err := run("/nonexistent/plan.ppm", "a,b", false, time.Second, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.ppm")
+	if err := os.WriteFile(path, []byte("garbage directive"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "a,b", false, time.Second, false); err == nil {
+		t.Fatal("bad plan accepted")
+	}
+}
+
+func TestRunPlanHostNotInCluster(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.ppm")
+	if err := os.WriteFile(path, []byte("proc a on ghost"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "alpha,beta", false, time.Second, false); err == nil {
+		t.Fatal("plan referencing an unknown host should fail")
+	}
+}

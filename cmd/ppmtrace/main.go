@@ -1,0 +1,111 @@
+// Command ppmtrace demonstrates the PPM's historical information
+// facilities: it runs a multi-host computation under full event
+// tracing, then prints the recorded timeline, the per-kind reduction,
+// the IPC activity analysis and an event-rate histogram — the data
+// gathering, reduction and display tools of the paper's Section 7.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ppm"
+	"ppm/internal/tools"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ppmtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cluster, err := ppm.NewCluster(ppm.ClusterConfig{
+		Hosts: []ppm.HostSpec{{Name: "vax1"}, {Name: "vax2"}},
+	})
+	if err != nil {
+		return err
+	}
+	cluster.AddUser("user")
+	sess, err := cluster.Attach("user", "vax1")
+	if err != nil {
+		return err
+	}
+
+	// A small computation traced at the finest granularity.
+	root, err := sess.Run("vax1", "coordinator")
+	if err != nil {
+		return err
+	}
+	if err := sess.SetTraceMask(root.PID, ppm.TraceAll); err != nil {
+		return err
+	}
+	worker, err := sess.RunChild("vax2", "worker", root)
+	if err != nil {
+		return err
+	}
+	if err := cluster.Advance(time.Second); err != nil {
+		return err
+	}
+
+	// Generate activity: syscalls, files, IPC, control.
+	k1, err := cluster.Kernel("vax1")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 5; i++ {
+		if err := k1.Syscall(root.PID, "read"); err != nil {
+			return err
+		}
+		fd, err := k1.OpenFD(root.PID, fmt.Sprintf("/tmp/chunk%d", i))
+		if err != nil {
+			return err
+		}
+		k1.AccountIPC(root.PID, 1, 1, "worker channel")
+		if err := k1.CloseFD(root.PID, fd); err != nil {
+			return err
+		}
+		if err := cluster.Advance(300 * time.Millisecond); err != nil {
+			return err
+		}
+	}
+	if err := sess.Stop(worker); err != nil {
+		return err
+	}
+	if err := sess.Foreground(worker); err != nil {
+		return err
+	}
+	if err := sess.Kill(worker); err != nil {
+		return err
+	}
+	if err := cluster.Advance(time.Second); err != nil {
+		return err
+	}
+
+	evs, err := sess.History(ppm.HistoryQuery{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== event timeline ===")
+	fmt.Print(tools.FormatTimeline(evs))
+
+	fmt.Println("\n=== reduction ===")
+	fmt.Print(sess.Manager().History().Reduce().Format())
+
+	fmt.Println("\n=== IPC activity ===")
+	fmt.Print(tools.FormatIPC(tools.AnalyzeIPC(evs)))
+
+	fmt.Println("\n=== event rate (500ms buckets) ===")
+	fmt.Print(tools.HistogramOf(evs, 500*time.Millisecond).Format())
+
+	// The preserved record of the killed worker.
+	info, err := sess.Stats(worker)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== exited worker record ===")
+	fmt.Print(tools.FormatStats(info))
+	return nil
+}

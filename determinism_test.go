@@ -1,0 +1,163 @@
+package ppm_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ppm"
+	"ppm/internal/proc"
+)
+
+// Determinism: identical inputs must produce byte-identical behaviour —
+// the property the whole evaluation harness rests on.
+
+// scriptedRun executes a fixed scenario and returns a transcript of
+// everything observable.
+func scriptedRun(t *testing.T, seed int64) string {
+	t.Helper()
+	c, err := ppm.NewCluster(ppm.ClusterConfig{
+		Seed:  seed,
+		Hosts: []ppm.HostSpec{{Name: "a"}, {Name: "b", Type: ppm.SunII}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddUser("u")
+	if err := c.SpawnBackgroundLoad("b", "u", 3, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.Attach("u", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := sess.Run("a", "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sess.RunChild("b", "worker", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Advance(10 * time.Second)
+	d1, err := sess.Elapsed(func() error { return sess.Stop(w) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, _ := c.LoadAvg("b")
+	return fmt.Sprintf("stop=%v now=%v la=%.6f\n%s", d1, c.Now(), la, snap.Render())
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	a := scriptedRun(t, 42)
+	b := scriptedRun(t, 42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n--- run1 ---\n%s\n--- run2 ---\n%s", a, b)
+	}
+}
+
+func TestDifferentSeedsStillCorrect(t *testing.T) {
+	// Different seeds shift workload phases (hence load averages), but
+	// the logical outcome is identical.
+	a := scriptedRun(t, 1)
+	b := scriptedRun(t, 99)
+	if a == "" || b == "" {
+		t.Fatal("empty transcripts")
+	}
+	// The snapshots (last lines) must agree even if timing details vary.
+	tailOf := func(s string) string {
+		for i := len(s) - 1; i >= 0; i-- {
+			if s[i] == '\n' && i < len(s)-1 {
+				return s[i+1:]
+			}
+		}
+		return s
+	}
+	if tailOf(a) != tailOf(b) {
+		t.Fatalf("logical outcome diverged across seeds:\n%q\n%q", tailOf(a), tailOf(b))
+	}
+}
+
+// Property: any sequence of stop/continue/kill operations applied
+// through the PPM leaves the kernel and the snapshot agreeing about
+// every process state.
+func TestPropertySnapshotAgreesWithKernels(t *testing.T) {
+	f := func(ops []byte) bool {
+		c, err := ppm.NewCluster(ppm.ClusterConfig{
+			Hosts: []ppm.HostSpec{{Name: "a"}, {Name: "b"}},
+		})
+		if err != nil {
+			return false
+		}
+		c.AddUser("u")
+		sess, err := c.Attach("u", "a")
+		if err != nil {
+			return false
+		}
+		var ids []ppm.GPID
+		r, err := sess.Run("a", "root")
+		if err != nil {
+			return false
+		}
+		ids = append(ids, r)
+		w, err := sess.RunChild("b", "w", r)
+		if err != nil {
+			return false
+		}
+		ids = append(ids, w)
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		for _, b := range ops {
+			target := ids[int(b)%len(ids)]
+			var cerr error
+			switch (b / 3) % 3 {
+			case 0:
+				cerr = sess.Stop(target)
+			case 1:
+				cerr = sess.Background(target)
+			case 2:
+				cerr = sess.Kill(target)
+			}
+			// Operations on already-exited processes fail; that is fine.
+			_ = cerr
+		}
+		if err := c.Advance(2 * time.Second); err != nil {
+			return false
+		}
+		snap, err := sess.Snapshot()
+		if err != nil {
+			return false
+		}
+		for _, id := range ids {
+			info, ok := snap.Find(id)
+			if !ok {
+				return false
+			}
+			k, err := c.Kernel(id.Host)
+			if err != nil {
+				return false
+			}
+			p, err := k.Lookup(id.PID)
+			if err != nil {
+				return false
+			}
+			if p.State != info.State {
+				return false
+			}
+			if p.State == proc.Running || p.State == proc.Stopped || p.State == proc.Exited {
+				continue
+			}
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package ppm
+
+import (
+	"ppm/internal/lpm"
+	"ppm/internal/recovery"
+	"ppm/internal/tools"
+)
+
+// Public aliases for the tunable configurations, so library users can
+// construct every ClusterConfig field from this package alone.
+type (
+	// LPMConfig tunes every Local Process Manager in a cluster.
+	LPMConfig = lpm.Config
+	// RecoveryConfig tunes the CCS crash-recovery machinery.
+	RecoveryConfig = recovery.Config
+	// IPCStat summarizes one process's message activity.
+	IPCStat = tools.IPCStat
+)
+
+// Display helpers re-exported from the tools package: the paper's data
+// representation tools, usable directly against Session results.
+
+// FormatStats renders one process's resource-consumption report.
+func FormatStats(info Info) string { return tools.FormatStats(info) }
+
+// FormatStatsTable renders a multi-process resource summary sorted by
+// CPU time.
+func FormatStatsTable(infos []Info) string { return tools.FormatStatsTable(infos) }
+
+// FormatFDs renders the open-descriptor display of one process.
+func FormatFDs(id GPID, open []string) string { return tools.FormatFDs(id, open) }
+
+// FormatTimeline renders a history trace, one line per event.
+func FormatTimeline(events []Event) string { return tools.FormatTimeline(events) }
+
+// FormatSnapshotTable renders a snapshot as an indented process table.
+func FormatSnapshotTable(s Snapshot) string { return tools.FormatSnapshotTable(s) }
+
+// AnalyzeIPC reduces a history trace to per-process IPC activity.
+func AnalyzeIPC(events []Event) []IPCStat { return tools.AnalyzeIPC(events) }
+
+// FormatIPC renders the IPC activity analysis.
+func FormatIPC(stats []IPCStat) string { return tools.FormatIPC(stats) }

@@ -1,0 +1,105 @@
+package ppm_test
+
+import (
+	"fmt"
+	"time"
+
+	"ppm"
+)
+
+// ExampleSession_Snapshot builds a small distributed computation and
+// renders its genealogy, the paper's Figure 1 display.
+func ExampleSession_Snapshot() {
+	cluster, err := ppm.NewCluster(ppm.ClusterConfig{
+		Hosts: []ppm.HostSpec{{Name: "vax1"}, {Name: "vax2"}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cluster.AddUser("felipe")
+	sess, err := cluster.Attach("felipe", "vax1")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	root, _ := sess.Run("vax1", "coordinator")
+	_, _ = sess.RunChild("vax2", "worker", root)
+	_ = cluster.Advance(time.Second)
+	snap, _ := sess.Snapshot()
+	fmt.Print(snap.Render())
+	// Output:
+	// <vax1,6> coordinator
+	// └── <vax2,6> worker
+}
+
+// ExampleSession_Stop measures the paper's Table 2 result: stopping a
+// process one hop away takes 199 virtual milliseconds.
+func ExampleSession_Stop() {
+	cluster, err := ppm.NewCluster(ppm.ClusterConfig{
+		Hosts: []ppm.HostSpec{{Name: "vax1"}, {Name: "vax2"}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cluster.AddUser("felipe")
+	sess, _ := cluster.Attach("felipe", "vax1")
+	worker, _ := sess.Run("vax2", "worker")
+	_ = cluster.Advance(time.Second)
+	d, _ := sess.Elapsed(func() error { return sess.Stop(worker) })
+	fmt.Printf("one-hop stop: %dms\n", d.Milliseconds())
+	// Output:
+	// one-hop stop: 199ms
+}
+
+// ExampleSession_StopAll pauses an entire distributed computation with
+// one broadcast software interrupt.
+func ExampleSession_StopAll() {
+	cluster, err := ppm.NewCluster(ppm.ClusterConfig{
+		Hosts: []ppm.HostSpec{{Name: "a"}, {Name: "b"}, {Name: "c"}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cluster.AddUser("felipe")
+	sess, _ := cluster.Attach("felipe", "a")
+	root, _ := sess.Run("a", "root")
+	_, _ = sess.RunChild("b", "w1", root)
+	_, _ = sess.RunChild("c", "w2", root)
+	n, _ := sess.StopAll()
+	fmt.Printf("stopped %d processes\n", n)
+	// Output:
+	// stopped 3 processes
+}
+
+// ExampleSession_Launch instantiates a computation from the
+// configuration language.
+func ExampleSession_Launch() {
+	cluster, err := ppm.NewCluster(ppm.ClusterConfig{
+		Hosts: []ppm.HostSpec{{Name: "vax1"}, {Name: "vax2"}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cluster.AddUser("felipe")
+	sess, _ := cluster.Attach("felipe", "vax1")
+	comp, err := sess.Launch(`
+computation demo
+proc boss   on vax1
+proc minion on vax2 parent boss
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer comp.Close()
+	_ = cluster.Advance(time.Second)
+	snap, _ := sess.Snapshot()
+	fmt.Print(snap.Render())
+	// Output:
+	// <vax1,6> boss
+	// └── <vax2,6> minion
+}

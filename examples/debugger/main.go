@@ -1,0 +1,122 @@
+// Debugger: the paper notes that "the services of the PPM can be used
+// by a debugger, as the granularity of event tracing is user-settable."
+// This example builds a tiny event-driven debugger on the PPM: it
+// adopts an already running process, raises tracing to full
+// granularity, sets a breakpoint-like watch on a syscall, stops the
+// process when it fires, inspects state (open files, resource usage,
+// history), then resumes and finally detaches.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ppm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := ppm.NewCluster(ppm.ClusterConfig{
+		Hosts: []ppm.HostSpec{{Name: "vax1"}},
+	})
+	if err != nil {
+		return err
+	}
+	cluster.AddUser("felipe")
+	sess, err := cluster.Attach("felipe", "vax1")
+	if err != nil {
+		return err
+	}
+	k, err := cluster.Kernel("vax1")
+	if err != nil {
+		return err
+	}
+
+	// A process started outside the PPM — the debuggee.
+	target, err := k.Spawn("suspect", "felipe")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("debuggee: pid %d (started outside the PPM)\n", target.PID)
+
+	// Attach: adopt it and raise tracing to the finest granularity.
+	if err := sess.Adopt(target.PID); err != nil {
+		return err
+	}
+	if err := sess.SetTraceMask(target.PID, ppm.TraceAll); err != nil {
+		return err
+	}
+	fmt.Println("adopted; trace granularity = all (lifecycle, signals, syscalls, ipc, files)")
+
+	// A breakpoint: when the debuggee performs an "unlink" syscall,
+	// stop it on the spot.
+	id := ppm.GPID{Host: "vax1", PID: target.PID}
+	hit := false
+	remove := sess.OnEvent(&ppm.Watch{
+		Kind: ppm.EvSyscall,
+		Proc: id,
+		Action: func(ev ppm.Event) {
+			if ev.Detail == "unlink" && !hit {
+				hit = true
+				fmt.Printf("*** breakpoint: %s called unlink — stopping it\n", ev.Proc)
+				_ = sess.Stop(id)
+			}
+		},
+	})
+	defer remove()
+
+	// The debuggee does some work.
+	if _, err := k.OpenFD(target.PID, "/tmp/scratch"); err != nil {
+		return err
+	}
+	for _, sc := range []string{"read", "write", "read", "unlink", "write"} {
+		if target.State != ppm.Running {
+			break // the breakpoint stopped it; no further execution
+		}
+		if err := k.Syscall(target.PID, sc); err != nil {
+			return err
+		}
+		if err := cluster.Advance(50 * time.Millisecond); err != nil {
+			return err
+		}
+	}
+	if err := cluster.Advance(time.Second); err != nil {
+		return err
+	}
+
+	// Inspect the stopped debuggee.
+	info, err := sess.Stats(id)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nstate at the breakpoint:")
+	fmt.Print(ppm.FormatStats(info))
+	open, err := sess.OpenFiles(id)
+	if err != nil {
+		return err
+	}
+	fmt.Print(ppm.FormatFDs(id, open))
+
+	evs, err := sess.History(ppm.HistoryQuery{Proc: id})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nevent history (the debugger's trace):")
+	fmt.Print(ppm.FormatTimeline(evs))
+
+	// Resume and detach (granularity back to the default).
+	if err := sess.Foreground(id); err != nil {
+		return err
+	}
+	if err := sess.SetTraceMask(target.PID, ppm.TraceDefault); err != nil {
+		return err
+	}
+	fmt.Println("\nresumed in the foreground; tracing back to default granularity")
+	return nil
+}

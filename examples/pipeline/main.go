@@ -1,0 +1,137 @@
+// Pipeline: the workload the paper's introduction motivates — a
+// multiple-process program whose components execute on several
+// machines, beyond the shell's pipeline paradigm. A coordinator fans
+// work out to workers on three hosts (arbitrary genealogical
+// structure), the user pauses the whole computation with one broadcast
+// software interrupt, resumes it, watches for a worker's exit with a
+// history-dependent trigger, and finally tears everything down.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ppm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := ppm.NewCluster(ppm.ClusterConfig{
+		Hosts: []ppm.HostSpec{
+			{Name: "vax1", Type: ppm.VAX780},
+			{Name: "vax2", Type: ppm.VAX750},
+			{Name: "sun1", Type: ppm.SunII},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	cluster.AddUser("felipe")
+	sess, err := cluster.Attach("felipe", "vax1")
+	if err != nil {
+		return err
+	}
+
+	// Stage 1: a coordinator and a splitter on the home host.
+	coord, err := sess.Run("vax1", "make")
+	if err != nil {
+		return err
+	}
+	split, err := sess.RunChild("vax1", "splitter", coord)
+	if err != nil {
+		return err
+	}
+
+	// Stage 2: compile workers on every machine, children of the
+	// splitter — a genealogy no shell pipeline could track.
+	var workers []ppm.GPID
+	for _, host := range []string{"vax1", "vax2", "vax2", "sun1"} {
+		w, err := sess.RunChild(host, "cc", split)
+		if err != nil {
+			return err
+		}
+		workers = append(workers, w)
+	}
+	// Stage 3: a linker on the fastest machine, child of the
+	// coordinator.
+	linker, err := sess.RunChild("vax1", "ld", coord)
+	if err != nil {
+		return err
+	}
+	if err := cluster.Advance(time.Second); err != nil {
+		return err
+	}
+
+	snap, err := sess.Snapshot()
+	if err != nil {
+		return err
+	}
+	fmt.Println("the distributed build:")
+	fmt.Println(snap.Render())
+
+	// A history-dependent trigger: when any worker exits, note it (the
+	// paper's "history dependent events ... set by users to trigger
+	// process state changes").
+	exited := 0
+	remove := sess.OnEvent(&ppm.Watch{
+		Kind:   ppm.EvExit,
+		Action: func(ev ppm.Event) { exited++ },
+	})
+	defer remove()
+
+	// The machine room gets loud: pause the entire computation with one
+	// broadcast interrupt.
+	n, err := sess.StopAll()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paused the whole computation: %d processes stopped\n", n)
+	if err := cluster.Advance(10 * time.Second); err != nil {
+		return err
+	}
+
+	// Resume everything.
+	n, err = sess.ContinueAll()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resumed: %d processes\n\n", n)
+
+	// One compile worker on vax1 finishes (exits) — the local watch sees
+	// its kernel exit event.
+	k, err := cluster.Kernel("vax1")
+	if err != nil {
+		return err
+	}
+	if err := k.Exit(workers[0].PID, 0); err != nil {
+		return err
+	}
+	if err := cluster.Advance(time.Second); err != nil {
+		return err
+	}
+	fmt.Printf("exit watch fired %d time(s)\n", exited)
+
+	// The linker inherits the fruits; kill the rest of the computation.
+	if err := sess.Kill(linker); err != nil {
+		return err
+	}
+	n, err = sess.KillAll()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("teardown killed %d remaining processes\n", n)
+
+	snap, err = sess.Snapshot()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nafter teardown (exit records retained):")
+	fmt.Println(snap.Render())
+	return nil
+}

@@ -1,0 +1,92 @@
+// Quickstart: build a two-host installation, attach a session, start a
+// distributed computation, inspect it, control it across machine
+// boundaries, and read the preserved record of an exited process.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ppm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A VAX 11/780 and a VAX 11/750 on one Ethernet.
+	cluster, err := ppm.NewCluster(ppm.ClusterConfig{
+		Hosts: []ppm.HostSpec{
+			{Name: "vax1", Type: ppm.VAX780},
+			{Name: "vax2", Type: ppm.VAX750},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	cluster.AddUser("felipe")
+
+	// Attaching creates the Local Process Manager on demand through the
+	// inetd -> pmd exchange (the paper's Figure 2).
+	sess, err := cluster.Attach("felipe", "vax1")
+	if err != nil {
+		return err
+	}
+
+	// Start a computation: a local coordinator with a remote worker.
+	root, err := sess.Run("vax1", "coordinator")
+	if err != nil {
+		return err
+	}
+	worker, err := sess.RunChild("vax2", "worker", root)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("started %s and %s\n\n", root, worker)
+	if err := cluster.Advance(time.Second); err != nil {
+		return err
+	}
+
+	// The snapshot shows the genealogy across both machines.
+	snap, err := sess.Snapshot()
+	if err != nil {
+		return err
+	}
+	fmt.Println("genealogy:")
+	fmt.Println(snap.Render())
+
+	// Control across machine boundaries: stop, resume, kill.
+	if err := sess.Stop(worker); err != nil {
+		return err
+	}
+	fmt.Printf("stopped %s\n", worker)
+	if err := sess.Foreground(worker); err != nil {
+		return err
+	}
+	fmt.Printf("resumed %s in the foreground\n", worker)
+	if err := sess.Kill(worker); err != nil {
+		return err
+	}
+	fmt.Printf("killed %s\n\n", worker)
+
+	// The LPM preserved the exited worker's resource consumption.
+	info, err := sess.Stats(worker)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exited worker: state=%s exitCode=%d syscalls=%d\n",
+		info.State, info.ExitCode, info.Rusage.Syscalls)
+
+	// The exited process still appears in the snapshot, marked.
+	snap, err = sess.Snapshot()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nfinal genealogy:")
+	fmt.Println(snap.Render())
+	return nil
+}

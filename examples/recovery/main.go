@@ -1,0 +1,151 @@
+// Recovery: the failure scenarios of the paper's Section 5 —
+// a host crash that turns the genealogy into a forest, CCS failover
+// along the user's .recovery list, a network partition producing two
+// CCSs, the low-frequency probing that rejoins them after the heal,
+// and the time-to-die shutdown of a fully isolated LPM.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ppm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := ppm.ClusterConfig{
+		Hosts: []ppm.HostSpec{
+			{Name: "alpha"}, {Name: "beta"}, {Name: "gamma"}, {Name: "delta"},
+		},
+		LPM: ppm.LPMConfig{
+			Recovery: ppm.RecoveryConfig{
+				TimeToDie:  2 * time.Minute,
+				ProbeEvery: 20 * time.Second,
+				RetryEvery: 15 * time.Second,
+			},
+		},
+	}
+	cluster, err := ppm.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	cluster.AddUser("felipe")
+	// The .recovery file: the user's home machines in priority order.
+	cluster.SetRecoveryList("felipe", "alpha", "beta", "gamma")
+
+	sess, err := cluster.Attach("felipe", "alpha")
+	if err != nil {
+		return err
+	}
+	root, err := sess.Run("alpha", "simulation")
+	if err != nil {
+		return err
+	}
+	if _, err := sess.RunChild("beta", "worker-b", root); err != nil {
+		return err
+	}
+	if _, err := sess.RunChild("gamma", "worker-g", root); err != nil {
+		return err
+	}
+	if _, err := sess.RunChild("delta", "worker-d", root); err != nil {
+		return err
+	}
+	if err := cluster.Advance(2 * time.Second); err != nil {
+		return err
+	}
+
+	showCCS := func(label string) {
+		fmt.Printf("%s\n", label)
+		for _, h := range []string{"alpha", "beta", "gamma", "delta"} {
+			if m, ok := cluster.ManagerOn(h, "felipe"); ok {
+				fmt.Printf("  %-6s ccs=%-6s state=%v\n",
+					h, m.Recovery().CCS(), m.Recovery().State())
+			} else {
+				fmt.Printf("  %-6s (no LPM)\n", h)
+			}
+		}
+	}
+	showCCS("initial state (alpha is the CCS):")
+
+	// --- scenario 1: the CCS host crashes ---
+	fmt.Println("\n*** alpha crashes ***")
+	if err := cluster.Crash("alpha"); err != nil {
+		return err
+	}
+	if err := cluster.Advance(90 * time.Second); err != nil {
+		return err
+	}
+	showCCS("after the crash (beta took over per the .recovery list):")
+
+	sb, err := cluster.Attach("felipe", "beta")
+	if err != nil {
+		return err
+	}
+	snap, err := sb.Snapshot()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nthe snapshot from beta is now a forest (alpha's records lost):")
+	fmt.Println(snap.Render())
+
+	// --- scenario 2: partition {beta} | {gamma} ---
+	fmt.Println("*** partition: beta,delta | gamma ***")
+	if err := cluster.Partition([]string{"beta", "delta"}, []string{"gamma"}); err != nil {
+		return err
+	}
+	if err := cluster.Advance(2 * time.Minute); err != nil {
+		return err
+	}
+	showCCS("during the partition (each side has a coordinator):")
+
+	fmt.Println("\n*** partition heals ***")
+	cluster.Heal()
+	if err := cluster.Advance(2 * time.Minute); err != nil {
+		return err
+	}
+	showCCS("after the heal (low-frequency probing rejoined the sides):")
+
+	// --- scenario 3: total isolation and time-to-die ---
+	// delta is NOT in the .recovery file. Cut it off from every home
+	// machine: with nobody on the list reachable and no manual contact,
+	// "the appropriate action is to close down all the activities".
+	fmt.Println("\n*** delta is partitioned away from every home machine ***")
+	if err := cluster.Partition([]string{"delta"}, []string{"beta", "gamma"}); err != nil {
+		return err
+	}
+	if err := cluster.Advance(45 * time.Second); err != nil {
+		return err
+	}
+	showCCS("delta seeking/isolated:")
+	if err := cluster.Advance(5 * time.Minute); err != nil {
+		return err
+	}
+	if _, ok := cluster.ManagerOn("delta", "felipe"); !ok {
+		fmt.Println("\ntime-to-die expired: delta's LPM terminated the user's local")
+		fmt.Println("processes and exited, exactly as the paper prescribes.")
+	}
+	procs, err := cluster.Processes("delta", "felipe")
+	if err != nil {
+		return err
+	}
+	live := 0
+	for _, p := range procs {
+		if p.State.String() == "running" || p.State.String() == "stopped" {
+			live++
+		}
+	}
+	fmt.Printf("live user processes left on delta: %d\n", live)
+	fmt.Println("\nmeanwhile gamma — a host in the .recovery file — continues")
+	fmt.Println("operating with no bound in time, as the paper prescribes:")
+	if m, ok := cluster.ManagerOn("gamma", "felipe"); ok {
+		fmt.Printf("  gamma  ccs=%s state=%v\n", m.Recovery().CCS(), m.Recovery().State())
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Supervise: resilient computations layered on the PPM's basic
+// mechanism, the extension the paper's Section 5 sketches ("control
+// would have to be carefully transferred to another host ... robust
+// protocols implemented on top of our basic mechanism"). A worker pool
+// runs under a restart supervisor; workers die, their host dies, and
+// the computation keeps its shape throughout.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ppm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := ppm.NewCluster(ppm.ClusterConfig{
+		Hosts: []ppm.HostSpec{
+			{Name: "ctrl"}, {Name: "node1"}, {Name: "node2"}, {Name: "node3"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	cluster.AddUser("felipe")
+	sess, err := cluster.Attach("felipe", "ctrl")
+	if err != nil {
+		return err
+	}
+
+	coord, err := sess.Run("ctrl", "coordinator")
+	if err != nil {
+		return err
+	}
+	sup := sess.NewSupervisor(5 * time.Second)
+	workers := []struct {
+		name string
+		home string
+	}{
+		{"shard-1", "node1"},
+		{"shard-2", "node2"},
+		{"shard-3", "node3"},
+	}
+	for _, w := range workers {
+		id, err := sess.RunChild(w.home, w.name, coord)
+		if err != nil {
+			return err
+		}
+		sup.Supervise(ppm.SuperviseSpec{
+			Name:   w.name,
+			Hosts:  []string{w.home, "node1", "node2", "node3"},
+			Parent: coord,
+			Policy: ppm.RestartAlways,
+		}, id)
+	}
+	sup.Start()
+	defer sup.Stop()
+	if err := cluster.Advance(2 * time.Second); err != nil {
+		return err
+	}
+
+	show := func(label string) error {
+		snap, err := sess.Snapshot()
+		if err != nil {
+			return err
+		}
+		fmt.Println(label)
+		fmt.Println(snap.Render())
+		return nil
+	}
+	if err := show("initial shape:"); err != nil {
+		return err
+	}
+
+	// A worker dies of natural causes.
+	id, _ := sup.Current("shard-2")
+	k, err := cluster.Kernel(id.Host)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("*** %s crashes (exit 1) ***\n\n", id)
+	if err := k.Exit(id.PID, 1); err != nil {
+		return err
+	}
+	if err := cluster.Advance(15 * time.Second); err != nil {
+		return err
+	}
+	if err := show("after the restart:"); err != nil {
+		return err
+	}
+
+	// A whole node goes down: its shard fails over elsewhere.
+	fmt.Println("*** node1 crashes ***")
+	fmt.Println()
+	if err := cluster.Crash("node1"); err != nil {
+		return err
+	}
+	if err := cluster.Advance(30 * time.Second); err != nil {
+		return err
+	}
+	if err := show("after the failover:"); err != nil {
+		return err
+	}
+
+	cur, _ := sup.Current("shard-1")
+	fmt.Printf("shard-1 now lives on %s; %d restart(s) total\n", cur.Host, sup.Restarts)
+	fmt.Println("\nsupervision log:")
+	for _, e := range sup.Events {
+		fmt.Println("  " + e)
+	}
+	return nil
+}

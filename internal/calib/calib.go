@@ -1,0 +1,198 @@
+// Package calib holds the calibration constants of the simulated 1986
+// computing environment: per-host CPU models for the three machine types
+// the paper measures (VAX 11/780, VAX 11/750, Sun II), and the primitive
+// costs of the operations that compose the paper's Tables 1-3.
+//
+// # Model
+//
+// Table 1 of the paper reports the elapsed time to deliver a 112-byte
+// message from the kernel to the LPM as a function of the load average
+// la (a time-averaged CPU run-queue length). The dominant component is
+// the scheduling wait until the LPM wins the CPU; on the memory- and
+// CPU-constrained machines of 1986 this grows superlinearly with the
+// run queue. We model it as
+//
+//	t(host, la) = MsgBase(host) * exp(LoadGamma(host) * la)
+//
+// with MsgBase and LoadGamma fitted to the paper's Table 1 (see
+// EXPERIMENTS.md for the fit residuals). The load average itself is not
+// an input: it emerges from simulated background processes sampled and
+// exponentially smoothed by the kernel, exactly like the BSD estimator
+// the paper cites.
+//
+// Table 2/3 costs decompose into primitive constants below; each is a
+// CPU demand charged to the simulated host (scaled by CPUPower and the
+// same load factor) or a network transit charged per physical hop.
+package calib
+
+import (
+	"math"
+	"time"
+)
+
+// HostType identifies one of the paper's three machine models.
+type HostType int
+
+// The host types measured in the paper's Table 1.
+const (
+	VAX780 HostType = iota + 1
+	VAX750
+	SunII
+)
+
+// String returns the paper's name for the host type.
+func (h HostType) String() string {
+	switch h {
+	case VAX780:
+		return "VAX 11/780"
+	case VAX750:
+		return "VAX 11/750"
+	case SunII:
+		return "Sun II"
+	default:
+		return "unknown host type"
+	}
+}
+
+// CPUModel captures the performance characteristics of a host type.
+type CPUModel struct {
+	Type HostType
+
+	// MsgBase is the zero-load kernel-to-LPM 112-byte message delivery
+	// time (Table 1 intercept).
+	MsgBase time.Duration
+
+	// LoadGamma is the exponential load-sensitivity coefficient of
+	// message delivery and all other CPU-bound work on the host.
+	LoadGamma float64
+
+	// Power is the relative CPU power used to scale process-execution
+	// costs (fork, exec, marshalling); 1.0 is the VAX 11/780.
+	Power float64
+}
+
+// Models for the three 1986 machine types, fitted to the paper's Table 1.
+var (
+	ModelVAX780 = CPUModel{Type: VAX780, MsgBase: 6140 * time.Microsecond, LoadGamma: 0.318, Power: 1.00}
+	ModelVAX750 = CPUModel{Type: VAX750, MsgBase: 6130 * time.Microsecond, LoadGamma: 0.322, Power: 0.96}
+	ModelSunII  = CPUModel{Type: SunII, MsgBase: 6320 * time.Microsecond, LoadGamma: 0.546, Power: 0.80}
+)
+
+// Model returns the CPUModel for a host type. Unknown types get the
+// VAX 11/780 model, the paper's reference machine.
+func Model(t HostType) CPUModel {
+	switch t {
+	case VAX750:
+		return ModelVAX750
+	case SunII:
+		return ModelSunII
+	default:
+		return ModelVAX780
+	}
+}
+
+// LoadFactor returns the multiplicative slowdown of CPU-bound work at
+// load average la.
+func (m CPUModel) LoadFactor(la float64) float64 {
+	if la < 0 {
+		la = 0
+	}
+	return math.Exp(m.LoadGamma * la)
+}
+
+// KernelMsgDelivery returns the modelled kernel-to-LPM 112-byte message
+// delivery time at load average la (the Table 1 quantity).
+func (m CPUModel) KernelMsgDelivery(la float64) time.Duration {
+	return time.Duration(float64(m.MsgBase) * m.LoadFactor(la))
+}
+
+// Scale returns the elapsed time of a CPU-bound demand with reference
+// cost base (defined on a VAX 11/780 at zero load) on this host at load
+// average la.
+func (m CPUModel) Scale(base time.Duration, la float64) time.Duration {
+	p := m.Power
+	if p <= 0 {
+		p = 1
+	}
+	return time.Duration(float64(base) / p * m.LoadFactor(la))
+}
+
+// Primitive operation costs, expressed as CPU demand on the reference
+// machine (VAX 11/780) at zero load. These compose into the paper's
+// Table 2 and Table 3 rows; the decomposition is documented in
+// EXPERIMENTS.md.
+const (
+	// ToolLeg is the one-way cost of a tool <-> LPM exchange over a
+	// local IPC socket, including the LPM dispatch.
+	ToolLeg = 11 * time.Millisecond
+
+	// ControlAction is the kernel-level cost of a process-control
+	// operation on an adopted process (extended ptrace stop, continue,
+	// or signal delivery).
+	ControlAction = 8 * time.Millisecond
+
+	// SiblingEndpoint is the per-endpoint protocol cost of a message on
+	// an inter-LPM virtual circuit: marshalling or unmarshalling, TCP
+	// processing, and the dispatcher/handler handoff.
+	SiblingEndpoint = 39500 * time.Microsecond
+
+	// AckEndpoint is the per-endpoint cost of a lightweight
+	// acknowledgement that bypasses handler assignment (sent by the
+	// dispatcher, consumed directly by the blocked handler).
+	AckEndpoint = 25 * time.Millisecond
+
+	// Fork, Exec and Adopt are the process-creation primitives. The
+	// paper's within-host creation time (77 ms) is
+	// CreateDispatch + Fork + Exec + Adopt.
+	Fork  = 25 * time.Millisecond
+	Exec  = 30 * time.Millisecond
+	Adopt = 12 * time.Millisecond
+
+	// CreateDispatch is the LPM-side bookkeeping to act as the process
+	// creation server for one request.
+	CreateDispatch = 10 * time.Millisecond
+
+	// GatherPerProc is the cost of collecting and encoding snapshot
+	// information for one process.
+	GatherPerProc = 2333 * time.Microsecond
+
+	// HandlerFork is the cost of creating a new handler process inside
+	// the LPM when no idle handler is available (handlers are reused
+	// precisely because this is expensive).
+	HandlerFork = Fork
+
+	// AuthCheck is the CPU cost of verifying one authentication token.
+	// Circuits pay it once per channel (at Hello); the datagram-based
+	// alternative the paper weighs would pay it on every message — the
+	// tradeoff the circuit-vs-datagram ablation quantifies.
+	AuthCheck = 8 * time.Millisecond
+
+	// UntracedSyscallCheck is the overhead added to every system call
+	// for processes NOT under PPM management: comparing a variable to
+	// zero ("negligible" in the paper).
+	UntracedSyscallCheck = 2 * time.Microsecond
+
+	// KernelMsgBytes is the size of a kernel-to-LPM event message.
+	KernelMsgBytes = 112
+)
+
+// Network constants of the simulated 1986 internetwork.
+const (
+	// HopTransit is the one-way transit of a message across one
+	// physical hop (an Ethernet segment plus gateway store-and-forward).
+	HopTransit = 5500 * time.Microsecond
+
+	// EthernetBandwidth is the raw segment bandwidth used to charge
+	// per-byte transmission time (10 Mbit/s Ethernet).
+	EthernetBandwidthBytesPerSec = 10_000_000 / 8
+)
+
+// TransmissionTime returns the serialization delay of size bytes on an
+// Ethernet segment.
+func TransmissionTime(size int) time.Duration {
+	if size <= 0 {
+		return 0
+	}
+	sec := float64(size) / float64(EthernetBandwidthBytesPerSec)
+	return time.Duration(sec * float64(time.Second))
+}

@@ -1,0 +1,286 @@
+// Package config implements a small configuration language for
+// distributed computations. The paper notes that "the PPM does not
+// currently support a configuration language; it provides access to
+// its facilities through subroutine calls" — this package supplies the
+// missing layer, in the spirit of the configuration languages it cites
+// (DPL-82, Kramer & Magee's dynamic configuration): a declarative
+// description of processes, their placement, their genealogy, tracing
+// granularity and event-driven actions, compiled onto the PPM's
+// subroutine interface.
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//	computation NAME
+//	recovery HOST...
+//	proc NAME on HOST [parent NAME] [fg] [trace LEVEL[,LEVEL...]]
+//	watch EVENT of (NAME|*) do ACTION
+//
+//	EVENT  := exit | stop | cont | fork | exec | signal:SIGNAME
+//	LEVEL  := lifecycle | signals | syscalls | ipc | files | all | default
+//	ACTION := signal NAME SIGNAME | kill NAME | stop NAME | note TEXT
+//
+// Processes are instantiated in declaration order; a parent must be
+// declared before its children. Watches observe the home LPM's kernel
+// events (events for processes on remote hosts are recorded by the
+// remote LPMs, as in the paper).
+package config
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"ppm/internal/kernel"
+	"ppm/internal/proc"
+)
+
+// Parse errors.
+var (
+	ErrSyntax    = errors.New("config: syntax error")
+	ErrUnknown   = errors.New("config: unknown name")
+	ErrDuplicate = errors.New("config: duplicate name")
+)
+
+// ProcDecl is one declared process.
+type ProcDecl struct {
+	Name       string
+	Host       string
+	Parent     string // "" = root
+	Foreground bool
+	Trace      kernel.TraceMask // 0 = leave the adoption default
+}
+
+// EventKindSignal marks a watch on a specific signal.
+type WatchDecl struct {
+	Event  proc.EventKind
+	Signal proc.Signal // for signal:NAME events
+	Target string      // process name or "*"
+	Action ActionDecl
+}
+
+// ActionKind enumerates watch actions.
+type ActionKind int
+
+// Watch actions.
+const (
+	ActSignal ActionKind = iota + 1
+	ActKill
+	ActStop
+	ActNote
+)
+
+// ActionDecl is what a watch does when it fires.
+type ActionDecl struct {
+	Kind   ActionKind
+	Target string      // process name for signal/kill/stop
+	Signal proc.Signal // for ActSignal
+	Text   string      // for ActNote
+}
+
+// Plan is a parsed computation description.
+type Plan struct {
+	Name     string
+	Recovery []string
+	Procs    []ProcDecl
+	Watches  []WatchDecl
+}
+
+// signalNames maps the names accepted in configs.
+var signalNames = map[string]proc.Signal{
+	"SIGINT": proc.SIGINT, "SIGKILL": proc.SIGKILL, "SIGTERM": proc.SIGTERM,
+	"SIGSTOP": proc.SIGSTOP, "SIGCONT": proc.SIGCONT,
+	"SIGUSR1": proc.SIGUSR1, "SIGUSR2": proc.SIGUSR2,
+}
+
+// eventNames maps watchable event names.
+var eventNames = map[string]proc.EventKind{
+	"exit": proc.EvExit, "stop": proc.EvStop, "cont": proc.EvCont,
+	"fork": proc.EvFork, "exec": proc.EvExec,
+}
+
+// traceNames maps granularity levels.
+var traceNames = map[string]kernel.TraceMask{
+	"lifecycle": kernel.TraceLifecycle,
+	"signals":   kernel.TraceSignals,
+	"syscalls":  kernel.TraceSyscalls,
+	"ipc":       kernel.TraceIPC,
+	"files":     kernel.TraceFiles,
+	"all":       kernel.TraceAll,
+	"default":   kernel.TraceDefault,
+}
+
+// Parse reads a computation description.
+func Parse(text string) (*Plan, error) {
+	p := &Plan{}
+	declared := map[string]bool{}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("%w: line %d: %s", ErrSyntax, lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "computation":
+			if len(fields) != 2 {
+				return nil, fail("computation NAME")
+			}
+			p.Name = fields[1]
+
+		case "recovery":
+			if len(fields) < 2 {
+				return nil, fail("recovery HOST...")
+			}
+			p.Recovery = append(p.Recovery, fields[1:]...)
+
+		case "proc":
+			decl, err := parseProc(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, lineNo+1, err)
+			}
+			if declared[decl.Name] {
+				return nil, fmt.Errorf("%w: line %d: proc %q", ErrDuplicate, lineNo+1, decl.Name)
+			}
+			if decl.Parent != "" && !declared[decl.Parent] {
+				return nil, fmt.Errorf("%w: line %d: parent %q not declared", ErrUnknown, lineNo+1, decl.Parent)
+			}
+			declared[decl.Name] = true
+			p.Procs = append(p.Procs, decl)
+
+		case "watch":
+			decl, err := parseWatch(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, lineNo+1, err)
+			}
+			if decl.Target != "*" && !declared[decl.Target] {
+				return nil, fmt.Errorf("%w: line %d: watch target %q not declared", ErrUnknown, lineNo+1, decl.Target)
+			}
+			if decl.Action.Target != "" && !declared[decl.Action.Target] {
+				return nil, fmt.Errorf("%w: line %d: action target %q not declared", ErrUnknown, lineNo+1, decl.Action.Target)
+			}
+			p.Watches = append(p.Watches, decl)
+
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if len(p.Procs) == 0 {
+		return nil, fmt.Errorf("%w: no processes declared", ErrSyntax)
+	}
+	return p, nil
+}
+
+// parseProc parses: NAME on HOST [parent NAME] [fg] [trace L[,L...]]
+func parseProc(fields []string) (ProcDecl, error) {
+	if len(fields) < 3 || fields[1] != "on" {
+		return ProcDecl{}, errors.New("proc NAME on HOST ...")
+	}
+	decl := ProcDecl{Name: fields[0], Host: fields[2]}
+	i := 3
+	for i < len(fields) {
+		switch fields[i] {
+		case "parent":
+			if i+1 >= len(fields) {
+				return ProcDecl{}, errors.New("parent needs a name")
+			}
+			decl.Parent = fields[i+1]
+			i += 2
+		case "fg":
+			decl.Foreground = true
+			i++
+		case "trace":
+			if i+1 >= len(fields) {
+				return ProcDecl{}, errors.New("trace needs levels")
+			}
+			for _, lvl := range strings.Split(fields[i+1], ",") {
+				mask, ok := traceNames[lvl]
+				if !ok {
+					return ProcDecl{}, fmt.Errorf("unknown trace level %q", lvl)
+				}
+				decl.Trace |= mask
+			}
+			i += 2
+		default:
+			return ProcDecl{}, fmt.Errorf("unknown proc option %q", fields[i])
+		}
+	}
+	return decl, nil
+}
+
+// parseWatch parses: EVENT of (NAME|*) do ACTION...
+func parseWatch(fields []string) (WatchDecl, error) {
+	if len(fields) < 5 || fields[1] != "of" || fields[3] != "do" {
+		return WatchDecl{}, errors.New("watch EVENT of NAME do ACTION")
+	}
+	var decl WatchDecl
+	evName := fields[0]
+	if sigName, ok := strings.CutPrefix(evName, "signal:"); ok {
+		sig, ok := signalNames[sigName]
+		if !ok {
+			return WatchDecl{}, fmt.Errorf("unknown signal %q", sigName)
+		}
+		decl.Event = proc.EvSignal
+		decl.Signal = sig
+	} else {
+		kind, ok := eventNames[evName]
+		if !ok {
+			return WatchDecl{}, fmt.Errorf("unknown event %q", evName)
+		}
+		decl.Event = kind
+	}
+	decl.Target = fields[2]
+	action := fields[4:]
+	switch action[0] {
+	case "signal":
+		if len(action) != 3 {
+			return WatchDecl{}, errors.New("do signal NAME SIGNAME")
+		}
+		sig, ok := signalNames[action[2]]
+		if !ok {
+			return WatchDecl{}, fmt.Errorf("unknown signal %q", action[2])
+		}
+		decl.Action = ActionDecl{Kind: ActSignal, Target: action[1], Signal: sig}
+	case "kill":
+		if len(action) != 2 {
+			return WatchDecl{}, errors.New("do kill NAME")
+		}
+		decl.Action = ActionDecl{Kind: ActKill, Target: action[1]}
+	case "stop":
+		if len(action) != 2 {
+			return WatchDecl{}, errors.New("do stop NAME")
+		}
+		decl.Action = ActionDecl{Kind: ActStop, Target: action[1]}
+	case "note":
+		decl.Action = ActionDecl{Kind: ActNote, Text: strings.Join(action[1:], " ")}
+	default:
+		return WatchDecl{}, fmt.Errorf("unknown action %q", action[0])
+	}
+	return decl, nil
+}
+
+// Hosts returns the sorted set of hosts the plan places processes on.
+func (p *Plan) Hosts() []string {
+	set := map[string]bool{}
+	for _, d := range p.Procs {
+		set[d.Host] = true
+	}
+	out := make([]string, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package config
+
+import (
+	"fmt"
+
+	"ppm/internal/history"
+	"ppm/internal/kernel"
+	"ppm/internal/proc"
+)
+
+// Runner is the slice of the PPM subroutine interface a plan needs;
+// the public Session type satisfies it.
+type Runner interface {
+	Home() string
+	RunChild(host, name string, parent proc.GPID) (proc.GPID, error)
+	SetTraceMask(pid proc.PID, mask kernel.TraceMask) error
+	Signal(target proc.GPID, sig proc.Signal) error
+	Stop(target proc.GPID) error
+	Kill(target proc.GPID) error
+	OnEvent(w *history.Watch) (remove func())
+}
+
+// Instance is a running instantiation of a plan: the name-to-identity
+// map, the installed watches, and the notes its actions produced.
+type Instance struct {
+	plan    *Plan
+	byName  map[string]proc.GPID
+	notes   []string
+	removes []func()
+}
+
+// Instantiate creates the plan's processes in declaration order and
+// installs its watches on the runner's home LPM.
+func (p *Plan) Instantiate(r Runner) (*Instance, error) {
+	inst := &Instance{plan: p, byName: make(map[string]proc.GPID, len(p.Procs))}
+	for _, d := range p.Procs {
+		parent := proc.GPID{}
+		if d.Parent != "" {
+			parent = inst.byName[d.Parent]
+		}
+		id, err := r.RunChild(d.Host, d.Name, parent)
+		if err != nil {
+			return nil, fmt.Errorf("config: create %s on %s: %w", d.Name, d.Host, err)
+		}
+		inst.byName[d.Name] = id
+		if d.Trace != 0 {
+			if d.Host == r.Home() {
+				if err := r.SetTraceMask(id.PID, d.Trace); err != nil {
+					return nil, fmt.Errorf("config: trace %s: %w", d.Name, err)
+				}
+			} else {
+				// Trace masks are set through the local kernel; remote
+				// granularity stays at the adoption default.
+				inst.note("trace levels for %s left at default (process is on %s)", d.Name, d.Host)
+			}
+		}
+	}
+	for _, w := range p.Watches {
+		w := w
+		hw := &history.Watch{Kind: w.Event, Signal: w.Signal}
+		if w.Target != "*" {
+			hw.Proc = inst.byName[w.Target]
+		}
+		hw.Action = func(ev proc.Event) { inst.act(r, w.Action, ev) }
+		inst.removes = append(inst.removes, r.OnEvent(hw))
+	}
+	return inst, nil
+}
+
+// act executes one watch action.
+func (inst *Instance) act(r Runner, a ActionDecl, ev proc.Event) {
+	switch a.Kind {
+	case ActSignal:
+		if err := r.Signal(inst.byName[a.Target], a.Signal); err != nil {
+			inst.note("action signal %s %v failed: %v", a.Target, a.Signal, err)
+		} else {
+			inst.note("signalled %s with %v after %v of %s", a.Target, a.Signal, ev.Kind, ev.Proc)
+		}
+	case ActKill:
+		if err := r.Kill(inst.byName[a.Target]); err != nil {
+			inst.note("action kill %s failed: %v", a.Target, err)
+		} else {
+			inst.note("killed %s after %v of %s", a.Target, ev.Kind, ev.Proc)
+		}
+	case ActStop:
+		if err := r.Stop(inst.byName[a.Target]); err != nil {
+			inst.note("action stop %s failed: %v", a.Target, err)
+		} else {
+			inst.note("stopped %s after %v of %s", a.Target, ev.Kind, ev.Proc)
+		}
+	case ActNote:
+		inst.note("%s (on %v of %s)", a.Text, ev.Kind, ev.Proc)
+	}
+}
+
+func (inst *Instance) note(format string, args ...any) {
+	inst.notes = append(inst.notes, fmt.Sprintf(format, args...))
+}
+
+// Lookup returns the network identity of a declared process.
+func (inst *Instance) Lookup(name string) (proc.GPID, bool) {
+	id, ok := inst.byName[name]
+	return id, ok
+}
+
+// Names returns the declared process names in declaration order.
+func (inst *Instance) Names() []string {
+	out := make([]string, 0, len(inst.plan.Procs))
+	for _, d := range inst.plan.Procs {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+// Notes returns the log of watch actions taken so far.
+func (inst *Instance) Notes() []string {
+	return append([]string(nil), inst.notes...)
+}
+
+// Close removes the instance's watches (the processes live on; the PPM
+// outlives its tools).
+func (inst *Instance) Close() {
+	for _, rm := range inst.removes {
+		rm()
+	}
+	inst.removes = nil
+}

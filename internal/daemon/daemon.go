@@ -1,0 +1,286 @@
+// Package daemon implements the two system daemons the PPM's on-demand
+// LPM creation relies on (the paper's Figure 2): inetd, which owns the
+// well-known port, and pmd, the process manager daemon, which acts as a
+// trusted name server for per-user LPMs — verifying that no LPM exists
+// for the user on the host, creating one when needed, and returning the
+// LPM's accept address.
+//
+// The paper notes that storing the pmd's table in stable storage would
+// allow recovery from daemon-only crashes but was not implemented; here
+// it is implemented behind the StableStorage option, with tests showing
+// the failure the paper predicts when it is off.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ppm/internal/auth"
+	"ppm/internal/calib"
+	"ppm/internal/kernel"
+	"ppm/internal/proc"
+	"ppm/internal/simnet"
+	"ppm/internal/wire"
+)
+
+// PortInetd is the well-known inetd port on every host.
+const PortInetd uint16 = 111
+
+// Daemon errors.
+var (
+	ErrNotRunning = errors.New("daemon: not running")
+	ErrAuth       = errors.New("daemon: authentication failed")
+)
+
+// CPU demands of the daemon path (reference machine, zero load).
+const (
+	inetdForwardCost = 5 * time.Millisecond
+	pmdHandleCost    = 8 * time.Millisecond
+)
+
+// LPMFactory creates (or restarts) the per-user LPM on this host and
+// returns its accept address. The factory is provided by the
+// environment wiring the LPM implementation to the daemons.
+type LPMFactory func(user string) (simnet.Addr, error)
+
+// Options configure the daemons on one host.
+type Options struct {
+	// StableStorage keeps the pmd's user->LPM table on (simulated)
+	// stable storage so it survives a daemon-only crash. Off by
+	// default, as in the paper.
+	StableStorage bool
+}
+
+// Daemons is the per-host inetd + pmd pair.
+type Daemons struct {
+	hostName string
+	kern     *kernel.Host
+	net      *simnet.Network
+	dir      *auth.Directory
+	trust    *auth.Trust
+	factory  LPMFactory
+	opts     Options
+
+	running  bool
+	inetdPID proc.PID
+	pmdPID   proc.PID
+
+	lpms   map[string]simnet.Addr
+	stable map[string]simnet.Addr
+
+	// Queries counts pmd lookups, for tests and benchmarks.
+	Queries int64
+}
+
+// Start boots inetd and pmd on the host and begins accepting LPM
+// queries on the well-known port.
+func Start(kern *kernel.Host, net *simnet.Network, dir *auth.Directory,
+	trust *auth.Trust, factory LPMFactory, opts Options) (*Daemons, error) {
+	d := &Daemons{
+		hostName: kern.Name(),
+		kern:     kern,
+		net:      net,
+		dir:      dir,
+		trust:    trust,
+		factory:  factory,
+		opts:     opts,
+		lpms:     make(map[string]simnet.Addr),
+		stable:   make(map[string]simnet.Addr),
+	}
+	if err := d.boot(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Daemons) boot() error {
+	inetd, err := d.kern.Spawn("inetd", "root")
+	if err != nil {
+		return fmt.Errorf("spawn inetd: %w", err)
+	}
+	pmd, err := d.kern.Spawn("pmd", "root")
+	if err != nil {
+		return fmt.Errorf("spawn pmd: %w", err)
+	}
+	d.inetdPID, d.pmdPID = inetd.PID, pmd.PID
+	if err := d.net.Listen(d.hostName, PortInetd, d.accept); err != nil {
+		return fmt.Errorf("inetd listen: %w", err)
+	}
+	d.running = true
+	return nil
+}
+
+// Running reports whether the daemons are serving.
+func (d *Daemons) Running() bool { return d.running }
+
+// accept handles one connection to the well-known port (Figure 2 step
+// 1 arrives here; step 2 is the internal handoff to pmd).
+func (d *Daemons) accept(conn *simnet.Conn) {
+	conn.SetHandler(func(b []byte) {
+		env, err := wire.DecodeEnvelope(b)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		if env.Type != wire.MsgLPMQuery {
+			d.reply(conn, env.ReqID, wire.LPMQueryResp{OK: false, Reason: "inetd: unexpected message"})
+			return
+		}
+		q, err := wire.DecodeLPMQuery(env.Body)
+		if err != nil {
+			d.reply(conn, env.ReqID, wire.LPMQueryResp{OK: false, Reason: "inetd: bad query"})
+			return
+		}
+		from := conn.RemoteAddr().Host
+		// Step 2: inetd passes the request to pmd.
+		d.kern.ExecCPU(inetdForwardCost, func() {
+			d.kern.ExecCPU(pmdHandleCost, func() {
+				d.handleQuery(conn, env.ReqID, from, q)
+			})
+		})
+	})
+}
+
+// handleQuery is the pmd: the trusted name server of Figure 2 steps 3-4.
+func (d *Daemons) handleQuery(conn *simnet.Conn, reqID uint64, fromHost string, q wire.LPMQuery) {
+	if !d.running {
+		d.reply(conn, reqID, wire.LPMQueryResp{OK: false, Reason: "pmd: not running"})
+		return
+	}
+	d.Queries++
+	if err := d.authenticate(fromHost, q); err != nil {
+		d.reply(conn, reqID, wire.LPMQueryResp{OK: false, Reason: err.Error()})
+		return
+	}
+	// An existing LPM's address is returned directly.
+	if addr, ok := d.lpms[q.User]; ok {
+		d.reply(conn, reqID, wire.LPMQueryResp{
+			OK: true, AcceptHost: addr.Host, AcceptPort: addr.Port,
+		})
+		return
+	}
+	// Step 3: pmd creates the LPM — paying the fork before the reply;
+	// LPM creation is "somewhat expensive in terms of message exchanges
+	// and in local processing".
+	d.kern.ExecCPU(calib.Fork, func() {
+		addr, err := d.factory(q.User)
+		if err != nil {
+			d.reply(conn, reqID, wire.LPMQueryResp{OK: false, Reason: fmt.Sprintf("pmd: create LPM: %v", err)})
+			return
+		}
+		d.register(q.User, addr)
+		// Step 4: the accept address is returned.
+		d.reply(conn, reqID, wire.LPMQueryResp{
+			OK: true, AcceptHost: addr.Host, AcceptPort: addr.Port, Created: true,
+		})
+	})
+}
+
+func (d *Daemons) authenticate(fromHost string, q wire.LPMQuery) error {
+	if err := d.dir.VerifyToken(q.User, "pmd", q.Token); err != nil {
+		return fmt.Errorf("%w: %v", ErrAuth, err)
+	}
+	if fromHost != d.hostName {
+		if err := d.trust.Check(d.hostName, fromHost); err != nil {
+			return fmt.Errorf("%w: %v", ErrAuth, err)
+		}
+		if !d.dir.RHostAllowed(q.User, fromHost) {
+			return fmt.Errorf("%w: %s has no .rhosts entry for %s", ErrAuth, q.User, fromHost)
+		}
+	}
+	return nil
+}
+
+func (d *Daemons) reply(conn *simnet.Conn, reqID uint64, resp wire.LPMQueryResp) {
+	env := wire.Envelope{Type: wire.MsgLPMQueryResp, ReqID: reqID, Body: resp.Encode()}
+	_ = conn.Send(env.Encode())
+}
+
+// register records an LPM, mirroring to stable storage when enabled.
+func (d *Daemons) register(user string, addr simnet.Addr) {
+	d.lpms[user] = addr
+	if d.opts.StableStorage {
+		d.stable[user] = addr
+	}
+}
+
+// Unregister removes an LPM record (called when an LPM's time-to-live
+// expires and it exits).
+func (d *Daemons) Unregister(user string) {
+	delete(d.lpms, user)
+	delete(d.stable, user)
+}
+
+// KnownLPM returns the registered accept address for a user.
+func (d *Daemons) KnownLPM(user string) (simnet.Addr, bool) {
+	addr, ok := d.lpms[user]
+	return addr, ok
+}
+
+// CrashDaemon simulates a crash of the pmd alone (not the host, not the
+// LPMs). Without stable storage the table is lost and, as the paper
+// observes, "the process management mechanism does not operate
+// correctly": a subsequent query spawns a duplicate LPM. With stable
+// storage the table is reloaded.
+func (d *Daemons) CrashDaemon() {
+	d.lpms = make(map[string]simnet.Addr)
+	if d.opts.StableStorage {
+		for u, a := range d.stable {
+			d.lpms[u] = a
+		}
+	}
+}
+
+// Stop halts the daemons (host shutdown path).
+func (d *Daemons) Stop() {
+	if !d.running {
+		return
+	}
+	d.running = false
+	d.net.CloseListen(d.hostName, PortInetd)
+	if p, err := d.kern.Lookup(d.inetdPID); err == nil && p.State == proc.Running {
+		_ = d.kern.Exit(d.inetdPID, 0)
+	}
+	if p, err := d.kern.Lookup(d.pmdPID); err == nil && p.State == proc.Running {
+		_ = d.kern.Exit(d.pmdPID, 0)
+	}
+}
+
+// QueryLPM is the client side of the Figure 2 exchange: dial the
+// well-known port on a host, send an authenticated query, and deliver
+// the accept address to cb. Used both by tools attaching locally and by
+// LPMs creating remote siblings.
+func QueryLPM(net *simnet.Network, fromHost string, targetHost string,
+	user *auth.User, cb func(wire.LPMQueryResp, error)) {
+	to := simnet.Addr{Host: targetHost, Port: PortInetd}
+	net.Dial(fromHost, to, func(conn *simnet.Conn, err error) {
+		if err != nil {
+			cb(wire.LPMQueryResp{}, err)
+			return
+		}
+		conn.SetHandler(func(b []byte) {
+			env, derr := wire.DecodeEnvelope(b)
+			if derr != nil {
+				cb(wire.LPMQueryResp{}, derr)
+				conn.Close()
+				return
+			}
+			resp, derr := wire.DecodeLPMQueryResp(env.Body)
+			conn.Close()
+			if derr != nil {
+				cb(wire.LPMQueryResp{}, derr)
+				return
+			}
+			cb(resp, nil)
+		})
+		conn.SetCloseHandler(func(cerr error) {
+			if cerr != nil {
+				cb(wire.LPMQueryResp{}, cerr)
+			}
+		})
+		q := wire.LPMQuery{User: user.Name, Token: auth.MintToken(user, "pmd")}
+		env := wire.Envelope{Type: wire.MsgLPMQuery, ReqID: 1, Body: q.Encode()}
+		_ = conn.Send(env.Encode())
+	})
+}

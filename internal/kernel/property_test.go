@@ -1,0 +1,196 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ppm/internal/calib"
+	"ppm/internal/proc"
+	"ppm/internal/sim"
+)
+
+// Property tests over random process-lifecycle action sequences.
+
+type lifecycleOp byte
+
+const (
+	opSpawn lifecycleOp = iota
+	opFork
+	opStop
+	opCont
+	opKill
+	opExit
+	opReap
+	opAdopt
+	nLifecycleOps
+)
+
+// TestPropertyProcessTableInvariants applies a random action sequence
+// and checks global invariants after every step:
+//   - every live child's parent record exists or the child became a root
+//   - state transitions are legal (no running-after-exit)
+//   - PIDs never repeat
+//   - LiveCount equals a direct count
+func TestPropertyProcessTableInvariants(t *testing.T) {
+	f := func(ops []byte) bool {
+		s := sim.NewScheduler(1)
+		h := NewHost(s, "m", calib.ModelVAX780)
+		var pids []proc.PID
+		seen := map[proc.PID]bool{}
+		for _, b := range ops {
+			op := lifecycleOp(b) % nLifecycleOps
+			pick := func() proc.PID {
+				if len(pids) == 0 {
+					return 0
+				}
+				return pids[int(b/7)%len(pids)]
+			}
+			switch op {
+			case opSpawn:
+				p, err := h.Spawn("p", "u")
+				if err != nil {
+					return false
+				}
+				if seen[p.PID] {
+					return false // PID reuse
+				}
+				seen[p.PID] = true
+				pids = append(pids, p.PID)
+			case opFork:
+				if pid := pick(); pid != 0 {
+					if child, err := h.Fork(pid, "c"); err == nil {
+						if seen[child.PID] {
+							return false
+						}
+						seen[child.PID] = true
+						pids = append(pids, child.PID)
+					}
+				}
+			case opStop:
+				if pid := pick(); pid != 0 {
+					_ = h.Signal(pid, proc.SIGSTOP)
+				}
+			case opCont:
+				if pid := pick(); pid != 0 {
+					_ = h.Signal(pid, proc.SIGCONT)
+				}
+			case opKill:
+				if pid := pick(); pid != 0 {
+					_ = h.Signal(pid, proc.SIGKILL)
+				}
+			case opExit:
+				if pid := pick(); pid != 0 {
+					_ = h.Exit(pid, int(b))
+				}
+			case opReap:
+				if pid := pick(); pid != 0 {
+					_ = h.Reap(pid)
+				}
+			case opAdopt:
+				if pid := pick(); pid != 0 {
+					_ = h.Adopt(pid, "u")
+				}
+			}
+			// Invariants.
+			live := 0
+			for _, info := range h.ProcessesOf("u") {
+				p, err := h.Lookup(info.ID.PID)
+				if err != nil {
+					return false
+				}
+				switch p.State {
+				case proc.Running, proc.Stopped:
+					live++
+				case proc.Exited:
+					if p.ExitedAt < p.Started {
+						return false
+					}
+				default:
+					return false
+				}
+				// A local parent, if recorded, must have existed.
+				if p.PPID != 0 && !seen[p.PPID] {
+					return false
+				}
+			}
+			if h.LiveCount("u") != live {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the load average always lies between 0 and the number of
+// workload processes, and converges monotonically toward the active
+// count when nothing changes.
+func TestPropertyLoadAverageBounds(t *testing.T) {
+	f := func(nHogs uint8, minutes uint8) bool {
+		s := sim.NewScheduler(3)
+		h := NewHost(s, "m", calib.ModelVAX780)
+		n := int(nHogs%6) + 1
+		for i := 0; i < n; i++ {
+			if _, err := h.SpawnWorkload("hog", "u", 1, 1); err != nil {
+				return false
+			}
+		}
+		steps := int(minutes%8) + 1
+		prev := -1.0
+		for i := 0; i < steps; i++ {
+			if err := s.RunFor(10 * time.Second); err != nil {
+				return false
+			}
+			la := h.LoadAvg()
+			if la < 0 || la > float64(n)+0.01 {
+				return false
+			}
+			if la+1e-9 < prev {
+				return false // must be non-decreasing toward n
+			}
+			prev = la
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rusage counters never decrease.
+func TestPropertyRusageMonotone(t *testing.T) {
+	f := func(ops []byte) bool {
+		s := sim.NewScheduler(1)
+		h := NewHost(s, "m", calib.ModelVAX780)
+		p, err := h.Spawn("p", "u")
+		if err != nil {
+			return false
+		}
+		var last proc.Rusage
+		for _, b := range ops {
+			switch b % 4 {
+			case 0:
+				_ = h.Syscall(p.PID, "x")
+			case 1:
+				_, _ = h.OpenFD(p.PID, "/f")
+			case 2:
+				h.AccountIPC(p.PID, 1, 0, "m")
+			case 3:
+				h.AccountIPC(p.PID, 0, 1, "m")
+			}
+			r := p.Rusage
+			if r.Syscalls < last.Syscalls || r.CPUTime < last.CPUTime ||
+				r.MsgsSent < last.MsgsSent || r.MsgsRecv < last.MsgsRecv {
+				return false
+			}
+			last = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

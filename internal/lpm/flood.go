@@ -1,0 +1,365 @@
+package lpm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ppm/internal/proc"
+	"ppm/internal/sim"
+	"ppm/internal/wire"
+)
+
+// The graph-covering broadcast of the paper's Section 4. Because the
+// on-demand communication topology produces low-connectivity graphs, a
+// broadcast request floods over the sibling circuits: each LPM forwards
+// the request to every sibling except the one it arrived from, answers
+// duplicates without retransmitting them (dedup by the signed stamp,
+// retained for the configurable DedupWindow), and echoes an aggregate
+// back along the recorded route once all of its children have answered.
+
+// floodState tracks one in-progress flood at one node.
+type floodState struct {
+	key       string
+	awaiting  int
+	result    wire.FloodResult
+	finished  bool
+	localDone bool
+	finish    func(wire.FloodResult)
+}
+
+// markSeen records a stamp in the dedup window and reports whether it
+// was already present (a duplicate).
+func (l *LPM) markSeen(stamp wire.Stamp) bool {
+	now := l.sched.Now()
+	// Lazy eviction of expired stamps.
+	for k, exp := range l.seen {
+		if exp.Before(now) {
+			delete(l.seen, k)
+		}
+	}
+	key := stamp.Key()
+	if _, ok := l.seen[key]; ok {
+		return true
+	}
+	l.seen[key] = now.Add(l.cfg.DedupWindow)
+	return false
+}
+
+// SeenStamps returns the number of retained broadcast stamps (for the
+// dedup-window ablation).
+func (l *LPM) SeenStamps() int { return len(l.seen) }
+
+// localFloodWork performs the inner operation locally and returns the
+// fragment plus the CPU demand it costs.
+func (l *LPM) localFloodWork(inner wire.Envelope) (wire.FloodResult, time.Duration) {
+	switch inner.Type {
+	case wire.MsgSnapshotReq:
+		infos := l.localInfos()
+		return wire.FloodResult{OK: true, Procs: infos}, gatherCost(len(infos))
+	case wire.MsgControl:
+		req, err := wire.DecodeControl(inner.Body)
+		if err != nil || req.User != l.user.Name {
+			return wire.FloodResult{OK: false}, 0
+		}
+		// A zero-target control applies to every live user process on
+		// this host (broadcasting, say, a software interrupt to stop
+		// execution).
+		count := int32(0)
+		for _, info := range l.kern.ProcessesOf(l.user.Name) {
+			if l.myPids[info.ID.PID] {
+				continue
+			}
+			if info.State != proc.Running && info.State != proc.Stopped {
+				continue
+			}
+			if resp := l.applyControl(info.ID.PID, req.Op, req.Signal); resp.OK {
+				count++
+			}
+		}
+		return wire.FloodResult{OK: true, Count: count},
+			time.Duration(count) * 2 * time.Millisecond
+	default:
+		return wire.FloodResult{OK: false}, 0
+	}
+}
+
+// startFlood originates a broadcast from this LPM and calls cb with the
+// aggregated result.
+func (l *LPM) startFlood(inner wire.Envelope, cb func(wire.FloodResult)) {
+	l.Stats.FloodsOriginated++
+	l.floodSeq++
+	stamp := wire.NewStamp(l.user.Key(), l.Host(), l.sched.Now().Duration(), l.floodSeq)
+	l.markSeen(stamp)
+	bc := wire.Broadcast{
+		Stamp: stamp,
+		Seq:   l.floodSeq,
+		Route: []string{l.Host()},
+		Inner: inner.Encode(),
+	}
+	st := &floodState{key: stamp.Key(), finish: func(res wire.FloodResult) {
+		l.learnRoutes(res)
+		cb(res)
+	}}
+	l.runFlood(st, bc, inner, "")
+}
+
+// handleFlood serves a broadcast arriving over a sibling circuit.
+func (l *LPM) handleFlood(sb *sibling, env wire.Envelope) {
+	bc, err := wire.DecodeBroadcast(env.Body)
+	if err != nil {
+		l.sendReply(sb, env.ReqID, wire.MsgBroadcastResp,
+			wire.BroadcastResp{Inner: wire.FloodResult{OK: false}.Encode()}.Encode())
+		return
+	}
+	// Verify the signed stamp: the origin's name appears in it and the
+	// signature binds it to the user's key.
+	if !bc.Stamp.Verify(l.user.Key()) {
+		l.sendReply(sb, env.ReqID, wire.MsgBroadcastResp,
+			wire.BroadcastResp{Inner: wire.FloodResult{OK: false}.Encode()}.Encode())
+		return
+	}
+	if l.markSeen(bc.Stamp) {
+		// An old broadcast request: answer but do not retransmit.
+		l.Stats.FloodDuplicates++
+		l.sendReply(sb, env.ReqID, wire.MsgBroadcastResp,
+			wire.BroadcastResp{
+				Seq: bc.Seq, From: l.Host(), Route: bc.Route,
+				Inner: wire.FloodResult{OK: true, Dup: true}.Encode(),
+			}.Encode())
+		return
+	}
+	l.Stats.FloodsForwarded++
+	inner, err := wire.DecodeEnvelope(bc.Inner)
+	if err != nil {
+		l.sendReply(sb, env.ReqID, wire.MsgBroadcastResp,
+			wire.BroadcastResp{Inner: wire.FloodResult{OK: false}.Encode()}.Encode())
+		return
+	}
+	fwd := bc
+	fwd.Route = append(append([]string(nil), bc.Route...), l.Host())
+	st := &floodState{key: bc.Stamp.Key(), finish: func(res wire.FloodResult) {
+		l.sendReply(sb, env.ReqID, wire.MsgBroadcastResp, wire.BroadcastResp{
+			Seq: bc.Seq, From: l.Host(), Route: fwd.Route, Inner: res.Encode(),
+		}.Encode())
+	}}
+	l.runFlood(st, fwd, inner, sb.host)
+}
+
+// runFlood performs the local work and forwards to all siblings except
+// the parent, completing st when every child answered (or failed).
+func (l *LPM) runFlood(st *floodState, bc wire.Broadcast, inner wire.Envelope, parentHost string) {
+	children := make([]*sibling, 0, len(l.siblings))
+	for h, sb := range l.siblings {
+		if h == parentHost || !sb.authed || !sb.conn.Open() {
+			continue
+		}
+		// Do not send the request back to hosts already on the route.
+		onRoute := false
+		for _, r := range bc.Route {
+			if r == h {
+				onRoute = true
+				break
+			}
+		}
+		if !onRoute {
+			children = append(children, sb)
+		}
+	}
+	st.awaiting = len(children)
+	local, cost := l.localFloodWork(inner)
+	merge := func(res wire.FloodResult, from string, err error) {
+		if err != nil {
+			st.result.Partial = append(st.result.Partial, from)
+		} else if !res.Dup {
+			st.result.Count += res.Count
+			st.result.Procs = append(st.result.Procs, res.Procs...)
+			st.result.Partial = append(st.result.Partial, res.Partial...)
+			st.result.Hosts = append(st.result.Hosts, res.Hosts...)
+			st.result.Routes = append(st.result.Routes, res.Routes...)
+		}
+		st.awaiting--
+		l.maybeFinishFlood(st)
+	}
+	for _, child := range children {
+		from := child.host
+		l.sendRequest(child, wire.MsgBroadcast, bc.Encode(), func(env wire.Envelope, err error) {
+			if err != nil {
+				merge(wire.FloodResult{}, from, err)
+				return
+			}
+			resp, derr := wire.DecodeBroadcastResp(env.Body)
+			if derr != nil {
+				merge(wire.FloodResult{}, from, derr)
+				return
+			}
+			res, derr := wire.DecodeFloodResult(resp.Inner)
+			if derr != nil {
+				merge(wire.FloodResult{}, from, derr)
+				return
+			}
+			merge(res, from, nil)
+		})
+	}
+	l.kern.ExecCPU(cost, func() {
+		st.result.OK = true
+		st.result.Count += local.Count
+		st.result.Procs = append(st.result.Procs, local.Procs...)
+		st.result.Partial = append(st.result.Partial, local.Partial...)
+		st.result.Hosts = append(st.result.Hosts, l.Host())
+		st.result.Routes = append(st.result.Routes, strings.Join(bc.Route, "/"))
+		st.localDone = true
+		l.maybeFinishFlood(st)
+	})
+}
+
+func (l *LPM) maybeFinishFlood(st *floodState) {
+	if st.finished || !st.localDone || st.awaiting > 0 {
+		return
+	}
+	st.finished = true
+	st.finish(st.result)
+}
+
+// --- flood-based public operations ---
+
+// Snapshot gathers the state of the user's distributed computation:
+// all known processes with their genealogy across every host reachable
+// over the PPM's circuit graph. Unreachable hosts are reported in
+// Partial and the resulting genealogy may be a forest.
+func (l *LPM) Snapshot(cb func(proc.Snapshot, error)) {
+	if l.exited {
+		l.sched.Defer(func() { cb(proc.Snapshot{}, ErrExited) })
+		return
+	}
+	inner := wire.Envelope{Type: wire.MsgSnapshotReq,
+		Body: wire.SnapshotReq{User: l.user.Name, Forward: true}.Encode()}
+	l.toolCall(func(done func(func())) {
+		l.startFlood(inner, func(res wire.FloodResult) {
+			done(func() {
+				snap := proc.Merge(l.sched.Now().Duration(), res.Procs)
+				snap.Partial = l.uncovered(res)
+				cb(snap, nil)
+			})
+		})
+	})
+}
+
+// ControlAll applies a control operation (typically a software
+// interrupt) to every live process of the user on every reachable host;
+// it returns the number of processes affected.
+func (l *LPM) ControlAll(op wire.ControlOp, sig proc.Signal, cb func(int, error)) {
+	if l.exited {
+		l.sched.Defer(func() { cb(0, ErrExited) })
+		return
+	}
+	req := wire.Control{User: l.user.Name, Op: op, Signal: sig}
+	inner := wire.Envelope{Type: wire.MsgControl, Body: req.Encode()}
+	l.toolCall(func(done func(func())) {
+		l.startFlood(inner, func(res wire.FloodResult) {
+			done(func() {
+				if len(res.Partial) > 0 {
+					cb(int(res.Count), fmt.Errorf("%w: no answer from %v", ErrNoSibling, res.Partial))
+					return
+				}
+				cb(int(res.Count), nil)
+			})
+		})
+	})
+}
+
+// Ping probes the sibling LPM on host and reports its CCS view.
+func (l *LPM) Ping(host string, cb func(wire.Pong, error)) {
+	if l.exited {
+		l.sched.Defer(func() { cb(wire.Pong{}, ErrExited) })
+		return
+	}
+	l.toolCall(func(done func(func())) {
+		l.ensureSibling(host, func(sb *sibling, err error) {
+			if err != nil {
+				done(func() { cb(wire.Pong{}, err) })
+				return
+			}
+			body := wire.Ping{FromHost: l.Host(), User: l.user.Name}.Encode()
+			l.sendRequest(sb, wire.MsgPing, body, func(env wire.Envelope, err error) {
+				done(func() {
+					if err != nil {
+						cb(wire.Pong{}, err)
+						return
+					}
+					pong, derr := wire.DecodePong(env.Body)
+					cb(pong, derr)
+				})
+			})
+		})
+	})
+}
+
+// learnRoutes records relay paths to distant hosts from broadcast
+// reply routes ("all data returned to the originator of a broadcast
+// request includes the message's source-destination route").
+func (l *LPM) learnRoutes(res wire.FloodResult) {
+	for _, r := range res.Routes {
+		hops := strings.Split(r, "/")
+		if len(hops) < 2 || hops[0] != l.Host() {
+			continue // route to self, or not rooted here
+		}
+		path := hops[1:]
+		dest := path[len(path)-1]
+		// Prefer the shortest known route; no attention is paid to
+		// finding minimum-hop physical routes, as in the paper.
+		if old, ok := l.routes[dest]; !ok || len(path) < len(old) {
+			l.routes[dest] = path
+		}
+		l.knownHosts[dest] = true
+	}
+}
+
+// KnownRoute returns the learned relay path to host, if any.
+func (l *LPM) KnownRoute(host string) ([]string, bool) {
+	p, ok := l.routes[host]
+	if !ok {
+		return nil, false
+	}
+	return append([]string(nil), p...), true
+}
+
+// uncovered merges the flood's explicit failures with known hosts that
+// contributed nothing — hosts whose LPM (or whole machine) is gone, the
+// situation in which the genealogy snapshot becomes a forest.
+func (l *LPM) uncovered(res wire.FloodResult) []string {
+	covered := make(map[string]bool, len(res.Hosts))
+	for _, h := range res.Hosts {
+		covered[h] = true
+	}
+	missing := make(map[string]bool)
+	for _, h := range res.Partial {
+		if !covered[h] {
+			missing[h] = true
+		}
+	}
+	for h := range l.knownHosts {
+		if !covered[h] {
+			missing[h] = true
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(missing))
+	for h := range missing {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// expireSeenAt is exposed for tests of the dedup window.
+func (l *LPM) expireSeenAt() map[string]sim.Time {
+	out := make(map[string]sim.Time, len(l.seen))
+	for k, v := range l.seen {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,466 @@
+// Package lpm implements the paper's core contribution: the Local
+// Process Manager. A PPM is the collection of a user's LPMs across
+// hosts; each LPM is created on demand by the host's pmd, adopts the
+// user's local processes through the extended ptrace call, receives
+// kernel event messages over its kernel socket, serves tools over local
+// circuits, maintains authenticated virtual circuits to sibling LPMs,
+// acts as the creation server for the user's remote processes, floods
+// broadcast requests over the low-connectivity circuit graph, preserves
+// historical event information, ages out via a time-to-live interval,
+// and participates in CCS-based crash recovery.
+//
+// Structurally each LPM mirrors the paper's implementation: a main
+// dispatcher plus a pool of handler processes that block on remote
+// communication; handlers are reused because process creation is
+// expensive.
+package lpm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ppm/internal/auth"
+	"ppm/internal/calib"
+	"ppm/internal/daemon"
+	"ppm/internal/history"
+	"ppm/internal/kernel"
+	"ppm/internal/proc"
+	"ppm/internal/recovery"
+	"ppm/internal/sim"
+	"ppm/internal/simnet"
+	"ppm/internal/wire"
+)
+
+// LPM errors.
+var (
+	ErrExited     = errors.New("lpm: manager has exited")
+	ErrTimeout    = errors.New("lpm: request timed out")
+	ErrRemote     = errors.New("lpm: remote failure")
+	ErrNoSibling  = errors.New("lpm: sibling unavailable")
+	ErrBadRequest = errors.New("lpm: bad request")
+)
+
+// Config tunes one LPM.
+type Config struct {
+	// TTL is the time-to-live: how long the LPM lingers on a host with
+	// no live user processes and no activity before exiting. The CCS's
+	// TTL is frozen while any sibling exists.
+	TTL time.Duration
+	// RequestTimeout bounds direct sibling requests.
+	RequestTimeout time.Duration
+	// FloodTimeout bounds one level of the broadcast echo.
+	FloodTimeout time.Duration
+	// DedupWindow is how long old broadcast stamps are retained so
+	// duplicates are not retransmitted (the paper's configuration
+	// parameter).
+	DedupWindow time.Duration
+	// HandlerPool is the number of handler processes pre-forked at
+	// creation. Zero disables reuse entirely (fork per request), the
+	// configuration the ablation benchmark compares against.
+	HandlerPool int
+	// NoHandlerReuse forces a fresh handler fork for every blocking
+	// request (ablation).
+	NoHandlerReuse bool
+	// PerMessageAuth charges an authentication check on every sibling
+	// message instead of once per channel, modelling the datagram-based
+	// alternative the paper weighs against virtual circuits (ablation).
+	PerMessageAuth bool
+	// UseRelay lets direct requests to hosts without a circuit travel
+	// along routes learned from broadcast replies, through intermediate
+	// sibling LPMs, instead of opening a new circuit (paper §4: routes
+	// recorded on broadcast data "allow quick routing of messages
+	// affecting processes in topologically distant hosts").
+	UseRelay bool
+	// Recovery configures the CCS machinery.
+	Recovery recovery.Config
+	// HistoryCapacity bounds the event store (0 = default).
+	HistoryCapacity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TTL == 0 {
+		c.TTL = 10 * time.Minute
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.FloodTimeout == 0 {
+		c.FloodTimeout = 30 * time.Second
+	}
+	if c.DedupWindow == 0 {
+		c.DedupWindow = time.Minute
+	}
+	if c.HandlerPool == 0 && !c.NoHandlerReuse {
+		c.HandlerPool = 2
+	}
+	return c
+}
+
+// Stats counts LPM activity for tests, benchmarks and ablations.
+type Stats struct {
+	RequestsServed   int64
+	RemoteForwards   int64
+	HandlerForks     int64
+	HandlerReuses    int64
+	FloodsOriginated int64
+	FloodsForwarded  int64
+	FloodDuplicates  int64
+	KernelEvents     int64
+	RelaysForwarded  int64
+	RelaysOriginated int64
+}
+
+// sibling is one authenticated circuit to a peer LPM.
+type sibling struct {
+	host   string
+	conn   *simnet.Conn
+	authed bool
+}
+
+// pendingReq tracks an outstanding request to a sibling.
+type pendingReq struct {
+	host    string
+	cb      func(wire.Envelope, error)
+	timer   *sim.Timer
+	handler proc.PID // handler process assigned to block on this request
+}
+
+// LPM is one Local Process Manager.
+type LPM struct {
+	user  *auth.User
+	kern  *kernel.Host
+	net   *simnet.Network
+	sched *sim.Scheduler
+	dir   *auth.Directory
+	dmns  *daemon.Daemons
+	cfg   Config
+
+	accept simnet.Addr
+	pid    proc.PID // the dispatcher's own kernel process
+	myPids map[proc.PID]bool
+
+	siblings map[string]*sibling
+	dialing  map[string][]func(*sibling, error)
+	// knownHosts remembers every host this LPM has ever had a sibling
+	// on (or created a process on), so snapshots can report hosts that
+	// have become unreachable as partial.
+	knownHosts map[string]bool
+	// routes are relay paths learned from broadcast replies: for each
+	// distant host, the circuit path (excluding this host) leading to
+	// it.
+	routes map[string][]string
+
+	reqSeq  uint64
+	pending map[uint64]*pendingReq
+
+	idleHandlers []proc.PID
+
+	records map[proc.PID]proc.Info // last known info, incl. exited
+	store   *history.Store
+
+	rec *recovery.Manager
+
+	floodSeq uint64
+	seen     map[string]sim.Time // stamp key -> expiry
+
+	lastActivity sim.Time
+	ttlTimer     *sim.Timer
+	exited       bool
+
+	// Stats is exported for tests, benchmarks and ablations.
+	Stats Stats
+}
+
+// New creates and starts an LPM for user on the host, listening on
+// acceptPort. It is normally invoked by the pmd's LPM factory.
+func New(kern *kernel.Host, net *simnet.Network, dir *auth.Directory,
+	dmns *daemon.Daemons, user *auth.User, acceptPort uint16, cfg Config) (*LPM, error) {
+	cfg = cfg.withDefaults()
+	l := &LPM{
+		user:       user,
+		kern:       kern,
+		net:        net,
+		sched:      net.Scheduler(),
+		dir:        dir,
+		dmns:       dmns,
+		cfg:        cfg,
+		accept:     simnet.Addr{Host: kern.Name(), Port: acceptPort},
+		myPids:     make(map[proc.PID]bool),
+		siblings:   make(map[string]*sibling),
+		dialing:    make(map[string][]func(*sibling, error)),
+		knownHosts: make(map[string]bool),
+		routes:     make(map[string][]string),
+		pending:    make(map[uint64]*pendingReq),
+		records:    make(map[proc.PID]proc.Info),
+		store:      history.NewStore(cfg.HistoryCapacity),
+		seen:       make(map[string]sim.Time),
+	}
+	p, err := kern.Spawn("lpm", user.Name)
+	if err != nil {
+		return nil, fmt.Errorf("spawn lpm: %w", err)
+	}
+	l.pid = p.PID
+	l.myPids[p.PID] = true
+	for i := 0; i < cfg.HandlerPool; i++ {
+		h, err := kern.Fork(l.pid, "lpm-handler")
+		if err != nil {
+			return nil, fmt.Errorf("prefork handler: %w", err)
+		}
+		l.myPids[h.PID] = true
+		l.idleHandlers = append(l.idleHandlers, h.PID)
+	}
+	if err := net.Listen(l.accept.Host, l.accept.Port, l.acceptConn); err != nil {
+		return nil, fmt.Errorf("lpm listen: %w", err)
+	}
+	kern.SetEventSink(user.Name, l.onKernelEvent)
+	l.rec = recovery.New((*recEnv)(l), cfg.Recovery)
+	l.lastActivity = l.sched.Now()
+	l.armTTL()
+	return l, nil
+}
+
+// Accept returns the LPM's accept address.
+func (l *LPM) Accept() simnet.Addr { return l.accept }
+
+// Host returns the host name the LPM runs on.
+func (l *LPM) Host() string { return l.kern.Name() }
+
+// User returns the owning user's name.
+func (l *LPM) User() string { return l.user.Name }
+
+// Exited reports whether the LPM has shut down.
+func (l *LPM) Exited() bool { return l.exited }
+
+// Recovery exposes the CCS state machine.
+func (l *LPM) Recovery() *recovery.Manager { return l.rec }
+
+// History exposes the preserved event store (tool access).
+func (l *LPM) History() *history.Store { return l.store }
+
+// SiblingHosts returns the hosts with an authenticated circuit.
+func (l *LPM) SiblingHosts() []string {
+	var out []string
+	for h, sb := range l.siblings {
+		if sb.authed && sb.conn.Open() {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// touch records activity for the TTL logic.
+func (l *LPM) touch() { l.lastActivity = l.sched.Now() }
+
+// --- time-to-live ---
+
+func (l *LPM) armTTL() {
+	if l.exited {
+		return
+	}
+	if l.ttlTimer != nil {
+		l.ttlTimer.Cancel()
+	}
+	l.ttlTimer = l.sched.After(l.cfg.TTL, l.checkTTL)
+}
+
+// userLiveProcs counts live user processes excluding the LPM's own
+// dispatcher and handlers.
+func (l *LPM) userLiveProcs() int {
+	n := 0
+	for _, p := range l.kern.ProcessesOf(l.user.Name) {
+		if l.myPids[p.ID.PID] {
+			continue
+		}
+		if p.State == proc.Running || p.State == proc.Stopped {
+			n++
+		}
+	}
+	return n
+}
+
+func (l *LPM) checkTTL() {
+	if l.exited {
+		return
+	}
+	// The CCS does not decrement its time-to-live while any sibling
+	// LPM exists in the networked system.
+	if l.rec.IsCCS() && len(l.SiblingHosts()) > 0 {
+		l.armTTL()
+		return
+	}
+	idleFor := l.sched.Now().Sub(l.lastActivity)
+	if l.userLiveProcs() > 0 || idleFor < l.cfg.TTL {
+		l.armTTL()
+		return
+	}
+	l.Exit()
+}
+
+// Exit shuts the LPM down: deregisters from the pmd, closes circuits,
+// stops recovery, and terminates the dispatcher and handler processes.
+func (l *LPM) Exit() {
+	if l.exited {
+		return
+	}
+	l.exited = true
+	if l.ttlTimer != nil {
+		l.ttlTimer.Cancel()
+	}
+	l.rec.Stop()
+	l.kern.SetEventSink(l.user.Name, nil)
+	l.net.CloseListen(l.accept.Host, l.accept.Port)
+	if l.dmns != nil {
+		l.dmns.Unregister(l.user.Name)
+	}
+	for _, sb := range l.siblings {
+		sb.conn.Close()
+	}
+	l.siblings = make(map[string]*sibling)
+	for id, pr := range l.pending {
+		if pr.timer != nil {
+			pr.timer.Cancel()
+		}
+		cb := pr.cb
+		delete(l.pending, id)
+		cb(wire.Envelope{}, ErrExited)
+	}
+	for pid := range l.myPids {
+		if p, err := l.kern.Lookup(pid); err == nil &&
+			(p.State == proc.Running || p.State == proc.Stopped) {
+			_ = l.kern.Exit(pid, 0)
+		}
+	}
+}
+
+// terminateAll is the time-to-die action: kill the user's local
+// processes and exit.
+func (l *LPM) terminateAll() {
+	for _, p := range l.kern.ProcessesOf(l.user.Name) {
+		if l.myPids[p.ID.PID] {
+			continue
+		}
+		if p.State == proc.Running || p.State == proc.Stopped {
+			_ = l.kern.Signal(p.ID.PID, proc.SIGKILL)
+		}
+	}
+	l.Exit()
+}
+
+// --- kernel events (the kernel socket) ---
+
+func (l *LPM) onKernelEvent(ev proc.Event) {
+	if l.exited {
+		return
+	}
+	l.Stats.KernelEvents++
+	l.touch()
+	l.store.Append(ev)
+	switch ev.Kind {
+	case proc.EvExit:
+		if info, err := l.kern.Info(ev.Proc.PID); err == nil {
+			l.records[ev.Proc.PID] = info
+			l.store.RecordExit(info)
+		}
+	case proc.EvFork:
+		// Track the new child: it inherited the trace flags.
+		if info, err := l.kern.Info(ev.Child.PID); err == nil {
+			l.records[ev.Child.PID] = info
+		}
+	default:
+		if info, err := l.kern.Info(ev.Proc.PID); err == nil {
+			l.records[ev.Proc.PID] = info
+		}
+	}
+}
+
+// --- handler pool ---
+
+// withHandler assigns a handler process to a blocking request, forking
+// one if the pool is empty (or reuse is disabled), then calls fn with
+// the handler pid.
+func (l *LPM) withHandler(fn func(proc.PID)) {
+	if !l.cfg.NoHandlerReuse && len(l.idleHandlers) > 0 {
+		h := l.idleHandlers[len(l.idleHandlers)-1]
+		l.idleHandlers = l.idleHandlers[:len(l.idleHandlers)-1]
+		l.Stats.HandlerReuses++
+		fn(h)
+		return
+	}
+	l.Stats.HandlerForks++
+	l.kern.ExecCPU(calib.HandlerFork, func() {
+		h, err := l.kern.Fork(l.pid, "lpm-handler")
+		if err != nil {
+			fn(0)
+			return
+		}
+		l.myPids[h.PID] = true
+		fn(h.PID)
+	})
+}
+
+// releaseHandler returns a handler to the pool (or retires it when
+// reuse is disabled).
+func (l *LPM) releaseHandler(h proc.PID) {
+	if h == 0 {
+		return
+	}
+	if l.cfg.NoHandlerReuse {
+		if p, err := l.kern.Lookup(h); err == nil && p.State == proc.Running {
+			_ = l.kern.Exit(h, 0)
+		}
+		delete(l.myPids, h)
+		return
+	}
+	l.idleHandlers = append(l.idleHandlers, h)
+}
+
+// --- recovery Env implementation ---
+
+// recEnv adapts *LPM to recovery.Env without polluting the LPM method
+// set.
+type recEnv LPM
+
+func (r *recEnv) lpm() *LPM { return (*LPM)(r) }
+
+func (r *recEnv) HostName() string { return r.lpm().Host() }
+
+func (r *recEnv) After(d time.Duration, fn func()) *sim.Timer {
+	return r.lpm().sched.After(d, fn)
+}
+
+func (r *recEnv) ProbeHost(host string, cb func(bool)) {
+	l := r.lpm()
+	if l.exited {
+		cb(false)
+		return
+	}
+	daemon.QueryLPM(l.net, l.Host(), host, l.user, func(resp wire.LPMQueryResp, err error) {
+		cb(err == nil && resp.OK)
+	})
+}
+
+func (r *recEnv) ConnectCCS(host string, cb func(bool)) {
+	l := r.lpm()
+	if host == l.Host() {
+		cb(true)
+		return
+	}
+	l.ensureSibling(host, func(sb *sibling, err error) {
+		cb(err == nil && sb != nil)
+	})
+}
+
+func (r *recEnv) AnnounceCCS(host string) {
+	l := r.lpm()
+	body := wire.CCSUpdate{CCSHost: host}.Encode()
+	for _, sb := range l.siblings {
+		if sb.authed && sb.conn.Open() {
+			l.sendOneWay(sb, wire.MsgCCSUpdate, body)
+		}
+	}
+}
+
+func (r *recEnv) TerminateAll() { r.lpm().terminateAll() }
+
+func (r *recEnv) HaveSiblings() bool { return len(r.lpm().SiblingHosts()) > 0 }

@@ -1,0 +1,725 @@
+package lpm
+
+import (
+	"fmt"
+	"time"
+
+	"ppm/internal/calib"
+	"ppm/internal/history"
+	"ppm/internal/kernel"
+	"ppm/internal/proc"
+	"ppm/internal/wire"
+)
+
+// Operations exposed to tools. Each call models the tool <-> LPM
+// exchange over a local IPC socket: the request pays one tool leg of
+// CPU before processing and the reply pays another before the callback
+// runs. All callbacks execute on the shared scheduler.
+
+// toolCall wraps an operation in the two tool legs: the request pays
+// one leg before op runs, and op must route its completion through the
+// provided done function, which pays the reply leg before running the
+// continuation.
+func (l *LPM) toolCall(op func(done func(func()))) {
+	l.Stats.RequestsServed++
+	l.touch()
+	l.kern.ExecCPU(calib.ToolLeg, func() {
+		op(func(fin func()) {
+			l.kern.ExecCPU(calib.ToolLeg, fin)
+		})
+	})
+}
+
+// Adopt asks the LPM to adopt a local process (and thereby its future
+// descendants). Adoption may be necessary when the user did not invoke
+// the PPM at login time, and is the hook a debugger would use.
+func (l *LPM) Adopt(pid proc.PID, cb func(error)) {
+	if l.exited {
+		l.sched.Defer(func() { cb(ErrExited) })
+		return
+	}
+	l.toolCall(func(done func(func())) {
+		l.kern.ExecCPU(calib.Adopt, func() {
+			err := l.kern.Adopt(pid, l.user.Name)
+			if err == nil {
+				if info, ierr := l.kern.Info(pid); ierr == nil {
+					l.records[pid] = info
+				}
+			}
+			done(func() { cb(err) })
+		})
+	})
+}
+
+// SetTraceMask adjusts event granularity for an adopted process.
+func (l *LPM) SetTraceMask(pid proc.PID, mask kernel.TraceMask, cb func(error)) {
+	if l.exited {
+		l.sched.Defer(func() { cb(ErrExited) })
+		return
+	}
+	l.toolCall(func(done func(func())) {
+		err := l.kern.SetTraceMask(pid, l.user.Name, mask)
+		done(func() { cb(err) })
+	})
+}
+
+// AddWatch installs a history-dependent trigger (event driven user
+// defined actions).
+func (l *LPM) AddWatch(w *history.Watch) int { return l.store.AddWatch(w) }
+
+// RemoveWatch uninstalls a trigger.
+func (l *LPM) RemoveWatch(id int) { l.store.RemoveWatch(id) }
+
+// --- process creation ---
+
+// createLocal forks, execs and adopts a process on this host; the
+// within-host creation path of Table 2 (77 ms).
+func (l *LPM) createLocal(req wire.CreateProc, cb func(wire.CreateAck)) {
+	l.kern.ExecCPU(calib.CreateDispatch, func() {
+		l.kern.ExecCPU(calib.Fork, func() {
+			p, err := l.kern.Fork(l.pid, req.Name)
+			if err != nil {
+				cb(wire.CreateAck{OK: false, Reason: err.Error()})
+				return
+			}
+			delete(l.myPids, p.PID) // it is a user process, not an LPM part
+			parent := req.Parent
+			if parent.IsZero() {
+				parent = proc.GPID{Host: l.Host(), PID: l.pid}
+			}
+			_ = l.kern.SetLogicalParent(p.PID, parent)
+			_ = l.kern.SetForeground(p.PID, req.Foreground)
+			l.kern.ExecCPU(calib.Exec, func() {
+				_ = l.kern.Exec(p.PID, req.Name)
+				l.kern.ExecCPU(calib.Adopt, func() {
+					err := l.kern.Adopt(p.PID, l.user.Name)
+					if err != nil {
+						cb(wire.CreateAck{OK: false, Reason: err.Error()})
+						return
+					}
+					if info, ierr := l.kern.Info(p.PID); ierr == nil {
+						l.records[p.PID] = info
+					}
+					cb(wire.CreateAck{OK: true, ID: proc.GPID{Host: l.Host(), PID: p.PID}})
+				})
+			})
+		})
+	})
+}
+
+// createForRemote is the creation server path: fork and adopt, ack
+// immediately, and let exec complete asynchronously (its completion
+// arrives at the requester as a kernel event via this LPM). This is the
+// paper's 177 ms remote creation once a circuit exists.
+func (l *LPM) createForRemote(req wire.CreateProc, ack func(wire.CreateAck)) {
+	l.kern.ExecCPU(calib.Fork, func() {
+		p, err := l.kern.Fork(l.pid, req.Name)
+		if err != nil {
+			ack(wire.CreateAck{OK: false, Reason: err.Error()})
+			return
+		}
+		delete(l.myPids, p.PID)
+		_ = l.kern.SetLogicalParent(p.PID, req.Parent)
+		_ = l.kern.SetForeground(p.PID, req.Foreground)
+		l.kern.ExecCPU(calib.Adopt, func() {
+			if err := l.kern.Adopt(p.PID, l.user.Name); err != nil {
+				ack(wire.CreateAck{OK: false, Reason: err.Error()})
+				return
+			}
+			if info, ierr := l.kern.Info(p.PID); ierr == nil {
+				l.records[p.PID] = info
+			}
+			ack(wire.CreateAck{OK: true, ID: proc.GPID{Host: l.Host(), PID: p.PID}})
+			// exec continues after the ack.
+			l.kern.ExecCPU(calib.Exec, func() {
+				_ = l.kern.Exec(p.PID, req.Name)
+			})
+		})
+	})
+}
+
+// Create starts a process with the given name on host (local or
+// remote), adopted by the user's PPM, with the given logical parent.
+func (l *LPM) Create(host, name string, parent proc.GPID, cb func(proc.GPID, error)) {
+	if l.exited {
+		l.sched.Defer(func() { cb(proc.GPID{}, ErrExited) })
+		return
+	}
+	req := wire.CreateProc{User: l.user.Name, Name: name, Parent: parent}
+	l.toolCall(func(done func(func())) {
+		if host == l.Host() || host == "" {
+			l.createLocal(req, func(a wire.CreateAck) {
+				done(func() {
+					if !a.OK {
+						cb(proc.GPID{}, fmt.Errorf("%w: %s", ErrRemote, a.Reason))
+						return
+					}
+					cb(a.ID, nil)
+				})
+			})
+			return
+		}
+		l.remoteCall(host, wire.MsgCreateProc, req.Encode(), func(env wire.Envelope, err error) {
+			done(func() {
+				if err != nil {
+					cb(proc.GPID{}, err)
+					return
+				}
+				a, derr := wire.DecodeCreateAck(env.Body)
+				if derr != nil {
+					cb(proc.GPID{}, derr)
+					return
+				}
+				if !a.OK {
+					cb(proc.GPID{}, fmt.Errorf("%w: %s", ErrRemote, a.Reason))
+					return
+				}
+				cb(a.ID, nil)
+			})
+		})
+	})
+}
+
+// --- process control ---
+
+// applyControl performs a control operation on a local process.
+func (l *LPM) applyControl(target proc.PID, op wire.ControlOp, sig proc.Signal) wire.ControlResp {
+	var err error
+	switch op {
+	case wire.OpStop:
+		err = l.kern.Signal(target, proc.SIGSTOP)
+	case wire.OpForeground:
+		if err = l.kern.SetForeground(target, true); err == nil {
+			err = l.kern.Signal(target, proc.SIGCONT)
+		}
+	case wire.OpBackground:
+		if err = l.kern.SetForeground(target, false); err == nil {
+			err = l.kern.Signal(target, proc.SIGCONT)
+		}
+	case wire.OpKill:
+		err = l.kern.Signal(target, proc.SIGKILL)
+	case wire.OpSignal:
+		err = l.kern.Signal(target, sig)
+	default:
+		err = fmt.Errorf("%w: op %v", ErrBadRequest, op)
+	}
+	if err != nil {
+		return wire.ControlResp{OK: false, Reason: err.Error()}
+	}
+	info, ierr := l.kern.Info(target)
+	if ierr == nil {
+		l.records[target] = info
+	}
+	return wire.ControlResp{OK: true, State: info.State}
+}
+
+// Control changes the state of one process anywhere in the network:
+// stop, foreground, background, kill, or an arbitrary signal. There are
+// no interprocess constraints based on creation dependencies.
+func (l *LPM) Control(target proc.GPID, op wire.ControlOp, sig proc.Signal, cb func(wire.ControlResp, error)) {
+	if l.exited {
+		l.sched.Defer(func() { cb(wire.ControlResp{}, ErrExited) })
+		return
+	}
+	l.toolCall(func(done func(func())) {
+		if target.Host == l.Host() {
+			l.kern.ExecCPU(calib.ControlAction, func() {
+				resp := l.applyControl(target.PID, op, sig)
+				done(func() { cb(resp, nil) })
+			})
+			return
+		}
+		req := wire.Control{User: l.user.Name, Target: target, Op: op, Signal: sig}
+		l.remoteCall(target.Host, wire.MsgControl, req.Encode(), func(env wire.Envelope, err error) {
+			done(func() {
+				if err != nil {
+					cb(wire.ControlResp{}, err)
+					return
+				}
+				resp, derr := wire.DecodeControlResp(env.Body)
+				if derr != nil {
+					cb(wire.ControlResp{}, derr)
+					return
+				}
+				cb(resp, nil)
+			})
+		})
+	})
+}
+
+// --- local information gathering ---
+
+// localInfos returns snapshot records for the user's processes on this
+// host, excluding the LPM's own dispatcher and handlers, merged with
+// preserved exit records.
+func (l *LPM) localInfos() []proc.Info {
+	var out []proc.Info
+	seen := make(map[proc.PID]bool)
+	for _, p := range l.kern.ProcessesOf(l.user.Name) {
+		if l.myPids[p.ID.PID] {
+			continue
+		}
+		out = append(out, p)
+		seen[p.ID.PID] = true
+	}
+	// Records the kernel no longer holds (reaped) but the LPM retained.
+	for pid, info := range l.records {
+		if !seen[pid] && !l.myPids[pid] {
+			if _, err := l.kern.Lookup(pid); err != nil {
+				out = append(out, info)
+			}
+		}
+	}
+	return out
+}
+
+// gatherCost is the CPU demand of collecting and encoding snapshot
+// information for n local processes.
+func gatherCost(n int) time.Duration {
+	return time.Duration(n) * calib.GatherPerProc
+}
+
+// Stats returns the preserved resource-consumption record of a process
+// (typically exited) on any host.
+func (l *LPM) StatsOf(target proc.GPID, cb func(proc.Info, error)) {
+	if l.exited {
+		l.sched.Defer(func() { cb(proc.Info{}, ErrExited) })
+		return
+	}
+	l.toolCall(func(done func(func())) {
+		if target.Host == l.Host() {
+			info, err := l.localStats(target.PID)
+			done(func() { cb(info, err) })
+			return
+		}
+		req := wire.StatsReq{User: l.user.Name, Target: target}
+		l.remoteCall(target.Host, wire.MsgStatsReq, req.Encode(), func(env wire.Envelope, err error) {
+			done(func() {
+				if err != nil {
+					cb(proc.Info{}, err)
+					return
+				}
+				resp, derr := wire.DecodeStatsResp(env.Body)
+				if derr != nil {
+					cb(proc.Info{}, derr)
+					return
+				}
+				if !resp.OK {
+					cb(proc.Info{}, fmt.Errorf("%w: %s", ErrRemote, resp.Reason))
+					return
+				}
+				cb(resp.Info, nil)
+			})
+		})
+	})
+}
+
+func (l *LPM) localStats(pid proc.PID) (proc.Info, error) {
+	if info, ok := l.store.ExitedInfo(proc.GPID{Host: l.Host(), PID: pid}); ok {
+		return info, nil
+	}
+	if info, err := l.kern.Info(pid); err == nil {
+		return info, nil
+	}
+	if info, ok := l.records[pid]; ok {
+		return info, nil
+	}
+	return proc.Info{}, fmt.Errorf("%w: no record of pid %d", ErrBadRequest, pid)
+}
+
+// FDs returns the open descriptors of a process on any host (one of the
+// paper's planned tools, implemented).
+func (l *LPM) FDs(target proc.GPID, cb func([]string, error)) {
+	if l.exited {
+		l.sched.Defer(func() { cb(nil, ErrExited) })
+		return
+	}
+	l.toolCall(func(done func(func())) {
+		if target.Host == l.Host() {
+			open, err := l.localFDs(target.PID)
+			done(func() { cb(open, err) })
+			return
+		}
+		req := wire.FDReq{User: l.user.Name, Target: target}
+		l.remoteCall(target.Host, wire.MsgFDReq, req.Encode(), func(env wire.Envelope, err error) {
+			done(func() {
+				if err != nil {
+					cb(nil, err)
+					return
+				}
+				resp, derr := wire.DecodeFDResp(env.Body)
+				if derr != nil {
+					cb(nil, derr)
+					return
+				}
+				if !resp.OK {
+					cb(nil, fmt.Errorf("%w: %s", ErrRemote, resp.Reason))
+					return
+				}
+				cb(resp.Open, nil)
+			})
+		})
+	})
+}
+
+func (l *LPM) localFDs(pid proc.PID) ([]string, error) {
+	p, err := l.kern.Lookup(pid)
+	if err != nil {
+		return nil, err
+	}
+	return p.OpenFDs(), nil
+}
+
+// HistoryQuery returns preserved events from this LPM's store.
+func (l *LPM) HistoryQuery(q history.Query, cb func([]proc.Event, error)) {
+	if l.exited {
+		l.sched.Defer(func() { cb(nil, ErrExited) })
+		return
+	}
+	l.toolCall(func(done func(func())) {
+		evs := l.store.Select(q)
+		done(func() { cb(evs, nil) })
+	})
+}
+
+// HistoryOf queries the preserved event trace of the user's LPM on
+// another host: events are recorded by the LPM local to each process,
+// and remain accessible across the network even for activity that
+// happened while the user was logged off.
+func (l *LPM) HistoryOf(host string, q history.Query, cb func([]proc.Event, error)) {
+	if l.exited {
+		l.sched.Defer(func() { cb(nil, ErrExited) })
+		return
+	}
+	if host == l.Host() || host == "" {
+		l.HistoryQuery(q, cb)
+		return
+	}
+	req := wire.HistoryReq{
+		User: l.user.Name, Proc: q.Proc,
+		Since: q.Since, Limit: uint16(q.Limit),
+	}
+	for _, k := range q.Kinds {
+		req.Kinds = append(req.Kinds, uint8(k))
+	}
+	l.toolCall(func(done func(func())) {
+		l.remoteCall(host, wire.MsgHistoryReq, req.Encode(), func(env wire.Envelope, err error) {
+			done(func() {
+				if err != nil {
+					cb(nil, err)
+					return
+				}
+				resp, derr := wire.DecodeHistoryResp(env.Body)
+				if derr != nil {
+					cb(nil, derr)
+					return
+				}
+				if !resp.OK {
+					cb(nil, fmt.Errorf("%w: %s", ErrRemote, resp.Reason))
+					return
+				}
+				cb(resp.Events, nil)
+			})
+		})
+	})
+}
+
+// --- inbound request dispatch ---
+
+// handleRequest serves a request arriving over a sibling circuit. The
+// per-endpoint protocol cost has already been charged by onSiblingMsg.
+func (l *LPM) handleRequest(sb *sibling, env wire.Envelope) {
+	l.Stats.RequestsServed++
+	switch env.Type {
+	case wire.MsgBroadcast:
+		l.handleFlood(sb, env)
+
+	case wire.MsgRelay:
+		l.handleRelay(sb, env)
+
+	case wire.MsgCCSUpdate:
+		upd, err := wire.DecodeCCSUpdate(env.Body)
+		if err == nil && upd.CCSHost != "" {
+			l.rec.SetCCS(upd.CCSHost)
+		}
+		// One-way: no reply.
+
+	default:
+		l.serveRequest(env, func(t wire.MsgType, body []byte) {
+			l.sendReply(sb, env.ReqID, t, body)
+		})
+	}
+}
+
+// serveRequest executes one point-to-point request and produces its
+// reply through the given function; the transport (direct circuit or
+// relay) is the caller's concern.
+func (l *LPM) serveRequest(env wire.Envelope, reply func(t wire.MsgType, body []byte)) {
+	switch env.Type {
+	case wire.MsgCreateProc:
+		req, err := wire.DecodeCreateProc(env.Body)
+		if err != nil || req.User != l.user.Name {
+			reply(wire.MsgCreateAck, wire.CreateAck{OK: false, Reason: "bad create request"}.Encode())
+			return
+		}
+		l.createForRemote(req, func(a wire.CreateAck) {
+			reply(wire.MsgCreateAck, a.Encode())
+		})
+
+	case wire.MsgControl:
+		req, err := wire.DecodeControl(env.Body)
+		if err != nil || req.User != l.user.Name {
+			reply(wire.MsgControlResp, wire.ControlResp{OK: false, Reason: "bad control request"}.Encode())
+			return
+		}
+		l.kern.ExecCPU(calib.ControlAction, func() {
+			resp := l.applyControl(req.Target.PID, req.Op, req.Signal)
+			reply(wire.MsgControlResp, resp.Encode())
+		})
+
+	case wire.MsgSnapshotReq:
+		req, err := wire.DecodeSnapshotReq(env.Body)
+		if err != nil || req.User != l.user.Name {
+			reply(wire.MsgSnapshotResp, wire.SnapshotResp{OK: false, Reason: "bad snapshot request"}.Encode())
+			return
+		}
+		infos := l.localInfos()
+		l.kern.ExecCPU(gatherCost(len(infos)), func() {
+			reply(wire.MsgSnapshotResp, wire.SnapshotResp{OK: true, Procs: infos}.Encode())
+		})
+
+	case wire.MsgStatsReq:
+		req, err := wire.DecodeStatsReq(env.Body)
+		if err != nil || req.User != l.user.Name {
+			reply(wire.MsgStatsResp, wire.StatsResp{OK: false, Reason: "bad stats request"}.Encode())
+			return
+		}
+		info, serr := l.localStats(req.Target.PID)
+		resp := wire.StatsResp{OK: serr == nil, Info: info}
+		if serr != nil {
+			resp.Reason = serr.Error()
+		}
+		reply(wire.MsgStatsResp, resp.Encode())
+
+	case wire.MsgFDReq:
+		req, err := wire.DecodeFDReq(env.Body)
+		if err != nil || req.User != l.user.Name {
+			reply(wire.MsgFDResp, wire.FDResp{OK: false, Reason: "bad fd request"}.Encode())
+			return
+		}
+		open, ferr := l.localFDs(req.Target.PID)
+		resp := wire.FDResp{OK: ferr == nil, Open: open}
+		if ferr != nil {
+			resp.Reason = ferr.Error()
+		}
+		reply(wire.MsgFDResp, resp.Encode())
+
+	case wire.MsgHistoryReq:
+		req, err := wire.DecodeHistoryReq(env.Body)
+		if err != nil || req.User != l.user.Name {
+			reply(wire.MsgHistoryResp, wire.HistoryResp{OK: false, Reason: "bad history request"}.Encode())
+			return
+		}
+		q := history.Query{Proc: req.Proc, Since: req.Since, Limit: int(req.Limit)}
+		for _, k := range req.Kinds {
+			q.Kinds = append(q.Kinds, proc.EventKind(k))
+		}
+		evs := l.store.Select(q)
+		reply(wire.MsgHistoryResp, wire.HistoryResp{OK: true, Events: evs}.Encode())
+
+	case wire.MsgWatch:
+		req, err := wire.DecodeWatchReq(env.Body)
+		if err != nil || req.User != l.user.Name {
+			reply(wire.MsgWatchResp, wire.WatchResp{OK: false, Reason: "bad watch request"}.Encode())
+			return
+		}
+		if req.Remove {
+			l.store.RemoveWatch(int(req.ID))
+			reply(wire.MsgWatchResp, wire.WatchResp{OK: true, ID: req.ID}.Encode())
+			return
+		}
+		action := req // capture
+		w := &history.Watch{
+			Kind:   proc.EventKind(req.Kind),
+			Signal: req.Signal,
+			Proc:   req.Proc,
+			Action: func(proc.Event) { l.runWatchAction(action) },
+		}
+		id := l.store.AddWatch(w)
+		reply(wire.MsgWatchResp, wire.WatchResp{OK: true, ID: int32(id)}.Encode())
+
+	case wire.MsgPing:
+		pong := wire.Pong{
+			FromHost: l.Host(),
+			CCSHost:  l.rec.CCS(),
+			IsCCS:    l.rec.IsCCS(),
+		}
+		reply(wire.MsgPong, pong.Encode())
+
+	default:
+		reply(wire.MsgError, wire.ErrorResp{Reason: fmt.Sprintf("unhandled %v", env.Type)}.Encode())
+	}
+}
+
+// handleRelay forwards a relayed request one hop (or serves it when
+// this host is the destination), sending the response back along the
+// same circuits.
+func (l *LPM) handleRelay(sb *sibling, env wire.Envelope) {
+	fail := func(reason string) {
+		l.sendReply(sb, env.ReqID, wire.MsgRelayResp,
+			wire.RelayResp{OK: false, Reason: reason}.Encode())
+	}
+	rel, err := wire.DecodeRelay(env.Body)
+	if err != nil || rel.User != l.user.Name {
+		fail("bad relay request")
+		return
+	}
+	if rel.Dest == l.Host() {
+		inner, derr := wire.DecodeEnvelope(rel.Inner)
+		if derr != nil || inner.Type == wire.MsgRelay || inner.Type == wire.MsgBroadcast {
+			fail("bad relayed payload")
+			return
+		}
+		l.serveRequest(inner, func(t wire.MsgType, body []byte) {
+			respEnv := wire.Envelope{Type: t, Body: body}
+			l.sendReply(sb, env.ReqID, wire.MsgRelayResp,
+				wire.RelayResp{OK: true, Inner: respEnv.Encode()}.Encode())
+		})
+		return
+	}
+	// Forward along the path.
+	if len(rel.Path) == 0 {
+		fail("relay path exhausted before destination")
+		return
+	}
+	next := rel.Path[0]
+	nsb, ok := l.siblings[next]
+	if !ok || !nsb.authed || !nsb.conn.Open() {
+		fail(fmt.Sprintf("relay: no circuit to next hop %s", next))
+		return
+	}
+	l.Stats.RelaysForwarded++
+	fwd := wire.Relay{User: rel.User, Dest: rel.Dest, Path: rel.Path[1:], Inner: rel.Inner}
+	l.sendRequest(nsb, wire.MsgRelay, fwd.Encode(), func(resp wire.Envelope, err error) {
+		if err != nil {
+			fail(fmt.Sprintf("relay via %s: %v", next, err))
+			return
+		}
+		l.sendReply(sb, env.ReqID, wire.MsgRelayResp, resp.Body)
+	})
+}
+
+// remoteCall delivers a point-to-point request to the user's LPM on
+// host and returns the response envelope. With an open circuit (or
+// without UseRelay) the request travels directly; otherwise, if a relay
+// route through a live sibling is known, the request is relayed along
+// it instead of opening a new circuit.
+func (l *LPM) remoteCall(host string, t wire.MsgType, body []byte, cb func(wire.Envelope, error)) {
+	if sb, ok := l.siblings[host]; ok && sb.authed && sb.conn.Open() {
+		l.sendRequest(sb, t, body, cb)
+		return
+	}
+	if l.cfg.UseRelay {
+		if path, ok := l.routes[host]; ok && len(path) > 1 {
+			first := path[0]
+			if fsb, ok := l.siblings[first]; ok && fsb.authed && fsb.conn.Open() {
+				l.Stats.RelaysOriginated++
+				inner := wire.Envelope{Type: t, Body: body}
+				rel := wire.Relay{User: l.user.Name, Dest: host, Path: path[1:], Inner: inner.Encode()}
+				l.sendRequest(fsb, wire.MsgRelay, rel.Encode(), func(env wire.Envelope, err error) {
+					if err != nil {
+						cb(wire.Envelope{}, err)
+						return
+					}
+					resp, derr := wire.DecodeRelayResp(env.Body)
+					if derr != nil {
+						cb(wire.Envelope{}, derr)
+						return
+					}
+					if !resp.OK {
+						cb(wire.Envelope{}, fmt.Errorf("%w: %s", ErrRemote, resp.Reason))
+						return
+					}
+					innerResp, derr := wire.DecodeEnvelope(resp.Inner)
+					if derr != nil {
+						cb(wire.Envelope{}, derr)
+						return
+					}
+					cb(innerResp, nil)
+				})
+				return
+			}
+		}
+	}
+	l.ensureSibling(host, func(sb *sibling, err error) {
+		if err != nil {
+			cb(wire.Envelope{}, err)
+			return
+		}
+		l.sendRequest(sb, t, body, cb)
+	})
+}
+
+// runWatchAction applies a remotely installed watch's control action:
+// locally through the control block, or forwarded when the action's
+// target lives on another host — history-dependent events triggering
+// process state changes anywhere in the network.
+func (l *LPM) runWatchAction(req wire.WatchReq) {
+	if l.exited {
+		return
+	}
+	if req.Target.Host == l.Host() {
+		l.kern.ExecCPU(calib.ControlAction, func() {
+			_ = l.applyControl(req.Target.PID, req.Op, req.ActionSig)
+		})
+		return
+	}
+	body := wire.Control{
+		User: l.user.Name, Target: req.Target, Op: req.Op, Signal: req.ActionSig,
+	}.Encode()
+	l.remoteCall(req.Target.Host, wire.MsgControl, body, func(wire.Envelope, error) {})
+}
+
+// WatchOn installs a history-dependent trigger on the user's LPM on
+// another host: when a matching event arrives there, op (with sig) is
+// applied to target. The returned remover uninstalls it.
+func (l *LPM) WatchOn(host string, w *history.Watch, op wire.ControlOp,
+	sig proc.Signal, target proc.GPID, cb func(remove func(), err error)) {
+	if l.exited {
+		l.sched.Defer(func() { cb(nil, ErrExited) })
+		return
+	}
+	req := wire.WatchReq{
+		User:      l.user.Name,
+		Kind:      uint8(w.Kind),
+		Signal:    w.Signal,
+		Proc:      w.Proc,
+		Op:        op,
+		ActionSig: sig,
+		Target:    target,
+	}
+	l.toolCall(func(done func(func())) {
+		l.remoteCall(host, wire.MsgWatch, req.Encode(), func(env wire.Envelope, err error) {
+			done(func() {
+				if err != nil {
+					cb(nil, err)
+					return
+				}
+				resp, derr := wire.DecodeWatchResp(env.Body)
+				if derr != nil {
+					cb(nil, derr)
+					return
+				}
+				if !resp.OK {
+					cb(nil, fmt.Errorf("%w: %s", ErrRemote, resp.Reason))
+					return
+				}
+				remove := func() {
+					rm := wire.WatchReq{User: l.user.Name, Remove: true, ID: resp.ID}
+					l.remoteCall(host, wire.MsgWatch, rm.Encode(), func(wire.Envelope, error) {})
+				}
+				cb(remove, nil)
+			})
+		})
+	})
+}

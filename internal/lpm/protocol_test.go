@@ -1,0 +1,225 @@
+package lpm
+
+import (
+	"testing"
+	"time"
+
+	"ppm/internal/auth"
+	"ppm/internal/proc"
+	"ppm/internal/simnet"
+	"ppm/internal/wire"
+)
+
+// rawSibling establishes a legitimately authenticated circuit to the
+// LPM on targetHost, originating from fromHost, and returns the raw
+// conn plus a collector of reply envelopes — a harness for feeding the
+// dispatcher arbitrary traffic.
+func rawSibling(t *testing.T, w *world, u *auth.User, fromHost string,
+	target *LPM) (*simnet.Conn, *[]wire.Envelope) {
+	t.Helper()
+	var conn *simnet.Conn
+	replies := &[]wire.Envelope{}
+	authed := false
+	w.net.Dial(fromHost, target.Accept(), func(c *simnet.Conn, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn = c
+		c.SetHandler(func(b []byte) {
+			env, derr := wire.DecodeEnvelope(b)
+			if derr != nil {
+				return
+			}
+			if env.Type == wire.MsgHelloResp {
+				authed = true
+				return
+			}
+			*replies = append(*replies, env)
+		})
+		hello := wire.Hello{
+			User:     u.Name,
+			FromHost: fromHost,
+			Token:    auth.MintToken(u, "sibling"),
+			Stamp:    wire.NewStamp(u.Key(), fromHost, w.sched.Now().Duration(), 99),
+		}
+		_ = c.Send(wire.Envelope{Type: wire.MsgHello, Body: hello.Encode()}.Encode())
+	})
+	w.until(func() bool { return authed })
+	return conn, replies
+}
+
+func protoWorld(t *testing.T) (*world, *auth.User, *LPM) {
+	t.Helper()
+	w := newWorld(t, Config{}, []string{"vax1", "vax2"})
+	u := w.user("felipe", "vax1", "vax2")
+	l := w.attach("vax1", u)
+	return w, u, l
+}
+
+func TestProtocolGarbagePayloadsAnsweredNotCrashed(t *testing.T) {
+	w, u, l := protoWorld(t)
+	conn, replies := rawSibling(t, w, u, "vax2", l)
+
+	// Undecodable bodies for each request type: the dispatcher answers
+	// with a failure instead of dying.
+	for _, mt := range []wire.MsgType{
+		wire.MsgCreateProc, wire.MsgControl, wire.MsgSnapshotReq,
+		wire.MsgStatsReq, wire.MsgFDReq, wire.MsgHistoryReq,
+		wire.MsgBroadcast, wire.MsgRelay, wire.MsgWatch,
+	} {
+		_ = conn.Send(wire.Envelope{Type: mt, ReqID: uint64(mt), Body: []byte{0xff}}.Encode())
+	}
+	w.run(5 * time.Second)
+	if len(*replies) != 9 {
+		t.Fatalf("replies = %d, want one per garbage request", len(*replies))
+	}
+	// And the LPM still works.
+	id := w.create(l, "vax1", "alive", proc.GPID{})
+	if id.PID == 0 {
+		t.Fatal("LPM broken after garbage")
+	}
+}
+
+func TestProtocolWrongUserRequestRejected(t *testing.T) {
+	w, u, l := protoWorld(t)
+	conn, replies := rawSibling(t, w, u, "vax2", l)
+	victim := w.create(l, "vax1", "victim", proc.GPID{})
+
+	// The circuit is felipe's, but the request claims another user.
+	req := wire.Control{User: "mallory", Target: victim, Op: wire.OpKill}
+	_ = conn.Send(wire.Envelope{Type: wire.MsgControl, ReqID: 7, Body: req.Encode()}.Encode())
+	w.run(2 * time.Second)
+	if len(*replies) != 1 {
+		t.Fatalf("replies = %d", len(*replies))
+	}
+	resp, err := wire.DecodeControlResp((*replies)[0].Body)
+	if err != nil || resp.OK {
+		t.Fatalf("wrong-user control accepted: %+v err=%v", resp, err)
+	}
+	p, _ := w.kerns["vax1"].Lookup(victim.PID)
+	if p.State != proc.Running {
+		t.Fatal("victim was harmed")
+	}
+}
+
+func TestProtocolUnknownTypeGetsError(t *testing.T) {
+	w, u, l := protoWorld(t)
+	conn, replies := rawSibling(t, w, u, "vax2", l)
+	_ = conn.Send(wire.Envelope{Type: wire.MsgType(999), ReqID: 3, Body: nil}.Encode())
+	w.run(2 * time.Second)
+	if len(*replies) != 1 || (*replies)[0].Type != wire.MsgError {
+		t.Fatalf("replies = %+v", replies)
+	}
+}
+
+func TestProtocolUndecodableFrameIgnored(t *testing.T) {
+	w, u, l := protoWorld(t)
+	conn, replies := rawSibling(t, w, u, "vax2", l)
+	_ = conn.Send([]byte{0x01}) // not even an envelope
+	w.run(2 * time.Second)
+	if len(*replies) != 0 {
+		t.Fatalf("garbage frame produced replies: %+v", replies)
+	}
+	// Circuit still alive afterwards.
+	_ = conn.Send(wire.Envelope{Type: wire.MsgPing, ReqID: 9,
+		Body: wire.Ping{FromHost: "vax2", User: u.Name}.Encode()}.Encode())
+	w.run(2 * time.Second)
+	if len(*replies) != 1 || (*replies)[0].Type != wire.MsgPong {
+		t.Fatalf("ping after garbage failed: %+v", replies)
+	}
+}
+
+func TestProtocolForgedBroadcastStampRejected(t *testing.T) {
+	w, u, l := protoWorld(t)
+	conn, replies := rawSibling(t, w, u, "vax2", l)
+	inner := wire.Envelope{Type: wire.MsgSnapshotReq,
+		Body: wire.SnapshotReq{User: u.Name}.Encode()}
+	bc := wire.Broadcast{
+		Stamp: wire.NewStamp([]byte("not-the-user-key"), "vax2", 0, 1),
+		Seq:   1,
+		Route: []string{"vax2"},
+		Inner: inner.Encode(),
+	}
+	_ = conn.Send(wire.Envelope{Type: wire.MsgBroadcast, ReqID: 5, Body: bc.Encode()}.Encode())
+	w.run(2 * time.Second)
+	if len(*replies) != 1 {
+		t.Fatalf("replies = %d", len(*replies))
+	}
+	resp, err := wire.DecodeBroadcastResp((*replies)[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wire.DecodeFloodResult(resp.Inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("forged broadcast stamp accepted")
+	}
+}
+
+func TestProtocolRelayPathExhausted(t *testing.T) {
+	w, u, l := protoWorld(t)
+	conn, replies := rawSibling(t, w, u, "vax2", l)
+	inner := wire.Envelope{Type: wire.MsgPing,
+		Body: wire.Ping{FromHost: "vax2", User: u.Name}.Encode()}
+	rel := wire.Relay{User: u.Name, Dest: "elsewhere", Path: nil, Inner: inner.Encode()}
+	_ = conn.Send(wire.Envelope{Type: wire.MsgRelay, ReqID: 4, Body: rel.Encode()}.Encode())
+	w.run(2 * time.Second)
+	if len(*replies) != 1 {
+		t.Fatalf("replies = %d", len(*replies))
+	}
+	resp, err := wire.DecodeRelayResp((*replies)[0].Body)
+	if err != nil || resp.OK {
+		t.Fatalf("exhausted relay should fail: %+v err=%v", resp, err)
+	}
+}
+
+func TestProtocolRelayNestedRelayRefused(t *testing.T) {
+	w, u, l := protoWorld(t)
+	conn, replies := rawSibling(t, w, u, "vax2", l)
+	nested := wire.Relay{User: u.Name, Dest: "vax1", Inner: []byte("x")}
+	innerEnv := wire.Envelope{Type: wire.MsgRelay, Body: nested.Encode()}
+	rel := wire.Relay{User: u.Name, Dest: "vax1", Inner: innerEnv.Encode()}
+	_ = conn.Send(wire.Envelope{Type: wire.MsgRelay, ReqID: 4, Body: rel.Encode()}.Encode())
+	w.run(2 * time.Second)
+	if len(*replies) != 1 {
+		t.Fatalf("replies = %d", len(*replies))
+	}
+	resp, err := wire.DecodeRelayResp((*replies)[0].Body)
+	if err != nil || resp.OK {
+		t.Fatalf("nested relay should be refused: %+v err=%v", resp, err)
+	}
+}
+
+func TestProtocolDuplicateHelloReplacesCircuit(t *testing.T) {
+	w, u, l := protoWorld(t)
+	conn1, _ := rawSibling(t, w, u, "vax2", l)
+	_ = conn1
+	// A second authenticated circuit from the same host displaces the
+	// first in the sibling table (the LPM keeps the newest).
+	conn2, replies2 := rawSibling(t, w, u, "vax2", l)
+	if len(l.SiblingHosts()) != 1 {
+		t.Fatalf("siblings = %v", l.SiblingHosts())
+	}
+	_ = conn2.Send(wire.Envelope{Type: wire.MsgPing, ReqID: 1,
+		Body: wire.Ping{FromHost: "vax2", User: u.Name}.Encode()}.Encode())
+	w.run(2 * time.Second)
+	if len(*replies2) != 1 {
+		t.Fatal("newest circuit not serving")
+	}
+}
+
+func TestProtocolCCSUpdateOneWay(t *testing.T) {
+	w, u, l := protoWorld(t)
+	conn, replies := rawSibling(t, w, u, "vax2", l)
+	upd := wire.CCSUpdate{CCSHost: "vax9"}
+	_ = conn.Send(wire.Envelope{Type: wire.MsgCCSUpdate, ReqID: 8, Body: upd.Encode()}.Encode())
+	w.run(2 * time.Second)
+	if len(*replies) != 0 {
+		t.Fatalf("CCSUpdate should be one-way, got %+v", replies)
+	}
+	if l.Recovery().CCS() != "vax9" {
+		t.Fatalf("ccs = %q", l.Recovery().CCS())
+	}
+}

@@ -1,0 +1,355 @@
+package lpm
+
+import (
+	"fmt"
+	"time"
+
+	"ppm/internal/auth"
+	"ppm/internal/calib"
+	"ppm/internal/daemon"
+	"ppm/internal/proc"
+	"ppm/internal/recovery"
+	"ppm/internal/simnet"
+	"ppm/internal/wire"
+)
+
+// Compile-time check: the adapter satisfies the recovery environment.
+var _ recovery.Env = (*recEnv)(nil)
+
+// --- inbound circuits (the accept socket) ---
+
+// acceptConn receives new circuits on the accept socket. The first
+// message must be a Hello: authentication happens once, at channel
+// creation, not on every request.
+func (l *LPM) acceptConn(conn *simnet.Conn) {
+	if l.exited {
+		conn.Close()
+		return
+	}
+	conn.SetHandler(func(b []byte) { l.onFirstMsg(conn, b) })
+	conn.SetCloseHandler(func(error) {}) // unauthenticated: nothing to clean
+}
+
+func (l *LPM) onFirstMsg(conn *simnet.Conn, b []byte) {
+	env, err := wire.DecodeEnvelope(b)
+	if err != nil || env.Type != wire.MsgHello {
+		conn.Close()
+		return
+	}
+	hello, err := wire.DecodeHello(env.Body)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	l.kern.ExecCPU(calib.SiblingEndpoint, func() {
+		l.handleHello(conn, env.ReqID, hello)
+	})
+}
+
+func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello) {
+	reject := func(reason string) {
+		body := wire.HelloResp{OK: false, Reason: reason}.Encode()
+		_ = conn.Send(wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}.Encode())
+		l.sched.After(0, conn.Close)
+	}
+	if l.exited {
+		reject("lpm exited")
+		return
+	}
+	// A sibling must manage the same user...
+	if hello.User != l.user.Name {
+		reject("user mismatch")
+		return
+	}
+	// ... present a token minted with the user's key ...
+	if err := l.dir.VerifyToken(hello.User, "sibling", hello.Token); err != nil {
+		reject(fmt.Sprintf("token: %v", err))
+		return
+	}
+	// ... and a validly signed stamp naming its host.
+	if !hello.Stamp.Verify(l.user.Key()) || hello.Stamp.Origin != hello.FromHost {
+		reject("bad stamp")
+		return
+	}
+	// The claimed origin must match the circuit's actual remote end
+	// (user-level masquerade prevention; host-level masquerade is out
+	// of scope, as in the paper).
+	if conn.RemoteAddr().Host != hello.FromHost {
+		reject("origin mismatch")
+		return
+	}
+	body := wire.HelloResp{OK: true}.Encode()
+	if hello.FromHost == l.Host() {
+		// A local tool connecting to the accept socket (Figure 4's tool
+		// sockets), not a sibling.
+		conn.SetHandler(func(b []byte) { l.onToolMsg(conn, b) })
+		conn.SetCloseHandler(func(error) {})
+		_ = conn.Send(wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}.Encode())
+		return
+	}
+	l.registerSibling(hello.FromHost, conn)
+	if hello.CCSHost != "" {
+		l.rec.OnContact(hello.CCSHost)
+	}
+	_ = conn.Send(wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}.Encode())
+}
+
+// registerSibling installs an authenticated circuit.
+func (l *LPM) registerSibling(host string, conn *simnet.Conn) {
+	if old, ok := l.siblings[host]; ok && old.conn != conn && old.conn.Open() {
+		old.conn.Close()
+	}
+	sb := &sibling{host: host, conn: conn, authed: true}
+	l.siblings[host] = sb
+	l.knownHosts[host] = true
+	conn.SetHandler(func(b []byte) { l.onSiblingMsg(sb, b) })
+	conn.SetCloseHandler(func(err error) { l.onSiblingClosed(sb, err) })
+	l.touch()
+}
+
+func (l *LPM) onSiblingClosed(sb *sibling, err error) {
+	if cur, ok := l.siblings[sb.host]; ok && cur == sb {
+		delete(l.siblings, sb.host)
+	}
+	// Fail outstanding requests to that host.
+	for id, pr := range l.pending {
+		if pr.host == sb.host {
+			if pr.timer != nil {
+				pr.timer.Cancel()
+			}
+			cb := pr.cb
+			l.releaseHandler(pr.handler)
+			delete(l.pending, id)
+			cb(wire.Envelope{}, fmt.Errorf("%w: %s", ErrNoSibling, sb.host))
+		}
+	}
+	if err != nil && !l.exited {
+		l.rec.OnSiblingLost(sb.host)
+	}
+}
+
+// --- outbound circuits ---
+
+// ensureSibling returns an authenticated circuit to the user's LPM on
+// host, creating the remote LPM (via its pmd) and the circuit on
+// demand. Concurrent requests for the same host coalesce.
+func (l *LPM) ensureSibling(host string, cb func(*sibling, error)) {
+	if l.exited {
+		cb(nil, ErrExited)
+		return
+	}
+	if host == l.Host() {
+		cb(nil, fmt.Errorf("%w: self-connection", ErrBadRequest))
+		return
+	}
+	if sb, ok := l.siblings[host]; ok && sb.authed && sb.conn.Open() {
+		l.sched.Defer(func() { cb(sb, nil) })
+		return
+	}
+	if q, ok := l.dialing[host]; ok {
+		l.dialing[host] = append(q, cb)
+		return
+	}
+	l.dialing[host] = []func(*sibling, error){cb}
+	finish := func(sb *sibling, err error) {
+		q := l.dialing[host]
+		delete(l.dialing, host)
+		for _, f := range q {
+			f(sb, err)
+		}
+	}
+	daemon.QueryLPM(l.net, l.Host(), host, l.user, func(resp wire.LPMQueryResp, err error) {
+		if l.exited {
+			finish(nil, ErrExited)
+			return
+		}
+		if err != nil {
+			finish(nil, fmt.Errorf("%w: query %s: %v", ErrNoSibling, host, err))
+			return
+		}
+		if !resp.OK {
+			finish(nil, fmt.Errorf("%w: pmd on %s: %s", ErrNoSibling, host, resp.Reason))
+			return
+		}
+		to := simnet.Addr{Host: resp.AcceptHost, Port: resp.AcceptPort}
+		l.net.Dial(l.Host(), to, func(conn *simnet.Conn, err error) {
+			if err != nil {
+				finish(nil, fmt.Errorf("%w: dial %s: %v", ErrNoSibling, host, err))
+				return
+			}
+			l.helloTo(host, conn, finish)
+		})
+	})
+}
+
+// helloTo authenticates a freshly dialed circuit.
+func (l *LPM) helloTo(host string, conn *simnet.Conn, finish func(*sibling, error)) {
+	l.floodSeq++
+	hello := wire.Hello{
+		User:     l.user.Name,
+		FromHost: l.Host(),
+		Token:    auth.MintToken(l.user, "sibling"),
+		Stamp:    wire.NewStamp(l.user.Key(), l.Host(), l.sched.Now().Duration(), l.floodSeq),
+		CCSHost:  l.rec.CCS(),
+	}
+	answered := false
+	conn.SetHandler(func(b []byte) {
+		if answered {
+			return
+		}
+		answered = true
+		env, err := wire.DecodeEnvelope(b)
+		if err != nil || env.Type != wire.MsgHelloResp {
+			conn.Close()
+			finish(nil, fmt.Errorf("%w: bad hello reply from %s", ErrNoSibling, host))
+			return
+		}
+		resp, err := wire.DecodeHelloResp(env.Body)
+		if err != nil || !resp.OK {
+			conn.Close()
+			finish(nil, fmt.Errorf("%w: %s rejected hello: %s", ErrNoSibling, host, resp.Reason))
+			return
+		}
+		l.kern.ExecCPU(calib.SiblingEndpoint, func() {
+			l.registerSibling(host, conn)
+			finish(l.siblings[host], nil)
+		})
+	})
+	conn.SetCloseHandler(func(err error) {
+		if !answered {
+			answered = true
+			finish(nil, fmt.Errorf("%w: circuit to %s broke during hello", ErrNoSibling, host))
+		}
+	})
+	l.kern.ExecCPU(calib.SiblingEndpoint, func() {
+		env := wire.Envelope{Type: wire.MsgHello, ReqID: 0, Body: hello.Encode()}
+		_ = conn.Send(env.Encode())
+	})
+}
+
+// --- message plumbing ---
+
+// isResponse classifies envelope types that answer a pending request.
+func isResponse(t wire.MsgType) bool {
+	switch t {
+	case wire.MsgControlResp, wire.MsgCreateAck, wire.MsgSnapshotResp,
+		wire.MsgStatsResp, wire.MsgHistoryResp, wire.MsgFDResp,
+		wire.MsgBroadcastResp, wire.MsgPong, wire.MsgRelayResp,
+		wire.MsgWatchResp, wire.MsgError:
+		return true
+	default:
+		return false
+	}
+}
+
+// endpointCost returns the CPU demand of processing one circuit message
+// at one endpoint. Creation acks are lightweight: the dispatcher sends
+// them directly and the blocked handler consumes them.
+func endpointCost(t wire.MsgType) time.Duration {
+	if t == wire.MsgCreateAck {
+		return calib.AckEndpoint
+	}
+	return calib.SiblingEndpoint
+}
+
+// onSiblingMsg routes a message arriving on an authenticated circuit.
+func (l *LPM) onSiblingMsg(sb *sibling, b []byte) {
+	if l.exited {
+		return
+	}
+	env, err := wire.DecodeEnvelope(b)
+	if err != nil {
+		return
+	}
+	l.touch()
+	cost := endpointCost(env.Type)
+	if l.cfg.PerMessageAuth {
+		// The datagram-style scheme authenticates every message instead
+		// of once per channel.
+		cost += calib.AuthCheck
+	}
+	l.kern.ExecCPU(cost, func() {
+		if l.exited {
+			return
+		}
+		if isResponse(env.Type) {
+			l.handleResponse(env)
+		} else {
+			l.handleRequest(sb, env)
+		}
+	})
+}
+
+// handleResponse completes a pending request.
+func (l *LPM) handleResponse(env wire.Envelope) {
+	pr, ok := l.pending[env.ReqID]
+	if !ok {
+		return // late response after timeout; drop
+	}
+	delete(l.pending, env.ReqID)
+	if pr.timer != nil {
+		pr.timer.Cancel()
+	}
+	l.releaseHandler(pr.handler)
+	pr.cb(env, nil)
+}
+
+// sendRequest transmits a request over the circuit and registers the
+// response callback. A handler process is assigned to block on the
+// response (the paper's dispatcher/handler split); sending pays the
+// per-endpoint protocol cost on this host's CPU.
+func (l *LPM) sendRequest(sb *sibling, t wire.MsgType, body []byte, cb func(wire.Envelope, error)) {
+	l.Stats.RemoteForwards++
+	l.withHandler(func(h proc.PID) {
+		if l.exited {
+			cb(wire.Envelope{}, ErrExited)
+			return
+		}
+		l.reqSeq++
+		id := l.reqSeq
+		pr := &pendingReq{host: sb.host, cb: cb, handler: h}
+		timeout := l.cfg.RequestTimeout
+		if t == wire.MsgBroadcast {
+			timeout = l.cfg.FloodTimeout
+		}
+		pr.timer = l.sched.After(timeout, func() {
+			if cur, ok := l.pending[id]; ok && cur == pr {
+				delete(l.pending, id)
+				l.releaseHandler(pr.handler)
+				pr.cb(wire.Envelope{}, fmt.Errorf("%w: %v to %s", ErrTimeout, t, sb.host))
+			}
+		})
+		l.pending[id] = pr
+		l.kern.ExecCPU(endpointCost(t), func() {
+			if !sb.conn.Open() {
+				// The close handler will fail the pending entry.
+				return
+			}
+			env := wire.Envelope{Type: t, ReqID: id, Body: body}
+			_ = sb.conn.Send(env.Encode())
+			l.kern.AccountIPC(l.pid, 1, 0, t.String())
+		})
+	})
+}
+
+// sendReply answers a request on the circuit it arrived on.
+func (l *LPM) sendReply(sb *sibling, reqID uint64, t wire.MsgType, body []byte) {
+	l.kern.ExecCPU(endpointCost(t), func() {
+		if sb.conn.Open() {
+			env := wire.Envelope{Type: t, ReqID: reqID, Body: body}
+			_ = sb.conn.Send(env.Encode())
+			l.kern.AccountIPC(l.pid, 1, 0, t.String())
+		}
+	})
+}
+
+// sendOneWay transmits a request that expects no response (CCS
+// updates).
+func (l *LPM) sendOneWay(sb *sibling, t wire.MsgType, body []byte) {
+	l.kern.ExecCPU(endpointCost(t), func() {
+		if sb.conn.Open() {
+			env := wire.Envelope{Type: t, ReqID: 0, Body: body}
+			_ = sb.conn.Send(env.Encode())
+		}
+	})
+}

@@ -1,0 +1,408 @@
+// Package recovery implements the PPM's crash recovery machinery of the
+// paper's Section 5: the crash coordinator site (CCS), the per-user
+// .recovery priority list of home machines, the time-to-die interval
+// that eventually shuts down isolated LPMs, and the low-frequency
+// probing that lets partitioned CCSs rejoin when higher-priority hosts
+// come back.
+//
+// The Manager is a pure state machine driven through a small Env
+// interface; the LPM implements Env. This keeps the recovery policy
+// testable in isolation with a scripted environment.
+package recovery
+
+import (
+	"time"
+
+	"ppm/internal/sim"
+)
+
+// State of the recovery machine.
+type State int
+
+// Recovery states.
+const (
+	// Normal: in contact with a known CCS (or being the CCS).
+	Normal State = iota + 1
+	// Seeking: lost the CCS, walking the recovery list.
+	Seeking
+	// Isolated: nobody reachable; time-to-die counting down.
+	Isolated
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Normal:
+		return "normal"
+	case Seeking:
+		return "seeking"
+	case Isolated:
+		return "isolated"
+	default:
+		return "unknown"
+	}
+}
+
+// Env is what the recovery machine needs from its LPM.
+type Env interface {
+	// HostName is the local host.
+	HostName() string
+	// After schedules fn on the shared scheduler.
+	After(d time.Duration, fn func()) *sim.Timer
+	// ProbeHost checks (asynchronously) whether an LPM for the user can
+	// be reached — and created on demand — on host.
+	ProbeHost(host string, cb func(ok bool))
+	// ConnectCCS establishes a sibling circuit to the LPM on host so it
+	// can serve as our CCS.
+	ConnectCCS(host string, cb func(ok bool))
+	// AnnounceCCS tells connected siblings about a CCS change.
+	AnnounceCCS(host string)
+	// TerminateAll is the time-to-die action: kill all the user's local
+	// processes and exit the LPM.
+	TerminateAll()
+	// HaveSiblings reports whether any sibling circuit is up (the CCS
+	// time-to-live freeze condition).
+	HaveSiblings() bool
+}
+
+// Locator asks a network name server for the user's current CCS — the
+// paper's alternative to .recovery files: "the existence of name
+// servers in the network could be used to aid in crash recovery. LPMs
+// would query the name server for a CCS."
+type Locator interface {
+	// LocateCCS reports the registered CCS host for the user, or
+	// ok=false when none is registered or the name server is
+	// unreachable.
+	LocateCCS(user string, cb func(host string, ok bool))
+	// RegisterCCS records a new CCS with the name server.
+	RegisterCCS(user, host string)
+}
+
+// Config tunes the recovery machine.
+type Config struct {
+	// List is the .recovery file: hosts in decreasing priority order on
+	// which the CCS should reside.
+	List []string
+	// Locator, when set, is consulted before the list: a name-server
+	// driven recovery strategy. CCS changes are registered back.
+	Locator Locator
+	// User identifies this PPM to the locator.
+	User string
+	// TimeToDie is how long an isolated LPM waits before terminating
+	// the user's local processes and exiting.
+	TimeToDie time.Duration
+	// ProbeEvery is the low-frequency interval at which a
+	// lower-priority CCS probes higher-priority hosts.
+	ProbeEvery time.Duration
+	// RetryEvery is how often an isolated LPM retries the recovery
+	// list.
+	RetryEvery time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.TimeToDie == 0 {
+		c.TimeToDie = 5 * time.Minute
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = 30 * time.Second
+	}
+	if c.RetryEvery == 0 {
+		c.RetryEvery = 15 * time.Second
+	}
+	return c
+}
+
+// Manager is the per-LPM recovery state machine.
+type Manager struct {
+	env Env
+	cfg Config
+
+	state    State
+	ccs      string // current CCS host ("" = none known)
+	seekPos  int
+	dieTimer *sim.Timer
+	probeTmr *sim.Timer
+	retryTmr *sim.Timer
+	stopped  bool
+
+	// Terminated reports whether time-to-die fired.
+	Terminated bool
+	// Transitions counts state changes, for tests.
+	Transitions int
+}
+
+// New creates a recovery manager in the Normal state with no known CCS.
+func New(env Env, cfg Config) *Manager {
+	return &Manager{env: env, cfg: cfg.withDefaults(), state: Normal}
+}
+
+// State returns the current state.
+func (m *Manager) State() State { return m.state }
+
+// CCS returns the host currently believed to be the crash coordinator
+// site.
+func (m *Manager) CCS() string { return m.ccs }
+
+// IsCCS reports whether this LPM is the CCS.
+func (m *Manager) IsCCS() bool { return m.ccs == m.env.HostName() }
+
+// Stop halts all recovery activity (LPM exiting normally).
+func (m *Manager) Stop() {
+	m.stopped = true
+	m.cancelTimers()
+}
+
+func (m *Manager) cancelTimers() {
+	if m.dieTimer != nil {
+		m.dieTimer.Cancel()
+		m.dieTimer = nil
+	}
+	if m.probeTmr != nil {
+		m.probeTmr.Cancel()
+		m.probeTmr = nil
+	}
+	if m.retryTmr != nil {
+		m.retryTmr.Cancel()
+		m.retryTmr = nil
+	}
+}
+
+func (m *Manager) setState(s State) {
+	if m.state != s {
+		m.state = s
+		m.Transitions++
+	}
+}
+
+// SetCCS installs a CCS (initial default assignment, a propagated
+// address from a sibling Hello, or a CCSUpdate). It returns to Normal
+// operation and cancels any countdown.
+func (m *Manager) SetCCS(host string) {
+	if m.stopped {
+		return
+	}
+	m.ccs = host
+	if m.dieTimer != nil {
+		m.dieTimer.Cancel()
+		m.dieTimer = nil
+	}
+	if m.retryTmr != nil {
+		m.retryTmr.Cancel()
+		m.retryTmr = nil
+	}
+	m.setState(Normal)
+	if m.cfg.Locator != nil && m.IsCCS() {
+		m.cfg.Locator.RegisterCCS(m.cfg.User, host)
+	}
+	// A CCS that is not the top-priority host keeps probing the hosts
+	// higher on the list, at low frequency, to rejoin them.
+	if m.IsCCS() && !m.topOfList() {
+		m.scheduleProbe()
+	} else if m.probeTmr != nil {
+		m.probeTmr.Cancel()
+		m.probeTmr = nil
+	}
+}
+
+func (m *Manager) topOfList() bool {
+	return len(m.cfg.List) == 0 || m.cfg.List[0] == m.env.HostName()
+}
+
+// OnSiblingLost is called when a sibling circuit breaks. Per the paper,
+// the LPM then tries to establish a connection with the known CCS; if
+// that fails it walks the recovery list.
+func (m *Manager) OnSiblingLost(host string) {
+	if m.stopped || m.state != Normal {
+		return
+	}
+	if m.IsCCS() {
+		// The CCS itself just notes the loss; its time-to-live freezes
+		// while siblings remain, handled by the LPM's TTL logic.
+		return
+	}
+	if m.ccs == "" || host == m.ccs {
+		m.startSeek()
+		return
+	}
+	// CCS believed alive: confirm the circuit to it.
+	m.env.ConnectCCS(m.ccs, func(ok bool) {
+		if m.stopped {
+			return
+		}
+		if !ok {
+			m.startSeek()
+		}
+	})
+}
+
+// OnContact is called when a message arrives from a sibling that is in
+// contact with a valid CCS; it rescues an isolated LPM ("a LPM not in
+// contact with a CCS resumes the normal mode of operation if ... it
+// gets a communication request from a LPM in contact with a valid
+// CCS").
+func (m *Manager) OnContact(theirCCS string) {
+	if m.stopped || theirCCS == "" {
+		return
+	}
+	if m.state != Normal {
+		m.SetCCS(theirCCS)
+		return
+	}
+	if m.ccs == "" {
+		m.SetCCS(theirCCS)
+	}
+}
+
+// startSeek consults the name server (when configured), then walks the
+// .recovery list in decreasing priority order.
+func (m *Manager) startSeek() {
+	m.setState(Seeking)
+	m.seekPos = 0
+	if m.cfg.Locator == nil {
+		m.seekNext()
+		return
+	}
+	m.cfg.Locator.LocateCCS(m.cfg.User, func(host string, ok bool) {
+		if m.stopped || m.state != Seeking {
+			return
+		}
+		if !ok || host == "" {
+			m.seekNext()
+			return
+		}
+		if host == m.env.HostName() {
+			m.SetCCS(host)
+			m.env.AnnounceCCS(host)
+			return
+		}
+		m.env.ProbeHost(host, func(ok bool) {
+			if m.stopped || m.state != Seeking {
+				return
+			}
+			if !ok {
+				m.seekNext()
+				return
+			}
+			m.env.ConnectCCS(host, func(ok bool) {
+				if m.stopped || m.state != Seeking {
+					return
+				}
+				if !ok {
+					m.seekNext()
+					return
+				}
+				m.SetCCS(host)
+				m.env.AnnounceCCS(host)
+			})
+		})
+	})
+}
+
+func (m *Manager) seekNext() {
+	if m.stopped || m.state != Seeking {
+		return
+	}
+	if m.seekPos >= len(m.cfg.List) {
+		m.becomeIsolated()
+		return
+	}
+	candidate := m.cfg.List[m.seekPos]
+	m.seekPos++
+	if candidate == m.env.HostName() {
+		// The list says the CCS should reside here: take over.
+		m.SetCCS(candidate)
+		m.env.AnnounceCCS(candidate)
+		return
+	}
+	m.env.ProbeHost(candidate, func(ok bool) {
+		if m.stopped || m.state != Seeking {
+			return
+		}
+		if !ok {
+			m.seekNext()
+			return
+		}
+		m.env.ConnectCCS(candidate, func(ok bool) {
+			if m.stopped || m.state != Seeking {
+				return
+			}
+			if !ok {
+				m.seekNext()
+				return
+			}
+			m.SetCCS(candidate)
+			m.env.AnnounceCCS(candidate)
+		})
+	})
+}
+
+// becomeIsolated starts the time-to-die countdown and periodic
+// re-seeking.
+func (m *Manager) becomeIsolated() {
+	m.setState(Isolated)
+	if m.dieTimer == nil {
+		m.dieTimer = m.env.After(m.cfg.TimeToDie, func() {
+			if m.stopped || m.state != Isolated {
+				return
+			}
+			m.Terminated = true
+			m.env.TerminateAll()
+		})
+	}
+	m.retryTmr = m.env.After(m.cfg.RetryEvery, func() {
+		if m.stopped || m.state != Isolated {
+			return
+		}
+		m.startSeek()
+	})
+}
+
+// scheduleProbe sets up the low-frequency probing of higher-priority
+// hosts by a CCS that is not at the top of the list.
+func (m *Manager) scheduleProbe() {
+	if m.probeTmr != nil {
+		m.probeTmr.Cancel()
+	}
+	m.probeTmr = m.env.After(m.cfg.ProbeEvery, func() { m.probeHigher(0) })
+}
+
+func (m *Manager) probeHigher(i int) {
+	if m.stopped || !m.IsCCS() {
+		return
+	}
+	// Hosts strictly above us in the list.
+	var higher []string
+	for _, h := range m.cfg.List {
+		if h == m.env.HostName() {
+			break
+		}
+		higher = append(higher, h)
+	}
+	if i >= len(higher) {
+		m.scheduleProbe() // none answered; probe again later
+		return
+	}
+	candidate := higher[i]
+	m.env.ProbeHost(candidate, func(ok bool) {
+		if m.stopped || !m.IsCCS() {
+			return
+		}
+		if !ok {
+			m.probeHigher(i + 1)
+			return
+		}
+		// "Whenever such host comes up, they connect to it": demote
+		// ourselves and adopt the higher-priority CCS.
+		m.env.ConnectCCS(candidate, func(ok bool) {
+			if m.stopped {
+				return
+			}
+			if !ok {
+				m.probeHigher(i + 1)
+				return
+			}
+			m.SetCCS(candidate)
+			m.env.AnnounceCCS(candidate)
+		})
+	})
+}

@@ -1,0 +1,266 @@
+// Package resilient layers management of resilient computations on top
+// of the PPM's basic mechanism, exactly as the paper's Section 5
+// anticipates: "were we managing resilient computations, control would
+// have to be carefully transferred to another host. This can be
+// achieved with robust protocols implemented on top of our basic
+// mechanism."
+//
+// The Supervisor periodically gathers the distributed snapshot (the
+// on-demand philosophy: no standing per-event traffic), compares it
+// with the set of supervised processes, and restarts exited ones
+// according to their policies — on the same host when it lives, or
+// failing over along the spec's host list when it does not.
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ppm/internal/proc"
+)
+
+// Supervisor errors.
+var (
+	ErrGaveUp  = errors.New("resilient: restart budget exhausted")
+	ErrStopped = errors.New("resilient: supervisor stopped")
+)
+
+// Policy says when a supervised process is restarted.
+type Policy int
+
+// Restart policies.
+const (
+	// Never: track only; never restart.
+	Never Policy = iota + 1
+	// OnFailure: restart when the process exited with a nonzero code
+	// or was killed by a signal.
+	OnFailure
+	// Always: restart on any exit.
+	Always
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Never:
+		return "never"
+	case OnFailure:
+		return "on-failure"
+	case Always:
+		return "always"
+	default:
+		return "unknown"
+	}
+}
+
+// Spec describes one supervised process.
+type Spec struct {
+	Name string
+	// Hosts is the placement list in priority order: restarts go to
+	// the first host that accepts the creation (control "carefully
+	// transferred to another host" when the preferred one is down).
+	Hosts  []string
+	Parent proc.GPID
+	Policy Policy
+	// MaxRestarts bounds restart attempts (0 = unlimited).
+	MaxRestarts int
+}
+
+// Env is the slice of PPM machinery the supervisor drives; the LPM's
+// asynchronous subroutine interface satisfies it directly.
+type Env interface {
+	Snapshot(cb func(proc.Snapshot, error))
+	Create(host, name string, parent proc.GPID, cb func(proc.GPID, error))
+}
+
+// Clock schedules the polling; the simulation scheduler satisfies it.
+type Clock interface {
+	After(d time.Duration, fn func()) CancelableTimer
+}
+
+// CancelableTimer is the handle Clock returns.
+type CancelableTimer interface {
+	Cancel() bool
+}
+
+// entry is the runtime state of one supervised process.
+type entry struct {
+	spec     Spec
+	current  proc.GPID
+	restarts int
+	gaveUp   bool
+}
+
+// Supervisor restarts supervised processes according to their
+// policies.
+type Supervisor struct {
+	env      Env
+	clock    Clock
+	interval time.Duration
+
+	entries []*entry
+	timer   CancelableTimer
+	polling bool
+	stopped bool
+
+	// Restarts counts successful restarts; Events logs decisions.
+	Restarts int
+	Events   []string
+}
+
+// New creates a supervisor polling at the given interval (default 5s of
+// virtual time).
+func New(env Env, clock Clock, interval time.Duration) *Supervisor {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	return &Supervisor{env: env, clock: clock, interval: interval}
+}
+
+// Supervise registers a process that already runs as id.
+func (s *Supervisor) Supervise(spec Spec, id proc.GPID) {
+	s.entries = append(s.entries, &entry{spec: spec, current: id})
+}
+
+// Current returns the present identity of a supervised process.
+func (s *Supervisor) Current(name string) (proc.GPID, bool) {
+	for _, e := range s.entries {
+		if e.spec.Name == name {
+			return e.current, true
+		}
+	}
+	return proc.GPID{}, false
+}
+
+// GaveUp reports whether the named process exhausted its restart
+// budget.
+func (s *Supervisor) GaveUp(name string) bool {
+	for _, e := range s.entries {
+		if e.spec.Name == name {
+			return e.gaveUp
+		}
+	}
+	return false
+}
+
+// Start begins the polling loop.
+func (s *Supervisor) Start() {
+	if s.stopped || s.timer != nil {
+		return
+	}
+	s.schedule()
+}
+
+// Stop halts polling.
+func (s *Supervisor) Stop() {
+	s.stopped = true
+	if s.timer != nil {
+		s.timer.Cancel()
+		s.timer = nil
+	}
+}
+
+func (s *Supervisor) schedule() {
+	if s.stopped {
+		return
+	}
+	s.timer = s.clock.After(s.interval, s.poll)
+}
+
+func (s *Supervisor) note(format string, args ...any) {
+	s.Events = append(s.Events, fmt.Sprintf(format, args...))
+}
+
+// poll takes a snapshot and reconciles every supervised entry.
+func (s *Supervisor) poll() {
+	if s.stopped || s.polling {
+		s.schedule()
+		return
+	}
+	s.polling = true
+	s.env.Snapshot(func(snap proc.Snapshot, err error) {
+		s.polling = false
+		defer s.schedule()
+		if s.stopped {
+			return
+		}
+		if err != nil {
+			s.note("snapshot failed: %v", err)
+			return
+		}
+		partial := make(map[string]bool, len(snap.Partial))
+		for _, h := range snap.Partial {
+			partial[h] = true
+		}
+		for _, e := range s.entries {
+			s.reconcile(e, snap, partial)
+		}
+	})
+}
+
+func (s *Supervisor) reconcile(e *entry, snap proc.Snapshot, partial map[string]bool) {
+	if e.gaveUp || e.spec.Policy == Never {
+		return
+	}
+	info, found := snap.Find(e.current)
+	hostDown := partial[e.current.Host]
+	switch {
+	case found && (info.State == proc.Running || info.State == proc.Stopped):
+		return // healthy
+	case found && info.State == proc.Exited:
+		failed := info.ExitCode != 0
+		if e.spec.Policy == OnFailure && !failed {
+			s.note("%s exited cleanly; policy on-failure leaves it", e.spec.Name)
+			e.spec.Policy = Never // terminal: clean exit ends supervision
+			return
+		}
+	case !found && hostDown:
+		// The host is unreachable: the process is presumed lost; fail
+		// over to the next host on the list.
+	case !found:
+		// No record anywhere: treat as lost.
+	}
+	s.restart(e, partial)
+}
+
+// restart tries the spec's hosts in priority order, skipping hosts the
+// snapshot reported unreachable.
+func (s *Supervisor) restart(e *entry, partial map[string]bool) {
+	if e.spec.MaxRestarts > 0 && e.restarts >= e.spec.MaxRestarts {
+		e.gaveUp = true
+		s.note("%s: gave up after %d restarts (%v)", e.spec.Name, e.restarts, ErrGaveUp)
+		return
+	}
+	hosts := e.spec.Hosts
+	if len(hosts) == 0 {
+		hosts = []string{e.current.Host}
+	}
+	s.tryHosts(e, hosts, 0, partial)
+}
+
+func (s *Supervisor) tryHosts(e *entry, hosts []string, i int, partial map[string]bool) {
+	if i >= len(hosts) {
+		s.note("%s: no host accepted the restart", e.spec.Name)
+		return
+	}
+	host := hosts[i]
+	if partial[host] {
+		s.tryHosts(e, hosts, i+1, partial)
+		return
+	}
+	s.env.Create(host, e.spec.Name, e.spec.Parent, func(id proc.GPID, err error) {
+		if s.stopped {
+			return
+		}
+		if err != nil {
+			s.note("%s: restart on %s failed: %v", e.spec.Name, host, err)
+			s.tryHosts(e, hosts, i+1, partial)
+			return
+		}
+		e.current = id
+		e.restarts++
+		s.Restarts++
+		s.note("%s restarted as %s (restart %d)", e.spec.Name, id, e.restarts)
+	})
+}

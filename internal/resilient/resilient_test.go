@@ -1,0 +1,289 @@
+package resilient
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ppm/internal/proc"
+	"ppm/internal/sim"
+)
+
+// fakeEnv scripts a world of processes for the supervisor to watch.
+type fakeEnv struct {
+	sched   *sim.Scheduler
+	procs   map[proc.GPID]proc.Info
+	partial []string
+	nextPID proc.PID
+	// downHosts reject creations.
+	downHosts map[string]bool
+	creates   []string
+	snapErr   error
+}
+
+func newFakeEnv(s *sim.Scheduler) *fakeEnv {
+	return &fakeEnv{
+		sched:     s,
+		procs:     make(map[proc.GPID]proc.Info),
+		downHosts: make(map[string]bool),
+		nextPID:   100,
+	}
+}
+
+func (f *fakeEnv) addRunning(host string) proc.GPID {
+	f.nextPID++
+	id := proc.GPID{Host: host, PID: f.nextPID}
+	f.procs[id] = proc.Info{ID: id, State: proc.Running}
+	return id
+}
+
+func (f *fakeEnv) exit(id proc.GPID, code int) {
+	info := f.procs[id]
+	info.State = proc.Exited
+	info.ExitCode = code
+	f.procs[id] = info
+}
+
+func (f *fakeEnv) Snapshot(cb func(proc.Snapshot, error)) {
+	f.sched.After(10*time.Millisecond, func() {
+		if f.snapErr != nil {
+			cb(proc.Snapshot{}, f.snapErr)
+			return
+		}
+		var infos []proc.Info
+		for _, p := range f.procs {
+			infos = append(infos, p)
+		}
+		snap := proc.Merge(f.sched.Now().Duration(), infos)
+		snap.Partial = append([]string(nil), f.partial...)
+		cb(snap, nil)
+	})
+}
+
+func (f *fakeEnv) Create(host, name string, parent proc.GPID, cb func(proc.GPID, error)) {
+	f.sched.After(10*time.Millisecond, func() {
+		f.creates = append(f.creates, name+"@"+host)
+		if f.downHosts[host] {
+			cb(proc.GPID{}, errors.New("host down"))
+			return
+		}
+		cb(f.addRunning(host), nil)
+	})
+}
+
+// simClock adapts the scheduler to the Clock interface.
+type simClock struct{ s *sim.Scheduler }
+
+func (c simClock) After(d time.Duration, fn func()) CancelableTimer {
+	return c.s.After(d, fn)
+}
+
+func setup(t *testing.T) (*sim.Scheduler, *fakeEnv, *Supervisor) {
+	t.Helper()
+	s := sim.NewScheduler(1)
+	env := newFakeEnv(s)
+	sup := New(env, simClock{s}, time.Second)
+	return s, env, sup
+}
+
+func run(t *testing.T, s *sim.Scheduler, d time.Duration) {
+	t.Helper()
+	if err := s.RunFor(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthyProcessLeftAlone(t *testing.T) {
+	s, env, sup := setup(t)
+	id := env.addRunning("a")
+	sup.Supervise(Spec{Name: "w", Policy: Always}, id)
+	sup.Start()
+	run(t, s, 10*time.Second)
+	if sup.Restarts != 0 {
+		t.Fatalf("restarts = %d", sup.Restarts)
+	}
+	cur, _ := sup.Current("w")
+	if cur != id {
+		t.Fatal("identity changed")
+	}
+}
+
+func TestAlwaysRestartsCleanExit(t *testing.T) {
+	s, env, sup := setup(t)
+	id := env.addRunning("a")
+	sup.Supervise(Spec{Name: "w", Policy: Always}, id)
+	sup.Start()
+	run(t, s, 2*time.Second)
+	env.exit(id, 0)
+	run(t, s, 3*time.Second)
+	if sup.Restarts != 1 {
+		t.Fatalf("restarts = %d, events=%v", sup.Restarts, sup.Events)
+	}
+	cur, _ := sup.Current("w")
+	if cur == id || cur.Host != "a" {
+		t.Fatalf("current = %v", cur)
+	}
+	if env.procs[cur].State != proc.Running {
+		t.Fatal("replacement not running")
+	}
+}
+
+func TestOnFailureIgnoresCleanExit(t *testing.T) {
+	s, env, sup := setup(t)
+	id := env.addRunning("a")
+	sup.Supervise(Spec{Name: "w", Policy: OnFailure}, id)
+	sup.Start()
+	env.exit(id, 0)
+	run(t, s, 5*time.Second)
+	if sup.Restarts != 0 {
+		t.Fatalf("clean exit restarted: %v", sup.Events)
+	}
+	// And supervision ends: a later poll does not restart either.
+	run(t, s, 5*time.Second)
+	if sup.Restarts != 0 {
+		t.Fatal("restarted after terminal clean exit")
+	}
+}
+
+func TestOnFailureRestartsFailure(t *testing.T) {
+	s, env, sup := setup(t)
+	id := env.addRunning("a")
+	sup.Supervise(Spec{Name: "w", Policy: OnFailure}, id)
+	sup.Start()
+	env.exit(id, 137)
+	run(t, s, 3*time.Second)
+	if sup.Restarts != 1 {
+		t.Fatalf("restarts = %d", sup.Restarts)
+	}
+}
+
+func TestNeverPolicyTracksOnly(t *testing.T) {
+	s, env, sup := setup(t)
+	id := env.addRunning("a")
+	sup.Supervise(Spec{Name: "w", Policy: Never}, id)
+	sup.Start()
+	env.exit(id, 1)
+	run(t, s, 5*time.Second)
+	if sup.Restarts != 0 {
+		t.Fatal("never policy restarted")
+	}
+}
+
+func TestMaxRestartsGivesUp(t *testing.T) {
+	s, env, sup := setup(t)
+	id := env.addRunning("a")
+	sup.Supervise(Spec{Name: "w", Policy: Always, MaxRestarts: 2}, id)
+	sup.Start()
+	for i := 0; i < 4; i++ {
+		run(t, s, 2*time.Second)
+		if cur, ok := sup.Current("w"); ok {
+			env.exit(cur, 1)
+		}
+		run(t, s, 2*time.Second)
+	}
+	if sup.Restarts != 2 {
+		t.Fatalf("restarts = %d, want 2", sup.Restarts)
+	}
+	if !sup.GaveUp("w") {
+		t.Fatal("should have given up")
+	}
+	found := false
+	for _, e := range sup.Events {
+		if strings.Contains(e, "gave up") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("events = %v", sup.Events)
+	}
+}
+
+func TestFailoverToNextHost(t *testing.T) {
+	s, env, sup := setup(t)
+	id := env.addRunning("a")
+	sup.Supervise(Spec{Name: "w", Hosts: []string{"a", "b"}, Policy: Always}, id)
+	sup.Start()
+	run(t, s, 2*time.Second)
+	// Host a dies: its process vanishes from snapshots and creations
+	// there fail.
+	delete(env.procs, id)
+	env.partial = []string{"a"}
+	env.downHosts["a"] = true
+	run(t, s, 3*time.Second)
+	cur, _ := sup.Current("w")
+	if cur.Host != "b" {
+		t.Fatalf("failover landed on %q, events=%v", cur.Host, sup.Events)
+	}
+	// The unreachable host was skipped without a creation attempt.
+	for _, c := range env.creates {
+		if c == "w@a" {
+			t.Fatal("tried the partial host")
+		}
+	}
+}
+
+func TestFailoverWhenCreateFails(t *testing.T) {
+	s, env, sup := setup(t)
+	id := env.addRunning("a")
+	sup.Supervise(Spec{Name: "w", Hosts: []string{"a", "b"}, Policy: Always}, id)
+	sup.Start()
+	env.exit(id, 1)
+	env.downHosts["a"] = true // a answers snapshots but refuses creation
+	run(t, s, 3*time.Second)
+	cur, _ := sup.Current("w")
+	if cur.Host != "b" {
+		t.Fatalf("failover landed on %q, events=%v", cur.Host, sup.Events)
+	}
+}
+
+func TestLostWithoutPartialRestartsInPlace(t *testing.T) {
+	s, env, sup := setup(t)
+	id := env.addRunning("a")
+	sup.Supervise(Spec{Name: "w", Policy: Always}, id)
+	sup.Start()
+	delete(env.procs, id) // record vanished entirely
+	run(t, s, 3*time.Second)
+	if sup.Restarts != 1 {
+		t.Fatalf("restarts = %d", sup.Restarts)
+	}
+}
+
+func TestSnapshotErrorLoggedAndRetried(t *testing.T) {
+	s, env, sup := setup(t)
+	id := env.addRunning("a")
+	sup.Supervise(Spec{Name: "w", Policy: Always}, id)
+	sup.Start()
+	env.snapErr = errors.New("flood failed")
+	run(t, s, 3*time.Second)
+	if len(sup.Events) == 0 {
+		t.Fatal("snapshot failure not logged")
+	}
+	env.snapErr = nil
+	env.exit(id, 1)
+	run(t, s, 3*time.Second)
+	if sup.Restarts != 1 {
+		t.Fatal("did not recover after snapshot errors")
+	}
+}
+
+func TestStopHaltsPolling(t *testing.T) {
+	s, env, sup := setup(t)
+	id := env.addRunning("a")
+	sup.Supervise(Spec{Name: "w", Policy: Always}, id)
+	sup.Start()
+	run(t, s, 2*time.Second)
+	sup.Stop()
+	env.exit(id, 1)
+	run(t, s, 10*time.Second)
+	if sup.Restarts != 0 {
+		t.Fatal("restarted after Stop")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if Never.String() != "never" || OnFailure.String() != "on-failure" ||
+		Always.String() != "always" || Policy(0).String() != "unknown" {
+		t.Fatal("policy names wrong")
+	}
+}

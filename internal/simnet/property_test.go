@@ -1,0 +1,163 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ppm/internal/sim"
+)
+
+// Property tests over randomly generated topologies.
+
+// buildRandom creates n hosts and attaches them to segments per the
+// spec bytes; returns the network. Segment k gets the hosts whose spec
+// byte modulo nSegs equals k, plus host 0 on every segment to keep a
+// gateway candidate around (connectivity is still not guaranteed).
+func buildRandom(t testing.TB, spec []byte, nSegs int) (*Network, []string) {
+	t.Helper()
+	s := sim.NewScheduler(1)
+	n := New(s, Options{})
+	var hosts []string
+	for i := range spec {
+		h := fmt.Sprintf("h%d", i)
+		hosts = append(hosts, h)
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < nSegs; k++ {
+		var members []string
+		for i, b := range spec {
+			if int(b)%nSegs == k {
+				members = append(members, hosts[i])
+			}
+		}
+		if len(members) > 0 {
+			if err := n.AddSegment(fmt.Sprintf("s%d", k), members...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return n, hosts
+}
+
+func TestPropertyHopsSymmetric(t *testing.T) {
+	f := func(spec []byte) bool {
+		if len(spec) == 0 || len(spec) > 12 {
+			return true
+		}
+		n, hosts := buildRandom(t, spec, 3)
+		for _, a := range hosts {
+			for _, b := range hosts {
+				ha, oka := n.Hops(a, b)
+				hb, okb := n.Hops(b, a)
+				if oka != okb || (oka && ha != hb) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHopsTriangleInequality(t *testing.T) {
+	f := func(spec []byte) bool {
+		if len(spec) == 0 || len(spec) > 10 {
+			return true
+		}
+		n, hosts := buildRandom(t, spec, 3)
+		for _, a := range hosts {
+			for _, b := range hosts {
+				for _, c := range hosts {
+					ab, ok1 := n.Hops(a, b)
+					bc, ok2 := n.Hops(b, c)
+					ac, ok3 := n.Hops(a, c)
+					if ok1 && ok2 {
+						// A path a->b->c exists, so a->c must exist and be
+						// no longer than the relay.
+						if !ok3 || ac > ab+bc {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHopsZeroIFFSelf(t *testing.T) {
+	f := func(spec []byte) bool {
+		if len(spec) == 0 || len(spec) > 10 {
+			return true
+		}
+		n, hosts := buildRandom(t, spec, 2)
+		for _, a := range hosts {
+			for _, b := range hosts {
+				h, ok := n.Hops(a, b)
+				if a == b {
+					if !ok || h != 0 {
+						return false
+					}
+				} else if ok && h == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyReachabilityRespectsPartitionGroups(t *testing.T) {
+	f := func(spec []byte, cut []bool) bool {
+		if len(spec) < 2 || len(spec) > 10 {
+			return true
+		}
+		n, hosts := buildRandom(t, spec, 1) // one shared segment: all connected
+		var g1, g2 []string
+		for i, h := range hosts {
+			if i < len(cut) && cut[i] {
+				g1 = append(g1, h)
+			} else {
+				g2 = append(g2, h)
+			}
+		}
+		if err := n.Partition(g1, g2); err != nil {
+			return false
+		}
+		inG1 := make(map[string]bool, len(g1))
+		for _, h := range g1 {
+			inG1[h] = true
+		}
+		for _, a := range hosts {
+			for _, b := range hosts {
+				want := inG1[a] == inG1[b]
+				if n.Reachable(a, b) != want {
+					return false
+				}
+			}
+		}
+		n.Heal()
+		for _, a := range hosts {
+			for _, b := range hosts {
+				if !n.Reachable(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

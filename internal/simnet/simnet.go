@@ -1,0 +1,610 @@
+// Package simnet simulates the 1986 internetwork the PPM runs on: hosts
+// attached to Ethernet segments joined by gateways, datagram delivery,
+// and reliable stream circuits (the TCP virtual circuits the paper's
+// sibling LPMs communicate over).
+//
+// Delays are charged per physical hop (segment traversal) plus
+// per-byte serialization, using the constants in package calib. The
+// network supports the failure modes of the paper's Section 5: host
+// crashes, and network partitions that split the internetwork into
+// isolated connected components. Circuits crossing a failure break
+// visibly after a detection delay, exactly the signal the PPM's crash
+// recovery machinery is driven by.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"ppm/internal/calib"
+	"ppm/internal/sim"
+)
+
+// Network errors.
+var (
+	ErrUnknownHost    = errors.New("simnet: unknown host")
+	ErrHostDown       = errors.New("simnet: host down")
+	ErrUnreachable    = errors.New("simnet: unreachable")
+	ErrNoListener     = errors.New("simnet: connection refused")
+	ErrConnClosed     = errors.New("simnet: connection closed")
+	ErrPeerLost       = errors.New("simnet: peer lost")
+	ErrPortInUse      = errors.New("simnet: port in use")
+	ErrDuplicateHost  = errors.New("simnet: duplicate host")
+	ErrUnknownSegment = errors.New("simnet: unknown segment")
+)
+
+// Addr is a network endpoint: a host name and a port.
+type Addr struct {
+	Host string
+	Port uint16
+}
+
+// String renders host:port.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
+
+// IsZero reports whether the address is unset.
+func (a Addr) IsZero() bool { return a.Host == "" && a.Port == 0 }
+
+// Options configure a Network.
+type Options struct {
+	// HopTransit is the one-way per-hop latency. Zero means
+	// calib.HopTransit.
+	HopTransit time.Duration
+	// BreakDetect is how long a circuit endpoint takes to notice that
+	// its peer vanished (crash or partition). Zero means 1 second.
+	BreakDetect time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.HopTransit == 0 {
+		o.HopTransit = calib.HopTransit
+	}
+	if o.BreakDetect == 0 {
+		o.BreakDetect = time.Second
+	}
+	return o
+}
+
+// Stats counts network activity, used by the ablation benchmarks.
+type Stats struct {
+	MsgsSent     int64
+	BytesSent    int64
+	MsgsDropped  int64
+	ConnsOpened  int64
+	ConnsBroken  int64
+	DialAttempts int64
+}
+
+// node is one host's network presence.
+type node struct {
+	name      string
+	up        bool
+	group     int // partition group; hosts communicate iff equal
+	segments  []string
+	listeners map[uint16]func(*Conn)
+	dgram     map[uint16]func(from Addr, payload []byte)
+	nextPort  uint16
+	conns     map[*Conn]bool
+}
+
+// Network is the simulated internetwork.
+type Network struct {
+	sched    *sim.Scheduler
+	opts     Options
+	hosts    map[string]*node
+	segments map[string][]string // segment -> member hosts
+	hops     map[string]map[string]int
+	dirty    bool // routes need recompute
+	stats    Stats
+	tap      func(TapEvent)
+}
+
+// New creates an empty network on the given scheduler.
+func New(sched *sim.Scheduler, opts Options) *Network {
+	return &Network{
+		sched:    sched,
+		opts:     opts.withDefaults(),
+		hosts:    make(map[string]*node),
+		segments: make(map[string][]string),
+		dirty:    true,
+	}
+}
+
+// Scheduler returns the underlying event scheduler.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Stats returns a copy of the activity counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the activity counters.
+func (n *Network) ResetStats() { n.stats = Stats{} }
+
+// AddHost registers a host. Hosts start up.
+func (n *Network) AddHost(name string) error {
+	if _, ok := n.hosts[name]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateHost, name)
+	}
+	n.hosts[name] = &node{
+		name:      name,
+		up:        true,
+		listeners: make(map[uint16]func(*Conn)),
+		dgram:     make(map[uint16]func(Addr, []byte)),
+		nextPort:  10000,
+		conns:     make(map[*Conn]bool),
+	}
+	n.dirty = true
+	return nil
+}
+
+// AddSegment attaches hosts to a (new or existing) Ethernet segment.
+// A host attached to two segments acts as a gateway between them.
+func (n *Network) AddSegment(segment string, hostNames ...string) error {
+	for _, h := range hostNames {
+		nd, ok := n.hosts[h]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownHost, h)
+		}
+		member := false
+		for _, s := range nd.segments {
+			if s == segment {
+				member = true
+			}
+		}
+		if !member {
+			nd.segments = append(nd.segments, segment)
+			n.segments[segment] = append(n.segments[segment], h)
+		}
+	}
+	n.dirty = true
+	return nil
+}
+
+// Hosts returns the sorted host names.
+func (n *Network) Hosts() []string {
+	out := make([]string, 0, len(n.hosts))
+	for h := range n.hosts {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// computeRoutes runs BFS over the host/segment bipartite graph and
+// records the hop count (number of segments traversed) between every
+// host pair. Partition groups are not considered here; they gate
+// delivery dynamically.
+func (n *Network) computeRoutes() {
+	n.hops = make(map[string]map[string]int, len(n.hosts))
+	for src := range n.hosts {
+		dist := map[string]int{src: 0}
+		frontier := []string{src}
+		for len(frontier) > 0 {
+			var next []string
+			for _, h := range frontier {
+				for _, seg := range n.hosts[h].segments {
+					for _, peer := range n.segments[seg] {
+						if _, seen := dist[peer]; !seen {
+							dist[peer] = dist[h] + 1
+							next = append(next, peer)
+						}
+					}
+				}
+			}
+			frontier = next
+		}
+		n.hops[src] = dist
+	}
+	n.dirty = false
+}
+
+// Hops returns the physical hop count between two hosts and whether a
+// path exists at all (ignoring partitions and host state).
+func (n *Network) Hops(a, b string) (int, bool) {
+	if n.dirty {
+		n.computeRoutes()
+	}
+	if a == b {
+		if _, ok := n.hosts[a]; ok {
+			return 0, true
+		}
+		return 0, false
+	}
+	m, ok := n.hops[a]
+	if !ok {
+		return 0, false
+	}
+	h, ok := m[b]
+	return h, ok
+}
+
+// Reachable reports whether a message from a can currently be delivered
+// to b: both hosts up, a physical path exists, and no partition
+// separates them.
+func (n *Network) Reachable(a, b string) bool {
+	na, ok := n.hosts[a]
+	if !ok {
+		return false
+	}
+	nb, ok := n.hosts[b]
+	if !ok {
+		return false
+	}
+	if !na.up || !nb.up || na.group != nb.group {
+		return false
+	}
+	_, ok = n.Hops(a, b)
+	return ok
+}
+
+// transit computes the one-way delay for size bytes between two hosts.
+// Intra-host delivery still pays a small fixed cost (loopback).
+func (n *Network) transit(a, b string, size int) time.Duration {
+	hops, ok := n.Hops(a, b)
+	if !ok {
+		return 0
+	}
+	if hops == 0 {
+		return 100 * time.Microsecond // loopback
+	}
+	return time.Duration(hops)*n.opts.HopTransit +
+		time.Duration(hops)*calib.TransmissionTime(size)
+}
+
+// --- host lifecycle and failures ---
+
+// Up reports whether the host is running.
+func (n *Network) Up(host string) bool {
+	nd, ok := n.hosts[host]
+	return ok && nd.up
+}
+
+// Crash takes a host down: its listeners and datagram handlers vanish,
+// its circuit endpoints die silently, and remote peers notice after the
+// break-detection delay.
+func (n *Network) Crash(host string) error {
+	nd, ok := n.hosts[host]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, host)
+	}
+	if !nd.up {
+		return nil
+	}
+	nd.up = false
+	nd.listeners = make(map[uint16]func(*Conn))
+	nd.dgram = make(map[uint16]func(Addr, []byte))
+	for c := range nd.conns {
+		c.dieLocal() // no callbacks: the software on this host is gone
+		if peer := c.peer; peer != nil {
+			n.breakRemote(peer)
+		}
+	}
+	nd.conns = make(map[*Conn]bool)
+	return nil
+}
+
+// Restart brings a crashed host back up with no listeners (system
+// daemons must be restarted by the environment).
+func (n *Network) Restart(host string) error {
+	nd, ok := n.hosts[host]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, host)
+	}
+	nd.up = true
+	return nil
+}
+
+// Partition splits the network: hosts in groups[i] land in partition
+// group i+1; hosts not mentioned stay in group 0. Circuits crossing a
+// group boundary break after the detection delay.
+func (n *Network) Partition(groups ...[]string) error {
+	for _, nd := range n.hosts {
+		nd.group = 0
+	}
+	for i, g := range groups {
+		for _, h := range g {
+			nd, ok := n.hosts[h]
+			if !ok {
+				return fmt.Errorf("%w: %s", ErrUnknownHost, h)
+			}
+			nd.group = i + 1
+		}
+	}
+	n.breakSeveredConns()
+	return nil
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	for _, nd := range n.hosts {
+		nd.group = 0
+	}
+}
+
+func (n *Network) breakSeveredConns() {
+	for _, nd := range n.hosts {
+		for c := range nd.conns {
+			if c.peer == nil || !c.open {
+				continue
+			}
+			if !n.Reachable(c.local.Host, c.remote.Host) {
+				n.breakRemote(c)
+			}
+		}
+	}
+}
+
+// breakRemote schedules a broken-circuit notification on conn after the
+// break-detection delay.
+func (n *Network) breakRemote(c *Conn) {
+	if c == nil || !c.open || c.breaking {
+		return
+	}
+	c.breaking = true
+	n.sched.After(n.opts.BreakDetect, func() {
+		c.closeWith(ErrPeerLost)
+	})
+	n.stats.ConnsBroken++
+	n.emitTap(TapEvent{Kind: TapConnBreak, From: c.local, To: c.remote, Circuit: true})
+}
+
+// --- datagrams ---
+
+// HandleDatagram installs a datagram handler on host:port.
+func (n *Network) HandleDatagram(host string, port uint16, fn func(from Addr, payload []byte)) error {
+	nd, ok := n.hosts[host]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, host)
+	}
+	if !nd.up {
+		return fmt.Errorf("%w: %s", ErrHostDown, host)
+	}
+	if _, exists := nd.dgram[port]; exists {
+		return fmt.Errorf("%w: %s:%d", ErrPortInUse, host, port)
+	}
+	nd.dgram[port] = fn
+	return nil
+}
+
+// RemoveDatagramHandler uninstalls a datagram handler.
+func (n *Network) RemoveDatagramHandler(host string, port uint16) {
+	if nd, ok := n.hosts[host]; ok {
+		delete(nd.dgram, port)
+	}
+}
+
+// SendDatagram delivers a datagram with best-effort semantics: silently
+// dropped if the destination is unreachable or has no handler, like
+// UDP.
+func (n *Network) SendDatagram(from, to Addr, payload []byte) {
+	n.stats.MsgsSent++
+	n.stats.BytesSent += int64(len(payload))
+	n.emitTap(TapEvent{Kind: TapSend, From: from, To: to, Size: len(payload)})
+	if !n.Reachable(from.Host, to.Host) {
+		n.stats.MsgsDropped++
+		n.emitTap(TapEvent{Kind: TapDrop, From: from, To: to, Size: len(payload)})
+		return
+	}
+	delay := n.transit(from.Host, to.Host, len(payload))
+	body := append([]byte(nil), payload...)
+	n.sched.After(delay, func() {
+		nd, ok := n.hosts[to.Host]
+		if !ok || !nd.up || !n.Reachable(from.Host, to.Host) {
+			n.stats.MsgsDropped++
+			n.emitTap(TapEvent{Kind: TapDrop, From: from, To: to, Size: len(body)})
+			return
+		}
+		h, ok := nd.dgram[to.Port]
+		if !ok {
+			n.stats.MsgsDropped++
+			n.emitTap(TapEvent{Kind: TapDrop, From: from, To: to, Size: len(body)})
+			return
+		}
+		n.emitTap(TapEvent{Kind: TapDeliver, From: from, To: to, Size: len(body)})
+		h(from, body)
+	})
+}
+
+// --- reliable stream circuits ---
+
+// Conn is one endpoint of a reliable, message-framed virtual circuit.
+// Callbacks (message and close handlers) run on the scheduler.
+type Conn struct {
+	net      *Network
+	local    Addr
+	remote   Addr
+	peer     *Conn
+	open     bool
+	breaking bool
+	lastRecv sim.Time // enforces FIFO even when sizes vary
+	onMsg    func([]byte)
+	onClose  func(error)
+}
+
+// LocalAddr returns the endpoint's own address.
+func (c *Conn) LocalAddr() Addr { return c.local }
+
+// RemoteAddr returns the peer's address.
+func (c *Conn) RemoteAddr() Addr { return c.remote }
+
+// Open reports whether the circuit is usable.
+func (c *Conn) Open() bool { return c.open }
+
+// SetHandler installs the message callback.
+func (c *Conn) SetHandler(fn func(payload []byte)) { c.onMsg = fn }
+
+// SetCloseHandler installs the close callback; it runs once when the
+// circuit closes or breaks.
+func (c *Conn) SetCloseHandler(fn func(err error)) { c.onClose = fn }
+
+// Send transmits one framed message to the peer. Delivery is reliable
+// and in order while the circuit lives; if the circuit breaks before
+// delivery the message is lost and both ends learn of the break.
+func (c *Conn) Send(payload []byte) error {
+	if !c.open {
+		return ErrConnClosed
+	}
+	n := c.net
+	n.stats.MsgsSent++
+	n.stats.BytesSent += int64(len(payload))
+	n.emitTap(TapEvent{Kind: TapSend, From: c.local, To: c.remote, Size: len(payload), Circuit: true})
+	if !n.Reachable(c.local.Host, c.remote.Host) {
+		// TCP would retransmit and eventually time out; model that as
+		// an eventual break of both endpoints.
+		n.stats.MsgsDropped++
+		n.breakRemote(c)
+		n.breakRemote(c.peer)
+		return nil
+	}
+	delay := n.transit(c.local.Host, c.remote.Host, len(payload))
+	at := n.sched.Now().Add(delay)
+	peer := c.peer
+	if at.Before(peer.lastRecv) {
+		at = peer.lastRecv // FIFO per circuit
+	}
+	peer.lastRecv = at
+	body := append([]byte(nil), payload...)
+	n.sched.At(at, func() {
+		if !peer.open {
+			n.stats.MsgsDropped++
+			n.emitTap(TapEvent{Kind: TapDrop, From: c.local, To: c.remote, Size: len(body), Circuit: true})
+			return
+		}
+		if !n.Reachable(c.local.Host, c.remote.Host) {
+			n.stats.MsgsDropped++
+			n.emitTap(TapEvent{Kind: TapDrop, From: c.local, To: c.remote, Size: len(body), Circuit: true})
+			n.breakRemote(c)
+			n.breakRemote(peer)
+			return
+		}
+		n.emitTap(TapEvent{Kind: TapDeliver, From: c.local, To: c.remote, Size: len(body), Circuit: true})
+		if peer.onMsg != nil {
+			peer.onMsg(body)
+		}
+	})
+	return nil
+}
+
+// Close shuts the circuit down cleanly; the peer's close handler runs
+// after one transit delay with a nil error. The close notification is
+// ordered after any data already in flight (TCP delivers data before
+// the FIN).
+func (c *Conn) Close() {
+	if !c.open {
+		return
+	}
+	c.closeWith(nil)
+	peer := c.peer
+	if peer != nil && peer.open {
+		at := c.net.sched.Now().Add(c.net.transit(c.local.Host, c.remote.Host, 0))
+		if at.Before(peer.lastRecv) {
+			at = peer.lastRecv
+		}
+		peer.lastRecv = at
+		c.net.sched.At(at, func() { peer.closeWith(nil) })
+	}
+}
+
+// dieLocal tears the endpoint down without callbacks (host crash).
+func (c *Conn) dieLocal() {
+	c.open = false
+	c.onMsg = nil
+	c.onClose = nil
+}
+
+func (c *Conn) closeWith(err error) {
+	if !c.open {
+		return
+	}
+	c.open = false
+	if nd, ok := c.net.hosts[c.local.Host]; ok {
+		delete(nd.conns, c)
+	}
+	if c.onClose != nil {
+		cb := c.onClose
+		c.onClose = nil
+		cb(err)
+	}
+}
+
+// Listen installs an accept callback on host:port. The callback
+// receives the server-side Conn of each new circuit.
+func (n *Network) Listen(host string, port uint16, accept func(*Conn)) error {
+	nd, ok := n.hosts[host]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, host)
+	}
+	if !nd.up {
+		return fmt.Errorf("%w: %s", ErrHostDown, host)
+	}
+	if _, exists := nd.listeners[port]; exists {
+		return fmt.Errorf("%w: %s:%d", ErrPortInUse, host, port)
+	}
+	nd.listeners[port] = accept
+	return nil
+}
+
+// CloseListen removes a listener; established circuits are unaffected.
+func (n *Network) CloseListen(host string, port uint16) {
+	if nd, ok := n.hosts[host]; ok {
+		delete(nd.listeners, port)
+	}
+}
+
+// Dial opens a circuit from a host to a listening address. The callback
+// runs after the simulated handshake with either an open Conn or an
+// error (refused, unreachable, host down).
+func (n *Network) Dial(fromHost string, to Addr, cb func(*Conn, error)) {
+	n.stats.DialAttempts++
+	src, ok := n.hosts[fromHost]
+	if !ok {
+		n.sched.Defer(func() { cb(nil, fmt.Errorf("%w: %s", ErrUnknownHost, fromHost)) })
+		return
+	}
+	if !src.up {
+		n.sched.Defer(func() { cb(nil, fmt.Errorf("%w: %s", ErrHostDown, fromHost)) })
+		return
+	}
+	if !n.Reachable(fromHost, to.Host) {
+		// A connect() to an unreachable host times out; model with the
+		// break-detect delay.
+		n.sched.After(n.opts.BreakDetect, func() {
+			cb(nil, fmt.Errorf("%w: %s -> %s", ErrUnreachable, fromHost, to.Host))
+		})
+		return
+	}
+	src.nextPort++
+	local := Addr{Host: fromHost, Port: src.nextPort}
+	d := n.transit(fromHost, to.Host, 64) // SYN
+	n.sched.After(d, func() {
+		dst, ok := n.hosts[to.Host]
+		if !ok || !dst.up || !n.Reachable(fromHost, to.Host) {
+			n.sched.After(n.opts.BreakDetect, func() {
+				cb(nil, fmt.Errorf("%w: %s -> %s", ErrUnreachable, fromHost, to.Host))
+			})
+			return
+		}
+		acceptFn, ok := dst.listeners[to.Port]
+		if !ok {
+			n.sched.After(d, func() { cb(nil, fmt.Errorf("%w: %s", ErrNoListener, to)) })
+			return
+		}
+		client := &Conn{net: n, local: local, remote: to, open: true}
+		server := &Conn{net: n, local: to, remote: local, open: true}
+		client.peer = server
+		server.peer = client
+		src.conns[client] = true
+		dst.conns[server] = true
+		n.stats.ConnsOpened++
+		n.emitTap(TapEvent{Kind: TapConnOpen, From: local, To: to, Circuit: true})
+		acceptFn(server)
+		n.sched.After(d, func() { // SYN-ACK back to the dialer
+			if !client.open {
+				cb(nil, ErrConnClosed)
+				return
+			}
+			cb(client, nil)
+		})
+	})
+}

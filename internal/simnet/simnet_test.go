@@ -1,0 +1,439 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ppm/internal/sim"
+)
+
+// threeHostChain builds A --seg1-- B --seg2-- C: A<->B one hop,
+// A<->C two hops with B as the gateway.
+func threeHostChain(t *testing.T) (*sim.Scheduler, *Network) {
+	t.Helper()
+	s := sim.NewScheduler(1)
+	n := New(s, Options{})
+	for _, h := range []string{"a", "b", "c"} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddSegment("seg1", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSegment("seg2", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	return s, n
+}
+
+func TestHopsChain(t *testing.T) {
+	_, n := threeHostChain(t)
+	cases := []struct {
+		a, b string
+		hops int
+	}{
+		{"a", "a", 0}, {"a", "b", 1}, {"b", "c", 1}, {"a", "c", 2},
+	}
+	for _, tc := range cases {
+		got, ok := n.Hops(tc.a, tc.b)
+		if !ok || got != tc.hops {
+			t.Fatalf("Hops(%s,%s) = %d,%v want %d", tc.a, tc.b, got, ok, tc.hops)
+		}
+	}
+}
+
+func TestHopsNoPath(t *testing.T) {
+	s := sim.NewScheduler(1)
+	n := New(s, Options{})
+	_ = n.AddHost("a")
+	_ = n.AddHost("island")
+	_ = n.AddSegment("seg1", "a")
+	if _, ok := n.Hops("a", "island"); ok {
+		t.Fatal("disconnected hosts should have no route")
+	}
+	if n.Reachable("a", "island") {
+		t.Fatal("disconnected hosts reachable")
+	}
+}
+
+func TestDuplicateHostRejected(t *testing.T) {
+	s := sim.NewScheduler(1)
+	n := New(s, Options{})
+	_ = n.AddHost("a")
+	if err := n.AddHost("a"); !errors.Is(err, ErrDuplicateHost) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSegmentUnknownHost(t *testing.T) {
+	s := sim.NewScheduler(1)
+	n := New(s, Options{})
+	if err := n.AddSegment("seg", "ghost"); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDatagramDelivery(t *testing.T) {
+	s, n := threeHostChain(t)
+	var got []byte
+	var from Addr
+	if err := n.HandleDatagram("b", 100, func(f Addr, p []byte) { from, got = f, p }); err != nil {
+		t.Fatal(err)
+	}
+	n.SendDatagram(Addr{"a", 5}, Addr{"b", 100}, []byte("hi"))
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hi" || from.Host != "a" {
+		t.Fatalf("got %q from %v", got, from)
+	}
+}
+
+func TestDatagramDroppedNoHandler(t *testing.T) {
+	s, n := threeHostChain(t)
+	n.SendDatagram(Addr{"a", 5}, Addr{"b", 999}, []byte("hi"))
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats().MsgsDropped != 1 {
+		t.Fatalf("dropped = %d, want 1", n.Stats().MsgsDropped)
+	}
+}
+
+func TestDatagramLatencyScalesWithHops(t *testing.T) {
+	s, n := threeHostChain(t)
+	var oneHopAt, twoHopAt sim.Time
+	_ = n.HandleDatagram("b", 1, func(Addr, []byte) { oneHopAt = s.Now() })
+	_ = n.HandleDatagram("c", 1, func(Addr, []byte) { twoHopAt = s.Now() })
+	n.SendDatagram(Addr{"a", 9}, Addr{"b", 1}, []byte("x"))
+	n.SendDatagram(Addr{"a", 9}, Addr{"c", 1}, []byte("x"))
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if oneHopAt == 0 || twoHopAt == 0 {
+		t.Fatal("messages not delivered")
+	}
+	if twoHopAt < oneHopAt*2-sim.Time(time.Millisecond) {
+		t.Fatalf("two-hop latency %v should be ~2x one-hop %v", twoHopAt, oneHopAt)
+	}
+}
+
+func dial(t *testing.T, s *sim.Scheduler, n *Network, from string, to Addr) (*Conn, *Conn) {
+	t.Helper()
+	var client, server *Conn
+	var dialErr error
+	if err := n.Listen(to.Host, to.Port, func(c *Conn) { server = c }); err != nil {
+		t.Fatal(err)
+	}
+	n.Dial(from, to, func(c *Conn, err error) { client, dialErr = c, err })
+	if err := s.RunUntilIdle(1000); err != nil {
+		t.Fatal(err)
+	}
+	if dialErr != nil {
+		t.Fatal(dialErr)
+	}
+	if client == nil || server == nil {
+		t.Fatal("handshake incomplete")
+	}
+	n.CloseListen(to.Host, to.Port)
+	return client, server
+}
+
+func TestCircuitSendBothWays(t *testing.T) {
+	s, n := threeHostChain(t)
+	client, server := dial(t, s, n, "a", Addr{"b", 2001})
+	var atServer, atClient string
+	server.SetHandler(func(p []byte) { atServer = string(p) })
+	client.SetHandler(func(p []byte) { atClient = string(p) })
+	if err := client.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if atServer != "ping" {
+		t.Fatalf("server got %q", atServer)
+	}
+	if err := server.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if atClient != "pong" {
+		t.Fatalf("client got %q", atClient)
+	}
+}
+
+func TestCircuitFIFOWithMixedSizes(t *testing.T) {
+	s, n := threeHostChain(t)
+	client, server := dial(t, s, n, "a", Addr{"c", 2001})
+	var got []int
+	server.SetHandler(func(p []byte) { got = append(got, len(p)) })
+	big := make([]byte, 100000) // serializes slowly
+	_ = client.Send(big)
+	_ = client.Send([]byte("x")) // small, would overtake without FIFO
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 100000 || got[1] != 1 {
+		t.Fatalf("order = %v, want [100000 1]", got)
+	}
+}
+
+func TestDialRefusedNoListener(t *testing.T) {
+	s, n := threeHostChain(t)
+	var dialErr error
+	done := false
+	n.Dial("a", Addr{"b", 4444}, func(c *Conn, err error) { dialErr, done = err, true })
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if !done || !errors.Is(dialErr, ErrNoListener) {
+		t.Fatalf("err = %v done=%v", dialErr, done)
+	}
+}
+
+func TestDialUnknownAndDownHosts(t *testing.T) {
+	s, n := threeHostChain(t)
+	var err1, err2 error
+	n.Dial("ghost", Addr{"b", 1}, func(_ *Conn, err error) { err1 = err })
+	_ = n.Crash("a")
+	n.Dial("a", Addr{"b", 1}, func(_ *Conn, err error) { err2 = err })
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(err1, ErrUnknownHost) {
+		t.Fatalf("err1 = %v", err1)
+	}
+	if !errors.Is(err2, ErrHostDown) {
+		t.Fatalf("err2 = %v", err2)
+	}
+}
+
+func TestDialUnreachableTimesOut(t *testing.T) {
+	s, n := threeHostChain(t)
+	_ = n.Crash("c")
+	var dialErr error
+	n.Dial("a", Addr{"c", 1}, func(_ *Conn, err error) { dialErr = err })
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(dialErr, ErrUnreachable) {
+		t.Fatalf("err = %v", dialErr)
+	}
+	// Timeout should take the break-detect delay, not be instant.
+	if s.Now() < sim.Time(time.Second) {
+		t.Fatalf("timed out too fast: %v", s.Now())
+	}
+}
+
+func TestCleanCloseNotifiesPeer(t *testing.T) {
+	s, n := threeHostChain(t)
+	client, server := dial(t, s, n, "a", Addr{"b", 2001})
+	var closedErr error
+	closed := false
+	server.SetCloseHandler(func(err error) { closedErr, closed = err, true })
+	client.Close()
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if !closed || closedErr != nil {
+		t.Fatalf("closed=%v err=%v, want clean close", closed, closedErr)
+	}
+	if client.Open() || server.Open() {
+		t.Fatal("both ends should be closed")
+	}
+	if err := client.Send([]byte("x")); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("send on closed conn: %v", err)
+	}
+}
+
+func TestCrashBreaksCircuitRemoteNoticesLater(t *testing.T) {
+	s, n := threeHostChain(t)
+	client, server := dial(t, s, n, "a", Addr{"b", 2001})
+	_ = server // stays on b
+	var gotErr error
+	client.SetCloseHandler(func(err error) { gotErr = err })
+	crashAt := s.Now()
+	if err := n.Crash("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrPeerLost) {
+		t.Fatalf("close err = %v, want ErrPeerLost", gotErr)
+	}
+	if s.Now().Sub(crashAt) < time.Second {
+		t.Fatal("break detection should not be instantaneous")
+	}
+}
+
+func TestCrashedHostCallbacksNeverRun(t *testing.T) {
+	s, n := threeHostChain(t)
+	client, server := dial(t, s, n, "a", Addr{"b", 2001})
+	ran := false
+	server.SetCloseHandler(func(error) { ran = true })
+	server.SetHandler(func([]byte) { ran = true })
+	_ = n.Crash("b")
+	_ = client.Send([]byte("into the void"))
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("callbacks on a crashed host must not run")
+	}
+}
+
+func TestPartitionBreaksCrossCircuits(t *testing.T) {
+	s, n := threeHostChain(t)
+	client, server := dial(t, s, n, "a", Addr{"c", 2001})
+	var cErr, sErr error
+	client.SetCloseHandler(func(err error) { cErr = err })
+	server.SetCloseHandler(func(err error) { sErr = err })
+	if err := n.Partition([]string{"a"}, []string{"b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(cErr, ErrPeerLost) || !errors.Is(sErr, ErrPeerLost) {
+		t.Fatalf("cErr=%v sErr=%v", cErr, sErr)
+	}
+	if n.Reachable("a", "c") {
+		t.Fatal("partitioned hosts reachable")
+	}
+	n.Heal()
+	if !n.Reachable("a", "c") {
+		t.Fatal("healed hosts unreachable")
+	}
+}
+
+func TestPartitionSameGroupStillWorks(t *testing.T) {
+	s, n := threeHostChain(t)
+	if err := n.Partition([]string{"a"}, []string{"b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Reachable("b", "c") {
+		t.Fatal("b and c share a partition group")
+	}
+	var got string
+	_ = n.HandleDatagram("c", 7, func(_ Addr, p []byte) { got = string(p) })
+	n.SendDatagram(Addr{"b", 1}, Addr{"c", 7}, []byte("ok"))
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if got != "ok" {
+		t.Fatal("datagram within a partition group dropped")
+	}
+}
+
+func TestSendAcrossPartitionEventuallyBreaksCircuit(t *testing.T) {
+	s, n := threeHostChain(t)
+	client, server := dial(t, s, n, "a", Addr{"b", 2001})
+	// Partition after establishment but check send-triggered breakage:
+	// Heal first so Partition's own sweep is not the trigger.
+	_ = n.Partition([]string{"a"}, []string{"b"})
+	// The sweep already breaks it; make a fresh pair to test send path.
+	if err := s.RunUntilIdle(1000); err != nil {
+		t.Fatal(err)
+	}
+	n.Heal()
+	client2, server2 := dial(t, s, n, "a", Addr{"b", 2002})
+	_ = client
+	_ = server
+	var broke bool
+	client2.SetCloseHandler(func(err error) { broke = errors.Is(err, ErrPeerLost) })
+	_ = server2
+	// Emulate a partition that the sweep somehow missed by healing the
+	// group bookkeeping trick: crash c (irrelevant) then partition.
+	_ = n.Partition([]string{"a"}, []string{"b"})
+	if err := s.RunUntilIdle(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !broke {
+		t.Fatal("circuit across partition did not break")
+	}
+}
+
+func TestRestartAfterCrash(t *testing.T) {
+	s, n := threeHostChain(t)
+	_ = n.Crash("b")
+	if n.Up("b") {
+		t.Fatal("b should be down")
+	}
+	if err := n.Restart("b"); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Up("b") {
+		t.Fatal("b should be up")
+	}
+	// Listeners are gone after restart: dialing is refused.
+	var dialErr error
+	n.Dial("a", Addr{"b", 2001}, func(_ *Conn, err error) { dialErr = err })
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(dialErr, ErrNoListener) {
+		t.Fatalf("err = %v, want refused", dialErr)
+	}
+}
+
+func TestListenPortConflict(t *testing.T) {
+	_, n := threeHostChain(t)
+	if err := n.Listen("a", 1, func(*Conn) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Listen("a", 1, func(*Conn) {}); !errors.Is(err, ErrPortInUse) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s, n := threeHostChain(t)
+	client, _ := dial(t, s, n, "a", Addr{"b", 2001})
+	_ = client.Send([]byte("12345"))
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.ConnsOpened != 1 || st.DialAttempts != 1 {
+		t.Fatalf("conn stats wrong: %+v", st)
+	}
+	if st.MsgsSent < 1 || st.BytesSent < 5 {
+		t.Fatalf("msg stats wrong: %+v", st)
+	}
+	n.ResetStats()
+	if n.Stats().MsgsSent != 0 {
+		t.Fatal("reset did not zero stats")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{Host: "vax1", Port: 2001}
+	if a.String() != "vax1:2001" {
+		t.Fatalf("String = %q", a.String())
+	}
+	if !(Addr{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestLoopbackDelivery(t *testing.T) {
+	s, n := threeHostChain(t)
+	var got string
+	_ = n.HandleDatagram("a", 7, func(_ Addr, p []byte) { got = string(p) })
+	n.SendDatagram(Addr{"a", 1}, Addr{"a", 7}, []byte("self"))
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if got != "self" {
+		t.Fatal("loopback datagram lost")
+	}
+	if s.Now() > sim.Time(time.Millisecond) {
+		t.Fatalf("loopback should be fast, took %v", s.Now())
+	}
+}

@@ -1,0 +1,149 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppm/internal/sim"
+)
+
+// TapKind classifies network tap events.
+type TapKind int
+
+// Tap event kinds.
+const (
+	TapSend TapKind = iota + 1
+	TapDeliver
+	TapDrop
+	TapConnOpen
+	TapConnBreak
+)
+
+// String names the kind.
+func (k TapKind) String() string {
+	switch k {
+	case TapSend:
+		return "send"
+	case TapDeliver:
+		return "deliver"
+	case TapDrop:
+		return "drop"
+	case TapConnOpen:
+		return "open"
+	case TapConnBreak:
+		return "break"
+	default:
+		return "tap?"
+	}
+}
+
+// TapEvent is one observed network occurrence: the wire-level
+// visibility needed to assess message routing (paper §7).
+type TapEvent struct {
+	At      sim.Time
+	Kind    TapKind
+	From    Addr
+	To      Addr
+	Size    int
+	Circuit bool
+}
+
+// SetTap installs a network observer; nil removes it. The tap sees
+// datagram and circuit traffic, drops, circuit openings and breaks.
+func (n *Network) SetTap(fn func(TapEvent)) { n.tap = fn }
+
+func (n *Network) emitTap(ev TapEvent) {
+	if n.tap != nil {
+		ev.At = n.sched.Now()
+		n.tap(ev)
+	}
+}
+
+// TraceCollector accumulates tap events up to a bound.
+type TraceCollector struct {
+	Events  []TapEvent
+	Dropped int // events beyond the bound
+	limit   int
+}
+
+// Trace installs a bounded collector as the network tap and returns it
+// (limit 0 means 4096 events).
+func (n *Network) Trace(limit int) *TraceCollector {
+	if limit <= 0 {
+		limit = 4096
+	}
+	tc := &TraceCollector{limit: limit}
+	n.SetTap(tc.add)
+	return tc
+}
+
+func (tc *TraceCollector) add(ev TapEvent) {
+	if len(tc.Events) >= tc.limit {
+		tc.Dropped++
+		return
+	}
+	tc.Events = append(tc.Events, ev)
+}
+
+// flowKey aggregates by host pair.
+type flowKey struct{ from, to string }
+
+// FlowStat summarizes one directed host-pair flow.
+type FlowStat struct {
+	From, To string
+	Msgs     int
+	Bytes    int
+	Drops    int
+}
+
+// Flows reduces the trace to per-host-pair statistics, sorted by
+// descending byte volume.
+func (tc *TraceCollector) Flows() []FlowStat {
+	agg := map[flowKey]*FlowStat{}
+	for _, ev := range tc.Events {
+		if ev.Kind != TapSend && ev.Kind != TapDrop {
+			continue
+		}
+		k := flowKey{ev.From.Host, ev.To.Host}
+		st, ok := agg[k]
+		if !ok {
+			st = &FlowStat{From: k.from, To: k.to}
+			agg[k] = st
+		}
+		if ev.Kind == TapDrop {
+			st.Drops++
+			continue
+		}
+		st.Msgs++
+		st.Bytes += ev.Size
+	}
+	out := make([]FlowStat, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Format renders the flow summary.
+func (tc *TraceCollector) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-10s %8s %10s %6s\n", "from", "to", "msgs", "bytes", "drops")
+	for _, f := range tc.Flows() {
+		fmt.Fprintf(&b, "%-10s %-10s %8d %10d %6d\n", f.From, f.To, f.Msgs, f.Bytes, f.Drops)
+	}
+	if tc.Dropped > 0 {
+		fmt.Fprintf(&b, "(trace truncated: %d events beyond the %d-event bound)\n",
+			tc.Dropped, tc.limit)
+	}
+	return b.String()
+}

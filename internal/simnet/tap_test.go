@@ -1,0 +1,142 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTapSeesDatagramLifecycle(t *testing.T) {
+	s, n := threeHostChain(t)
+	tc := n.Trace(0)
+	_ = n.HandleDatagram("b", 1, func(Addr, []byte) {})
+	n.SendDatagram(Addr{"a", 9}, Addr{"b", 1}, []byte("hello"))
+	n.SendDatagram(Addr{"a", 9}, Addr{"b", 99}, []byte("drop me")) // no handler
+	if err := s.RunUntilIdle(1000); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[TapKind]int{}
+	for _, ev := range tc.Events {
+		kinds[ev.Kind]++
+	}
+	if kinds[TapSend] != 2 || kinds[TapDeliver] != 1 || kinds[TapDrop] != 1 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestTapSeesCircuitTraffic(t *testing.T) {
+	s, n := threeHostChain(t)
+	tc := n.Trace(0)
+	client, server := dial(t, s, n, "a", Addr{"b", 2001})
+	server.SetHandler(func([]byte) {})
+	_ = client.Send([]byte("0123456789"))
+	if err := s.RunUntilIdle(1000); err != nil {
+		t.Fatal(err)
+	}
+	var opened, sent, delivered bool
+	for _, ev := range tc.Events {
+		switch ev.Kind {
+		case TapConnOpen:
+			opened = true
+		case TapSend:
+			if ev.Circuit && ev.Size == 10 {
+				sent = true
+			}
+		case TapDeliver:
+			if ev.Circuit && ev.Size == 10 {
+				delivered = true
+			}
+		}
+	}
+	if !opened || !sent || !delivered {
+		t.Fatalf("opened=%v sent=%v delivered=%v", opened, sent, delivered)
+	}
+}
+
+func TestTapSeesBreaks(t *testing.T) {
+	s, n := threeHostChain(t)
+	tc := n.Trace(0)
+	_, _ = dial(t, s, n, "a", Addr{"b", 2001})
+	_ = n.Crash("b")
+	if err := s.RunUntilIdle(1000); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range tc.Events {
+		if ev.Kind == TapConnBreak {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no break event")
+	}
+}
+
+func TestFlowsAggregation(t *testing.T) {
+	s, n := threeHostChain(t)
+	tc := n.Trace(0)
+	_ = n.HandleDatagram("b", 1, func(Addr, []byte) {})
+	_ = n.HandleDatagram("c", 1, func(Addr, []byte) {})
+	for i := 0; i < 3; i++ {
+		n.SendDatagram(Addr{"a", 9}, Addr{"b", 1}, make([]byte, 100))
+	}
+	n.SendDatagram(Addr{"a", 9}, Addr{"c", 1}, make([]byte, 50))
+	if err := s.RunUntilIdle(1000); err != nil {
+		t.Fatal(err)
+	}
+	flows := tc.Flows()
+	if len(flows) != 2 {
+		t.Fatalf("flows = %+v", flows)
+	}
+	// Sorted by bytes: a->b (300) before a->c (50).
+	if flows[0].To != "b" || flows[0].Msgs != 3 || flows[0].Bytes != 300 {
+		t.Fatalf("top flow = %+v", flows[0])
+	}
+	out := tc.Format()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "300") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestTraceBounded(t *testing.T) {
+	s, n := threeHostChain(t)
+	tc := n.Trace(3)
+	_ = n.HandleDatagram("b", 1, func(Addr, []byte) {})
+	for i := 0; i < 10; i++ {
+		n.SendDatagram(Addr{"a", 9}, Addr{"b", 1}, []byte("x"))
+	}
+	if err := s.RunUntilIdle(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(tc.Events) != 3 || tc.Dropped == 0 {
+		t.Fatalf("events=%d dropped=%d", len(tc.Events), tc.Dropped)
+	}
+	if !strings.Contains(tc.Format(), "truncated") {
+		t.Fatal("truncation not reported")
+	}
+}
+
+func TestTapRemoval(t *testing.T) {
+	s, n := threeHostChain(t)
+	tc := n.Trace(0)
+	n.SetTap(nil)
+	_ = n.HandleDatagram("b", 1, func(Addr, []byte) {})
+	n.SendDatagram(Addr{"a", 9}, Addr{"b", 1}, []byte("x"))
+	if err := s.RunUntilIdle(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(tc.Events) != 0 {
+		t.Fatal("removed tap still collecting")
+	}
+}
+
+func TestTapKindStrings(t *testing.T) {
+	want := map[TapKind]string{
+		TapSend: "send", TapDeliver: "deliver", TapDrop: "drop",
+		TapConnOpen: "open", TapConnBreak: "break", TapKind(9): "tap?",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d: %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package wire defines the PPM's on-the-wire protocol: a compact binary
+// codec, the message types exchanged between tools, LPMs, the kernel
+// and the process manager daemons, and the signed timestamps used to
+// deduplicate broadcast requests.
+//
+// The encoding is deliberately explicit (fixed-width integers, length-
+// prefixed strings) so that message sizes are deterministic; the
+// simulated network charges transmission time by the encoded size, and
+// the paper's kernel event messages are exactly 112 bytes.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Encoding errors.
+var (
+	ErrShortBuffer = errors.New("wire: short buffer")
+	ErrInvalid     = errors.New("wire: invalid encoding")
+)
+
+// Encoder builds a binary message. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with capacity preallocated.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer. The caller must not modify it while
+// continuing to use the encoder.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a big-endian 16-bit integer.
+func (e *Encoder) U16(v uint16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+
+// U32 appends a big-endian 32-bit integer.
+func (e *Encoder) U32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// U64 appends a big-endian 64-bit integer.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// I32 appends a big-endian signed 32-bit integer.
+func (e *Encoder) I32(v int32) { e.U32(uint32(v)) }
+
+// I64 appends a big-endian signed 64-bit integer.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// F64 appends an IEEE-754 double.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Duration appends a time.Duration as a signed 64-bit nanosecond count.
+func (e *Encoder) Duration(d time.Duration) { e.I64(int64(d)) }
+
+// String appends a length-prefixed UTF-8 string (u16 length).
+func (e *Encoder) String(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	e.U16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Bytes32 appends a length-prefixed byte slice (u32 length).
+func (e *Encoder) Bytes32(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// StringSlice appends a u16-counted slice of strings.
+func (e *Encoder) StringSlice(ss []string) {
+	if len(ss) > math.MaxUint16 {
+		ss = ss[:math.MaxUint16]
+	}
+	e.U16(uint16(len(ss)))
+	for _, s := range ss {
+		e.String(s)
+	}
+}
+
+// Pad appends zero bytes until the buffer reaches size. It is used to
+// give kernel event messages their fixed 112-byte size. If the buffer
+// already exceeds size, Pad does nothing and PadOverflow reports it.
+func (e *Encoder) Pad(size int) {
+	for len(e.buf) < size {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Decoder reads a binary message produced by Encoder. Errors are
+// sticky: after the first failure all reads return zero values and Err
+// reports the failure.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = ErrShortBuffer
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian 16-bit integer.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian 32-bit integer.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian 64-bit integer.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I32 reads a big-endian signed 32-bit integer.
+func (d *Decoder) I32() int32 { return int32(d.U32()) }
+
+// I64 reads a big-endian signed 64-bit integer.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Bool reads a boolean byte; any nonzero value is true.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// F64 reads an IEEE-754 double.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Duration reads a nanosecond duration.
+func (d *Decoder) Duration() time.Duration { return time.Duration(d.I64()) }
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := int(d.U16())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Bytes32 reads a u32-length-prefixed byte slice (copied).
+func (d *Decoder) Bytes32() []byte {
+	n := int(d.U32())
+	if n > d.Remaining() {
+		d.err = ErrShortBuffer
+		return nil
+	}
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// StringSlice reads a u16-counted slice of strings.
+func (d *Decoder) StringSlice() []string {
+	n := int(d.U16())
+	if n == 0 {
+		return nil
+	}
+	if n > d.Remaining() { // each string needs at least its 2-byte length
+		d.err = ErrShortBuffer
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.String())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Skip discards n bytes (used to skip padding).
+func (d *Decoder) Skip(n int) { d.take(n) }
+
+// Finish returns an error if decoding failed earlier. Trailing bytes
+// are permitted (padding).
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return fmt.Errorf("decode: %w", d.err)
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	e := NewEncoder(0)
+	e.U8(7)
+	e.U16(300)
+	e.U32(70000)
+	e.U64(1 << 40)
+	e.I32(-5)
+	e.I64(-1 << 40)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64(3.25)
+	e.Duration(42 * time.Millisecond)
+	e.String("hello")
+	e.Bytes32([]byte{1, 2, 3})
+	e.StringSlice([]string{"a", "bb"})
+
+	d := NewDecoder(e.Bytes())
+	if d.U8() != 7 || d.U16() != 300 || d.U32() != 70000 || d.U64() != 1<<40 {
+		t.Fatal("unsigned round trip failed")
+	}
+	if d.I32() != -5 || d.I64() != -1<<40 {
+		t.Fatal("signed round trip failed")
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bool round trip failed")
+	}
+	if d.F64() != 3.25 {
+		t.Fatal("float round trip failed")
+	}
+	if d.Duration() != 42*time.Millisecond {
+		t.Fatal("duration round trip failed")
+	}
+	if d.String() != "hello" {
+		t.Fatal("string round trip failed")
+	}
+	if !bytes.Equal(d.Bytes32(), []byte{1, 2, 3}) {
+		t.Fatal("bytes round trip failed")
+	}
+	ss := d.StringSlice()
+	if len(ss) != 2 || ss[0] != "a" || ss[1] != "bb" {
+		t.Fatal("string slice round trip failed")
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestDecoderShortBufferSticky(t *testing.T) {
+	d := NewDecoder([]byte{0x01})
+	_ = d.U32() // needs 4 bytes
+	if d.Err() == nil {
+		t.Fatal("expected short-buffer error")
+	}
+	// Sticky: further reads return zero values and keep the error.
+	if d.U8() != 0 || d.String() != "" || d.Bytes32() != nil {
+		t.Fatal("post-error reads should return zero values")
+	}
+	if err := d.Finish(); err == nil {
+		t.Fatal("Finish should report the error")
+	}
+}
+
+func TestDecoderStringLengthBeyondBuffer(t *testing.T) {
+	e := NewEncoder(0)
+	e.U16(100) // claims 100 bytes follow
+	d := NewDecoder(e.Bytes())
+	if d.String() != "" || d.Err() == nil {
+		t.Fatal("oversized string length should fail")
+	}
+}
+
+func TestDecoderBytes32HugeLengthRejected(t *testing.T) {
+	e := NewEncoder(0)
+	e.U32(1 << 30)
+	d := NewDecoder(e.Bytes())
+	if d.Bytes32() != nil || d.Err() == nil {
+		t.Fatal("huge claimed length must not allocate or succeed")
+	}
+}
+
+func TestDecoderStringSliceHugeCountRejected(t *testing.T) {
+	e := NewEncoder(0)
+	e.U16(65535)
+	d := NewDecoder(e.Bytes())
+	if d.StringSlice() != nil || d.Err() == nil {
+		t.Fatal("huge claimed count must fail cleanly")
+	}
+}
+
+func TestPadReachesFixedSize(t *testing.T) {
+	e := NewEncoder(0)
+	e.String("x")
+	e.Pad(112)
+	if e.Len() != 112 {
+		t.Fatalf("len = %d, want 112", e.Len())
+	}
+	// Pad never truncates.
+	e.Pad(50)
+	if e.Len() != 112 {
+		t.Fatal("Pad should not shrink the buffer")
+	}
+}
+
+func TestSkipPadding(t *testing.T) {
+	e := NewEncoder(0)
+	e.U8(9)
+	e.Pad(10)
+	d := NewDecoder(e.Bytes())
+	if d.U8() != 9 {
+		t.Fatal("value wrong")
+	}
+	d.Skip(9)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatal("skip did not consume padding")
+	}
+}
+
+func TestBytes32ReturnsCopy(t *testing.T) {
+	e := NewEncoder(0)
+	e.Bytes32([]byte{1, 2, 3})
+	raw := e.Bytes()
+	d := NewDecoder(raw)
+	got := d.Bytes32()
+	raw[4] = 99 // mutate the underlying buffer
+	if got[0] != 1 {
+		t.Fatal("Bytes32 must copy out of the shared buffer")
+	}
+}
+
+func TestStringTruncatedAtU16Max(t *testing.T) {
+	long := make([]byte, 70000)
+	for i := range long {
+		long[i] = 'a'
+	}
+	e := NewEncoder(0)
+	e.String(string(long))
+	d := NewDecoder(e.Bytes())
+	s := d.String()
+	if len(s) != 65535 {
+		t.Fatalf("len = %d, want 65535", len(s))
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any sequence of (string, u64, bool) triples round-trips.
+func TestPropertyTripleRoundTrip(t *testing.T) {
+	f := func(ss []string, vs []uint64, bs []bool) bool {
+		n := len(ss)
+		if len(vs) < n {
+			n = len(vs)
+		}
+		if len(bs) < n {
+			n = len(bs)
+		}
+		e := NewEncoder(0)
+		for i := 0; i < n; i++ {
+			s := ss[i]
+			if len(s) > 1000 {
+				s = s[:1000]
+			}
+			e.String(s)
+			e.U64(vs[i])
+			e.Bool(bs[i])
+		}
+		d := NewDecoder(e.Bytes())
+		for i := 0; i < n; i++ {
+			s := ss[i]
+			if len(s) > 1000 {
+				s = s[:1000]
+			}
+			if d.String() != s || d.U64() != vs[i] || d.Bool() != bs[i] {
+				return false
+			}
+		}
+		return d.Finish() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decoder never panics on arbitrary input.
+func TestPropertyDecoderRobustToGarbage(t *testing.T) {
+	f := func(garbage []byte) bool {
+		d := NewDecoder(garbage)
+		_ = d.String()
+		_ = d.U64()
+		_ = d.Bytes32()
+		_ = d.StringSlice()
+		_ = d.Duration()
+		return true // reaching here (no panic) is the property
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,1036 @@
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"ppm/internal/calib"
+	"ppm/internal/proc"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint16
+
+// Protocol message types.
+const (
+	// pmd protocol — the Figure 2 creation steps.
+	MsgLPMQuery MsgType = iota + 1
+	MsgLPMQueryResp
+
+	// Sibling channel establishment (Figure 3).
+	MsgHello
+	MsgHelloResp
+
+	// Requests between tools and LPMs / between sibling LPMs.
+	MsgCreateProc
+	MsgCreateAck
+	MsgControl
+	MsgControlResp
+	MsgSnapshotReq
+	MsgSnapshotResp
+	MsgStatsReq
+	MsgStatsResp
+	MsgHistoryReq
+	MsgHistoryResp
+	MsgFDReq
+	MsgFDResp
+
+	// Graph-covering broadcast envelope and replies.
+	MsgBroadcast
+	MsgBroadcastResp
+
+	// Kernel-to-LPM event message (112 bytes).
+	MsgKernelEvent
+
+	// Liveness and recovery.
+	MsgPing
+	MsgPong
+	MsgCCSUpdate
+
+	// Failure reply.
+	MsgError
+
+	// Relay: a request forwarded through intermediate LPMs along a
+	// route learned from broadcast replies (paper §4: "this allows
+	// quick routing of messages affecting processes in topologically
+	// distant hosts").
+	MsgRelay
+	MsgRelayResp
+
+	// Remote history-dependent triggers: "history dependent events can
+	// be set by users to trigger process state changes".
+	MsgWatch
+	MsgWatchResp
+)
+
+// String returns the message type name for traces.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		MsgLPMQuery: "LPMQuery", MsgLPMQueryResp: "LPMQueryResp",
+		MsgHello: "Hello", MsgHelloResp: "HelloResp",
+		MsgCreateProc: "CreateProc", MsgCreateAck: "CreateAck",
+		MsgControl: "Control", MsgControlResp: "ControlResp",
+		MsgSnapshotReq: "SnapshotReq", MsgSnapshotResp: "SnapshotResp",
+		MsgStatsReq: "StatsReq", MsgStatsResp: "StatsResp",
+		MsgHistoryReq: "HistoryReq", MsgHistoryResp: "HistoryResp",
+		MsgFDReq: "FDReq", MsgFDResp: "FDResp",
+		MsgBroadcast: "Broadcast", MsgBroadcastResp: "BroadcastResp",
+		MsgKernelEvent: "KernelEvent",
+		MsgPing:        "Ping", MsgPong: "Pong", MsgCCSUpdate: "CCSUpdate",
+		MsgError: "Error",
+		MsgRelay: "Relay", MsgRelayResp: "RelayResp",
+		MsgWatch: "Watch", MsgWatchResp: "WatchResp",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("MsgType(%d)", uint16(t))
+}
+
+// Envelope frames every message: type, a request id correlating
+// responses with requests, and the encoded payload.
+type Envelope struct {
+	Type  MsgType
+	ReqID uint64
+	Body  []byte
+}
+
+// Encode serializes the envelope.
+func (ev Envelope) Encode() []byte {
+	e := NewEncoder(14 + len(ev.Body))
+	e.U16(uint16(ev.Type))
+	e.U64(ev.ReqID)
+	e.Bytes32(ev.Body)
+	return e.Bytes()
+}
+
+// DecodeEnvelope parses a framed message.
+func DecodeEnvelope(b []byte) (Envelope, error) {
+	d := NewDecoder(b)
+	var ev Envelope
+	ev.Type = MsgType(d.U16())
+	ev.ReqID = d.U64()
+	ev.Body = d.Bytes32()
+	if err := d.Finish(); err != nil {
+		return Envelope{}, err
+	}
+	return ev, nil
+}
+
+// --- shared field helpers ---
+
+func putGPID(e *Encoder, g proc.GPID) {
+	e.String(g.Host)
+	e.I32(int32(g.PID))
+}
+
+func getGPID(d *Decoder) proc.GPID {
+	return proc.GPID{Host: d.String(), PID: proc.PID(d.I32())}
+}
+
+func putRusage(e *Encoder, r proc.Rusage) {
+	e.Duration(r.CPUTime)
+	e.I64(r.Syscalls)
+	e.I64(r.MsgsSent)
+	e.I64(r.MsgsRecv)
+	e.I64(r.MaxRSSKB)
+}
+
+func getRusage(d *Decoder) proc.Rusage {
+	return proc.Rusage{
+		CPUTime:  d.Duration(),
+		Syscalls: d.I64(),
+		MsgsSent: d.I64(),
+		MsgsRecv: d.I64(),
+		MaxRSSKB: d.I64(),
+	}
+}
+
+func putInfo(e *Encoder, p proc.Info) {
+	putGPID(e, p.ID)
+	putGPID(e, p.Parent)
+	e.String(p.Name)
+	e.String(p.User)
+	e.U8(uint8(p.State))
+	putRusage(e, p.Rusage)
+	e.I32(int32(p.ExitCode))
+	e.Duration(p.StartedAt)
+	e.Duration(p.ExitedAt)
+}
+
+func getInfo(d *Decoder) proc.Info {
+	return proc.Info{
+		ID:        getGPID(d),
+		Parent:    getGPID(d),
+		Name:      d.String(),
+		User:      d.String(),
+		State:     proc.State(d.U8()),
+		Rusage:    getRusage(d),
+		ExitCode:  int(d.I32()),
+		StartedAt: d.Duration(),
+		ExitedAt:  d.Duration(),
+	}
+}
+
+// --- pmd protocol (Figure 2) ---
+
+// LPMQuery asks the pmd for the user's LPM accept address, creating the
+// LPM if none exists on the host.
+type LPMQuery struct {
+	User string
+	// Token authenticates the requesting user to the pmd.
+	Token []byte
+}
+
+// Encode serializes the query.
+func (m LPMQuery) Encode() []byte {
+	e := NewEncoder(32)
+	e.String(m.User)
+	e.Bytes32(m.Token)
+	return e.Bytes()
+}
+
+// DecodeLPMQuery parses an LPMQuery body.
+func DecodeLPMQuery(b []byte) (LPMQuery, error) {
+	d := NewDecoder(b)
+	m := LPMQuery{User: d.String(), Token: d.Bytes32()}
+	return m, d.Finish()
+}
+
+// LPMQueryResp returns the accept address (step 4 of Figure 2).
+type LPMQueryResp struct {
+	OK         bool
+	Reason     string
+	AcceptHost string
+	AcceptPort uint16
+	Created    bool // true if the LPM was created by this request
+}
+
+// Encode serializes the response.
+func (m LPMQueryResp) Encode() []byte {
+	e := NewEncoder(32)
+	e.Bool(m.OK)
+	e.String(m.Reason)
+	e.String(m.AcceptHost)
+	e.U16(m.AcceptPort)
+	e.Bool(m.Created)
+	return e.Bytes()
+}
+
+// DecodeLPMQueryResp parses an LPMQueryResp body.
+func DecodeLPMQueryResp(b []byte) (LPMQueryResp, error) {
+	d := NewDecoder(b)
+	m := LPMQueryResp{
+		OK:         d.Bool(),
+		Reason:     d.String(),
+		AcceptHost: d.String(),
+		AcceptPort: d.U16(),
+		Created:    d.Bool(),
+	}
+	return m, d.Finish()
+}
+
+// --- sibling channel (Figure 3) ---
+
+// Hello authenticates a new sibling circuit. The token is minted by the
+// connecting LPM with the user's key; the stamp prevents replay.
+type Hello struct {
+	User     string
+	FromHost string
+	Token    []byte
+	Stamp    Stamp
+	// CCSHost/CCSPort propagate the crash coordinator site address to
+	// newly connected siblings (paper §5: "upon creation of a sibling
+	// LPM, the network address of the CCS is passed along").
+	CCSHost string
+	CCSPort uint16
+}
+
+// Encode serializes the hello.
+func (m Hello) Encode() []byte {
+	e := NewEncoder(64)
+	e.String(m.User)
+	e.String(m.FromHost)
+	e.Bytes32(m.Token)
+	m.Stamp.encode(e)
+	e.String(m.CCSHost)
+	e.U16(m.CCSPort)
+	return e.Bytes()
+}
+
+// DecodeHello parses a Hello body.
+func DecodeHello(b []byte) (Hello, error) {
+	d := NewDecoder(b)
+	m := Hello{User: d.String(), FromHost: d.String(), Token: d.Bytes32()}
+	m.Stamp = decodeStamp(d)
+	m.CCSHost = d.String()
+	m.CCSPort = d.U16()
+	return m, d.Finish()
+}
+
+// HelloResp accepts or rejects the circuit.
+type HelloResp struct {
+	OK     bool
+	Reason string
+}
+
+// Encode serializes the response.
+func (m HelloResp) Encode() []byte {
+	e := NewEncoder(16)
+	e.Bool(m.OK)
+	e.String(m.Reason)
+	return e.Bytes()
+}
+
+// DecodeHelloResp parses a HelloResp body.
+func DecodeHelloResp(b []byte) (HelloResp, error) {
+	d := NewDecoder(b)
+	m := HelloResp{OK: d.Bool(), Reason: d.String()}
+	return m, d.Finish()
+}
+
+// --- process creation ---
+
+// CreateProc asks an LPM to create (fork+exec) a process on its host
+// and adopt it, with the given logical parent.
+type CreateProc struct {
+	User   string
+	Name   string
+	Parent proc.GPID
+	// Foreground requests that the process start in the foreground
+	// process group of the user's session on that host.
+	Foreground bool
+}
+
+// Encode serializes the request.
+func (m CreateProc) Encode() []byte {
+	e := NewEncoder(48)
+	e.String(m.User)
+	e.String(m.Name)
+	putGPID(e, m.Parent)
+	e.Bool(m.Foreground)
+	return e.Bytes()
+}
+
+// DecodeCreateProc parses a CreateProc body.
+func DecodeCreateProc(b []byte) (CreateProc, error) {
+	d := NewDecoder(b)
+	m := CreateProc{User: d.String(), Name: d.String(), Parent: getGPID(d), Foreground: d.Bool()}
+	return m, d.Finish()
+}
+
+// CreateAck is the lightweight acknowledgement sent right after
+// fork+adopt succeed (exec continues asynchronously; its completion
+// arrives as a kernel event).
+type CreateAck struct {
+	OK     bool
+	Reason string
+	ID     proc.GPID
+}
+
+// Encode serializes the ack.
+func (m CreateAck) Encode() []byte {
+	e := NewEncoder(32)
+	e.Bool(m.OK)
+	e.String(m.Reason)
+	putGPID(e, m.ID)
+	return e.Bytes()
+}
+
+// DecodeCreateAck parses a CreateAck body.
+func DecodeCreateAck(b []byte) (CreateAck, error) {
+	d := NewDecoder(b)
+	m := CreateAck{OK: d.Bool(), Reason: d.String(), ID: getGPID(d)}
+	return m, d.Finish()
+}
+
+// --- process control ---
+
+// ControlOp is a built-in process-control function of the snapshot tool
+// (paper §4: stop a process, execute it in the foreground, execute it
+// in the background, kill it) plus arbitrary signal delivery.
+type ControlOp uint8
+
+// Control operations.
+const (
+	OpStop ControlOp = iota + 1
+	OpForeground
+	OpBackground
+	OpKill
+	OpSignal
+)
+
+// String names the operation.
+func (o ControlOp) String() string {
+	switch o {
+	case OpStop:
+		return "stop"
+	case OpForeground:
+		return "fg"
+	case OpBackground:
+		return "bg"
+	case OpKill:
+		return "kill"
+	case OpSignal:
+		return "signal"
+	default:
+		return fmt.Sprintf("op#%d", uint8(o))
+	}
+}
+
+// Control requests a state change on one process anywhere in the
+// network.
+type Control struct {
+	User   string
+	Target proc.GPID
+	Op     ControlOp
+	Signal proc.Signal // for OpSignal
+}
+
+// Encode serializes the request.
+func (m Control) Encode() []byte {
+	e := NewEncoder(32)
+	e.String(m.User)
+	putGPID(e, m.Target)
+	e.U8(uint8(m.Op))
+	e.I32(int32(m.Signal))
+	return e.Bytes()
+}
+
+// DecodeControl parses a Control body.
+func DecodeControl(b []byte) (Control, error) {
+	d := NewDecoder(b)
+	m := Control{User: d.String(), Target: getGPID(d), Op: ControlOp(d.U8()), Signal: proc.Signal(d.I32())}
+	return m, d.Finish()
+}
+
+// ControlResp reports the outcome and the process's new state.
+type ControlResp struct {
+	OK     bool
+	Reason string
+	State  proc.State
+}
+
+// Encode serializes the response.
+func (m ControlResp) Encode() []byte {
+	e := NewEncoder(16)
+	e.Bool(m.OK)
+	e.String(m.Reason)
+	e.U8(uint8(m.State))
+	return e.Bytes()
+}
+
+// DecodeControlResp parses a ControlResp body.
+func DecodeControlResp(b []byte) (ControlResp, error) {
+	d := NewDecoder(b)
+	m := ControlResp{OK: d.Bool(), Reason: d.String(), State: proc.State(d.U8())}
+	return m, d.Finish()
+}
+
+// --- snapshot ---
+
+// SnapshotReq asks an LPM for information about the user's processes on
+// its host (and, via the PPM infrastructure, on hosts it leads to).
+type SnapshotReq struct {
+	User string
+	// Forward requests that the receiving LPM also gather from the
+	// siblings reachable through it (used on chain topologies).
+	Forward bool
+}
+
+// Encode serializes the request.
+func (m SnapshotReq) Encode() []byte {
+	e := NewEncoder(16)
+	e.String(m.User)
+	e.Bool(m.Forward)
+	return e.Bytes()
+}
+
+// DecodeSnapshotReq parses a SnapshotReq body.
+func DecodeSnapshotReq(b []byte) (SnapshotReq, error) {
+	d := NewDecoder(b)
+	m := SnapshotReq{User: d.String(), Forward: d.Bool()}
+	return m, d.Finish()
+}
+
+// SnapshotResp carries per-process information fragments.
+type SnapshotResp struct {
+	OK      bool
+	Reason  string
+	Procs   []proc.Info
+	Partial []string // hosts whose information is missing
+}
+
+// Encode serializes the response.
+func (m SnapshotResp) Encode() []byte {
+	e := NewEncoder(64 + 96*len(m.Procs))
+	e.Bool(m.OK)
+	e.String(m.Reason)
+	e.U16(uint16(len(m.Procs)))
+	for _, p := range m.Procs {
+		putInfo(e, p)
+	}
+	e.StringSlice(m.Partial)
+	return e.Bytes()
+}
+
+// DecodeSnapshotResp parses a SnapshotResp body.
+func DecodeSnapshotResp(b []byte) (SnapshotResp, error) {
+	d := NewDecoder(b)
+	m := SnapshotResp{OK: d.Bool(), Reason: d.String()}
+	n := int(d.U16())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Procs = append(m.Procs, getInfo(d))
+	}
+	m.Partial = d.StringSlice()
+	return m, d.Finish()
+}
+
+// --- exited-process statistics ---
+
+// StatsReq asks for the preserved resource-consumption record of a
+// process (typically exited).
+type StatsReq struct {
+	User   string
+	Target proc.GPID
+}
+
+// Encode serializes the request.
+func (m StatsReq) Encode() []byte {
+	e := NewEncoder(24)
+	e.String(m.User)
+	putGPID(e, m.Target)
+	return e.Bytes()
+}
+
+// DecodeStatsReq parses a StatsReq body.
+func DecodeStatsReq(b []byte) (StatsReq, error) {
+	d := NewDecoder(b)
+	m := StatsReq{User: d.String(), Target: getGPID(d)}
+	return m, d.Finish()
+}
+
+// StatsResp returns the record.
+type StatsResp struct {
+	OK     bool
+	Reason string
+	Info   proc.Info
+}
+
+// Encode serializes the response.
+func (m StatsResp) Encode() []byte {
+	e := NewEncoder(128)
+	e.Bool(m.OK)
+	e.String(m.Reason)
+	putInfo(e, m.Info)
+	return e.Bytes()
+}
+
+// DecodeStatsResp parses a StatsResp body.
+func DecodeStatsResp(b []byte) (StatsResp, error) {
+	d := NewDecoder(b)
+	m := StatsResp{OK: d.Bool(), Reason: d.String(), Info: getInfo(d)}
+	return m, d.Finish()
+}
+
+// --- history ---
+
+// HistoryReq queries the LPM's preserved event trace.
+type HistoryReq struct {
+	User  string
+	Proc  proc.GPID // zero GPID = all processes
+	Kinds []uint8   // empty = all kinds
+	Since time.Duration
+	Limit uint16
+}
+
+// Encode serializes the request.
+func (m HistoryReq) Encode() []byte {
+	e := NewEncoder(48)
+	e.String(m.User)
+	putGPID(e, m.Proc)
+	e.U16(uint16(len(m.Kinds)))
+	for _, k := range m.Kinds {
+		e.U8(k)
+	}
+	e.Duration(m.Since)
+	e.U16(m.Limit)
+	return e.Bytes()
+}
+
+// DecodeHistoryReq parses a HistoryReq body.
+func DecodeHistoryReq(b []byte) (HistoryReq, error) {
+	d := NewDecoder(b)
+	m := HistoryReq{User: d.String(), Proc: getGPID(d)}
+	n := int(d.U16())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Kinds = append(m.Kinds, d.U8())
+	}
+	m.Since = d.Duration()
+	m.Limit = d.U16()
+	return m, d.Finish()
+}
+
+// HistoryResp returns matching events.
+type HistoryResp struct {
+	OK     bool
+	Reason string
+	Events []proc.Event
+}
+
+// Encode serializes the response.
+func (m HistoryResp) Encode() []byte {
+	e := NewEncoder(32 + 64*len(m.Events))
+	e.Bool(m.OK)
+	e.String(m.Reason)
+	e.U16(uint16(len(m.Events)))
+	for _, ev := range m.Events {
+		putEvent(e, ev)
+	}
+	return e.Bytes()
+}
+
+// DecodeHistoryResp parses a HistoryResp body.
+func DecodeHistoryResp(b []byte) (HistoryResp, error) {
+	d := NewDecoder(b)
+	m := HistoryResp{OK: d.Bool(), Reason: d.String()}
+	n := int(d.U16())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Events = append(m.Events, getEvent(d))
+	}
+	return m, d.Finish()
+}
+
+// --- open-descriptor display (a §7 future-work tool, implemented) ---
+
+// FDReq asks for the open descriptors of a process.
+type FDReq struct {
+	User   string
+	Target proc.GPID
+}
+
+// Encode serializes the request.
+func (m FDReq) Encode() []byte {
+	e := NewEncoder(24)
+	e.String(m.User)
+	putGPID(e, m.Target)
+	return e.Bytes()
+}
+
+// DecodeFDReq parses an FDReq body.
+func DecodeFDReq(b []byte) (FDReq, error) {
+	d := NewDecoder(b)
+	m := FDReq{User: d.String(), Target: getGPID(d)}
+	return m, d.Finish()
+}
+
+// FDResp lists open descriptors as "fd:path" strings.
+type FDResp struct {
+	OK     bool
+	Reason string
+	Open   []string
+}
+
+// Encode serializes the response.
+func (m FDResp) Encode() []byte {
+	e := NewEncoder(32)
+	e.Bool(m.OK)
+	e.String(m.Reason)
+	e.StringSlice(m.Open)
+	return e.Bytes()
+}
+
+// DecodeFDResp parses an FDResp body.
+func DecodeFDResp(b []byte) (FDResp, error) {
+	d := NewDecoder(b)
+	m := FDResp{OK: d.Bool(), Reason: d.String(), Open: d.StringSlice()}
+	return m, d.Finish()
+}
+
+// --- broadcast (graph covering, §4) ---
+
+// Broadcast is the flooding envelope for requests that must reach all
+// sibling LPMs over the low-connectivity circuit graph. Dedup is by the
+// signed stamp (origin host + origin time + sequence); the route
+// accumulates the hosts traversed so replies can be source-routed back.
+type Broadcast struct {
+	Stamp Stamp
+	Seq   uint64
+	Route []string
+	Inner []byte // the encoded inner envelope
+}
+
+// Encode serializes the broadcast envelope.
+func (m Broadcast) Encode() []byte {
+	e := NewEncoder(96 + len(m.Inner))
+	m.Stamp.encode(e)
+	e.U64(m.Seq)
+	e.StringSlice(m.Route)
+	e.Bytes32(m.Inner)
+	return e.Bytes()
+}
+
+// DecodeBroadcast parses a Broadcast body.
+func DecodeBroadcast(b []byte) (Broadcast, error) {
+	d := NewDecoder(b)
+	m := Broadcast{Stamp: decodeStamp(d), Seq: d.U64(), Route: d.StringSlice(), Inner: d.Bytes32()}
+	return m, d.Finish()
+}
+
+// BroadcastResp carries a reply back along the recorded route.
+type BroadcastResp struct {
+	Seq   uint64
+	From  string
+	Route []string // remaining route back to the originator
+	Inner []byte
+}
+
+// Encode serializes the broadcast reply.
+func (m BroadcastResp) Encode() []byte {
+	e := NewEncoder(64 + len(m.Inner))
+	e.U64(m.Seq)
+	e.String(m.From)
+	e.StringSlice(m.Route)
+	e.Bytes32(m.Inner)
+	return e.Bytes()
+}
+
+// DecodeBroadcastResp parses a BroadcastResp body.
+func DecodeBroadcastResp(b []byte) (BroadcastResp, error) {
+	d := NewDecoder(b)
+	m := BroadcastResp{Seq: d.U64(), From: d.String(), Route: d.StringSlice(), Inner: d.Bytes32()}
+	return m, d.Finish()
+}
+
+// --- kernel event message (112 bytes) ---
+
+func putEvent(e *Encoder, ev proc.Event) {
+	e.Duration(ev.At)
+	e.U8(uint8(ev.Kind))
+	putGPID(e, ev.Proc)
+	putGPID(e, ev.Child)
+	e.I32(int32(ev.Signal))
+	e.String(ev.Detail)
+	putRusage(e, ev.Rusage)
+}
+
+func getEvent(d *Decoder) proc.Event {
+	return proc.Event{
+		At:     d.Duration(),
+		Kind:   proc.EventKind(d.U8()),
+		Proc:   getGPID(d),
+		Child:  getGPID(d),
+		Signal: proc.Signal(d.I32()),
+		Detail: d.String(),
+		Rusage: getRusage(d),
+	}
+}
+
+// EncodeKernelEvent produces the fixed-size 112-byte kernel-to-LPM
+// event message of the paper's Table 1. Long host names or details are
+// truncated to keep the size fixed.
+func EncodeKernelEvent(ev proc.Event) []byte {
+	if len(ev.Detail) > 16 {
+		ev.Detail = ev.Detail[:16]
+	}
+	if len(ev.Proc.Host) > 14 {
+		ev.Proc.Host = ev.Proc.Host[:14]
+	}
+	if len(ev.Child.Host) > 14 {
+		ev.Child.Host = ev.Child.Host[:14]
+	}
+	e := NewEncoder(calib.KernelMsgBytes)
+	putEvent(e, ev)
+	e.Pad(calib.KernelMsgBytes)
+	b := e.Bytes()
+	if len(b) > calib.KernelMsgBytes {
+		b = b[:calib.KernelMsgBytes]
+	}
+	return b
+}
+
+// DecodeKernelEvent parses a kernel event message.
+func DecodeKernelEvent(b []byte) (proc.Event, error) {
+	d := NewDecoder(b)
+	ev := getEvent(d)
+	if err := d.Finish(); err != nil {
+		return proc.Event{}, err
+	}
+	return ev, nil
+}
+
+// --- liveness / recovery ---
+
+// Ping probes a sibling or a candidate CCS.
+type Ping struct {
+	FromHost string
+	User     string
+}
+
+// Encode serializes the ping.
+func (m Ping) Encode() []byte {
+	e := NewEncoder(24)
+	e.String(m.FromHost)
+	e.String(m.User)
+	return e.Bytes()
+}
+
+// DecodePing parses a Ping body.
+func DecodePing(b []byte) (Ping, error) {
+	d := NewDecoder(b)
+	m := Ping{FromHost: d.String(), User: d.String()}
+	return m, d.Finish()
+}
+
+// Pong answers a ping, reporting the responder's current CCS.
+type Pong struct {
+	FromHost string
+	CCSHost  string
+	CCSPort  uint16
+	IsCCS    bool
+}
+
+// Encode serializes the pong.
+func (m Pong) Encode() []byte {
+	e := NewEncoder(24)
+	e.String(m.FromHost)
+	e.String(m.CCSHost)
+	e.U16(m.CCSPort)
+	e.Bool(m.IsCCS)
+	return e.Bytes()
+}
+
+// DecodePong parses a Pong body.
+func DecodePong(b []byte) (Pong, error) {
+	d := NewDecoder(b)
+	m := Pong{FromHost: d.String(), CCSHost: d.String(), CCSPort: d.U16(), IsCCS: d.Bool()}
+	return m, d.Finish()
+}
+
+// CCSUpdate announces a new crash coordinator site to a sibling.
+type CCSUpdate struct {
+	CCSHost string
+	CCSPort uint16
+}
+
+// Encode serializes the update.
+func (m CCSUpdate) Encode() []byte {
+	e := NewEncoder(16)
+	e.String(m.CCSHost)
+	e.U16(m.CCSPort)
+	return e.Bytes()
+}
+
+// DecodeCCSUpdate parses a CCSUpdate body.
+func DecodeCCSUpdate(b []byte) (CCSUpdate, error) {
+	d := NewDecoder(b)
+	m := CCSUpdate{CCSHost: d.String(), CCSPort: d.U16()}
+	return m, d.Finish()
+}
+
+// --- error reply ---
+
+// ErrorResp is the generic failure reply the dispatcher returns when a
+// handler reports that a remote request cannot be completed.
+type ErrorResp struct {
+	Reason string
+}
+
+// Encode serializes the failure reply.
+func (m ErrorResp) Encode() []byte {
+	e := NewEncoder(16)
+	e.String(m.Reason)
+	return e.Bytes()
+}
+
+// DecodeErrorResp parses an ErrorResp body.
+func DecodeErrorResp(b []byte) (ErrorResp, error) {
+	d := NewDecoder(b)
+	m := ErrorResp{Reason: d.String()}
+	return m, d.Finish()
+}
+
+// --- flood aggregation ---
+
+// FloodResult is the aggregate a node returns to its broadcast parent
+// in the graph-covering echo: snapshot fragments and/or control counts
+// collected from the subtree it covered, plus the hosts it failed to
+// reach. A duplicate arrival (cycle in the circuit graph) is answered
+// with Dup set and no data.
+type FloodResult struct {
+	OK      bool
+	Dup     bool
+	Count   int32 // processes affected by a control-all flood
+	Procs   []proc.Info
+	Partial []string
+	// Hosts lists every host whose LPM contributed to this aggregate,
+	// so the originator can tell covered hosts from silent ones.
+	Hosts []string
+	// Routes[i] is the circuit path from the originator to Hosts[i],
+	// hosts separated by '/'. The originator learns relay routes to
+	// topologically distant hosts from these.
+	Routes []string
+}
+
+// Encode serializes the flood result.
+func (m FloodResult) Encode() []byte {
+	e := NewEncoder(32 + 96*len(m.Procs))
+	e.Bool(m.OK)
+	e.Bool(m.Dup)
+	e.I32(m.Count)
+	e.U16(uint16(len(m.Procs)))
+	for _, p := range m.Procs {
+		putInfo(e, p)
+	}
+	e.StringSlice(m.Partial)
+	e.StringSlice(m.Hosts)
+	e.StringSlice(m.Routes)
+	return e.Bytes()
+}
+
+// DecodeFloodResult parses a FloodResult body.
+func DecodeFloodResult(b []byte) (FloodResult, error) {
+	d := NewDecoder(b)
+	m := FloodResult{OK: d.Bool(), Dup: d.Bool(), Count: d.I32()}
+	n := int(d.U16())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Procs = append(m.Procs, getInfo(d))
+	}
+	m.Partial = d.StringSlice()
+	m.Hosts = d.StringSlice()
+	m.Routes = d.StringSlice()
+	return m, d.Finish()
+}
+
+// --- relay routing ---
+
+// Relay carries a request toward Dest through intermediate LPMs along
+// a known route. Each intermediary pops itself off Path and forwards;
+// the destination processes Inner and the response travels back the
+// same circuits.
+type Relay struct {
+	User string
+	Dest string
+	// Path is the remaining route (excluding the current host),
+	// ending with Dest.
+	Path  []string
+	Inner []byte // encoded inner request envelope
+}
+
+// Encode serializes the relay request.
+func (m Relay) Encode() []byte {
+	e := NewEncoder(64 + len(m.Inner))
+	e.String(m.User)
+	e.String(m.Dest)
+	e.StringSlice(m.Path)
+	e.Bytes32(m.Inner)
+	return e.Bytes()
+}
+
+// DecodeRelay parses a Relay body.
+func DecodeRelay(b []byte) (Relay, error) {
+	d := NewDecoder(b)
+	m := Relay{User: d.String(), Dest: d.String(), Path: d.StringSlice(), Inner: d.Bytes32()}
+	return m, d.Finish()
+}
+
+// RelayResp carries the destination's response back to the origin.
+type RelayResp struct {
+	OK     bool
+	Reason string
+	Inner  []byte // encoded inner response envelope
+}
+
+// Encode serializes the relay response.
+func (m RelayResp) Encode() []byte {
+	e := NewEncoder(32 + len(m.Inner))
+	e.Bool(m.OK)
+	e.String(m.Reason)
+	e.Bytes32(m.Inner)
+	return e.Bytes()
+}
+
+// DecodeRelayResp parses a RelayResp body.
+func DecodeRelayResp(b []byte) (RelayResp, error) {
+	d := NewDecoder(b)
+	m := RelayResp{OK: d.Bool(), Reason: d.String(), Inner: d.Bytes32()}
+	return m, d.Finish()
+}
+
+// --- remote history-dependent triggers ---
+
+// WatchReq installs (or removes) an event trigger on a remote LPM: when
+// a matching kernel event arrives there, the named control action is
+// applied to the target process (which may itself live on yet another
+// host).
+type WatchReq struct {
+	User string
+	// Remove uninstalls the watch with ID instead of installing one.
+	Remove bool
+	ID     int32
+
+	// Filter (install only).
+	Kind   uint8       // proc.EventKind
+	Signal proc.Signal // for signal events, 0 = any
+	Proc   proc.GPID   // zero = any process
+
+	// Action (install only).
+	Op        ControlOp
+	ActionSig proc.Signal
+	Target    proc.GPID
+}
+
+// Encode serializes the watch request.
+func (m WatchReq) Encode() []byte {
+	e := NewEncoder(64)
+	e.String(m.User)
+	e.Bool(m.Remove)
+	e.I32(m.ID)
+	e.U8(m.Kind)
+	e.I32(int32(m.Signal))
+	putGPID(e, m.Proc)
+	e.U8(uint8(m.Op))
+	e.I32(int32(m.ActionSig))
+	putGPID(e, m.Target)
+	return e.Bytes()
+}
+
+// DecodeWatchReq parses a WatchReq body.
+func DecodeWatchReq(b []byte) (WatchReq, error) {
+	d := NewDecoder(b)
+	m := WatchReq{
+		User:   d.String(),
+		Remove: d.Bool(),
+		ID:     d.I32(),
+		Kind:   d.U8(),
+		Signal: proc.Signal(d.I32()),
+		Proc:   getGPID(d),
+		Op:     ControlOp(d.U8()),
+	}
+	m.ActionSig = proc.Signal(d.I32())
+	m.Target = getGPID(d)
+	return m, d.Finish()
+}
+
+// WatchResp acknowledges a watch installation or removal.
+type WatchResp struct {
+	OK     bool
+	Reason string
+	ID     int32
+}
+
+// Encode serializes the response.
+func (m WatchResp) Encode() []byte {
+	e := NewEncoder(16)
+	e.Bool(m.OK)
+	e.String(m.Reason)
+	e.I32(m.ID)
+	return e.Bytes()
+}
+
+// DecodeWatchResp parses a WatchResp body.
+func DecodeWatchResp(b []byte) (WatchResp, error) {
+	d := NewDecoder(b)
+	m := WatchResp{OK: d.Bool(), Reason: d.String(), ID: d.I32()}
+	return m, d.Finish()
+}

@@ -1,0 +1,63 @@
+package ppm
+
+import (
+	"ppm/internal/config"
+)
+
+// Computation is a running instantiation of a configuration-language
+// plan: named processes spread over the network, plus the plan's
+// event-driven watches.
+type Computation struct {
+	inst *config.Instance
+	plan *config.Plan
+}
+
+// ParsePlan parses a computation description in the configuration
+// language (see internal/config for the grammar):
+//
+//	computation build
+//	proc coord on vax1 trace all
+//	proc cc1   on vax2 parent coord
+//	watch exit of cc1 do signal coord SIGUSR1
+func ParsePlan(text string) (*config.Plan, error) {
+	return config.Parse(text)
+}
+
+// Launch parses a plan and instantiates it through this session:
+// processes are created in declaration order with the declared
+// genealogy and trace levels, and the plan's watches are installed on
+// the home LPM.
+func (s *Session) Launch(text string) (*Computation, error) {
+	plan, err := config.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.LaunchPlan(plan)
+}
+
+// LaunchPlan instantiates an already parsed plan.
+func (s *Session) LaunchPlan(plan *config.Plan) (*Computation, error) {
+	inst, err := plan.Instantiate(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Computation{inst: inst, plan: plan}, nil
+}
+
+// Lookup returns the network identity of a declared process.
+func (c *Computation) Lookup(name string) (GPID, bool) {
+	return c.inst.Lookup(name)
+}
+
+// Names returns the declared process names in declaration order.
+func (c *Computation) Names() []string { return c.inst.Names() }
+
+// Notes returns the actions the plan's watches have taken.
+func (c *Computation) Notes() []string { return c.inst.Notes() }
+
+// Close removes the plan's watches; the processes keep running (the
+// PPM outlives its tools).
+func (c *Computation) Close() { c.inst.Close() }
+
+// Compile-time check: Session satisfies the plan runner interface.
+var _ config.Runner = (*Session)(nil)

@@ -1,0 +1,187 @@
+package ppm_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ppm"
+)
+
+// The paper: "The PPM's algorithms were designed to scale well into the
+// tens of nodes, but we have yet to stress test our implementation."
+// These are that stress test.
+
+// buildWide creates a cluster of n hosts with one process on each,
+// started from a session on host h0, and returns the cluster and
+// session.
+func buildWide(t testing.TB, n int) (*ppm.Cluster, *ppm.Session) {
+	t.Helper()
+	var hosts []ppm.HostSpec
+	for i := 0; i < n; i++ {
+		hosts = append(hosts, ppm.HostSpec{Name: fmt.Sprintf("h%02d", i)})
+	}
+	c, err := ppm.NewCluster(ppm.ClusterConfig{Hosts: hosts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddUser("felipe")
+	sess, err := c.Attach("felipe", "h00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := sess.Run("h00", "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if _, err := sess.RunChild(hosts[i].Name, fmt.Sprintf("w%02d", i), root); err != nil {
+			t.Fatalf("create on %s: %v", hosts[i].Name, err)
+		}
+	}
+	if err := c.Advance(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c, sess
+}
+
+func TestScaleTwentyFourHostsSnapshot(t *testing.T) {
+	const n = 24
+	c, sess := buildWide(t, n)
+	snap, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(snap.Hosts()); got != n {
+		t.Fatalf("snapshot covers %d hosts, want %d", got, n)
+	}
+	if len(snap.Procs) != n { // root + 23 workers
+		t.Fatalf("procs = %d, want %d", len(snap.Procs), n)
+	}
+	if snap.IsForest() {
+		t.Fatal("healthy computation fragmented")
+	}
+	// The render stays readable: one line per process.
+	if lines := strings.Count(snap.Render(), "\n"); lines != n {
+		t.Fatalf("render lines = %d", lines)
+	}
+	_ = c
+}
+
+func TestScaleBroadcastControl(t *testing.T) {
+	const n = 24
+	_, sess := buildWide(t, n)
+	stopped, err := sess.StopAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stopped != n {
+		t.Fatalf("stopped %d, want %d", stopped, n)
+	}
+	cont, err := sess.ContinueAll()
+	if err != nil || cont != n {
+		t.Fatalf("continued %d err=%v", cont, err)
+	}
+}
+
+func TestScaleSnapshotLatencyGrowsGently(t *testing.T) {
+	// On a star of circuits the snapshot cost is dominated by the home
+	// LPM's serial send/receive processing: linear in hosts, not
+	// quadratic.
+	latency := func(n int) time.Duration {
+		_, sess := buildWide(t, n)
+		d, err := sess.Elapsed(func() error {
+			_, serr := sess.Snapshot()
+			return serr
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	l6 := latency(6)
+	l12 := latency(12)
+	l24 := latency(24)
+	t.Logf("snapshot latency: 6 hosts %v, 12 hosts %v, 24 hosts %v", l6, l12, l24)
+	// Roughly linear growth: doubling hosts should not quadruple cost.
+	if float64(l12) > 2.6*float64(l6) || float64(l24) > 2.6*float64(l12) {
+		t.Fatalf("superlinear snapshot scaling: %v %v %v", l6, l12, l24)
+	}
+	// A day of margin: 24 hosts still under 3 virtual seconds.
+	if l24 > 3*time.Second {
+		t.Fatalf("24-host snapshot took %v", l24)
+	}
+}
+
+func TestScaleFailureDuringBroadcast(t *testing.T) {
+	const n = 12
+	c, sess := buildWide(t, n)
+	// Two hosts die; the snapshot still covers the rest and reports the
+	// dead ones as partial.
+	if err := c.Crash("h05"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash("h09"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Partial) != 2 {
+		t.Fatalf("partial = %v", snap.Partial)
+	}
+	if got := len(snap.Hosts()); got != n-2 {
+		t.Fatalf("covered %d hosts, want %d", got, n-2)
+	}
+}
+
+func TestScaleManyUsersIsolated(t *testing.T) {
+	// Per-user LPMs: several users on the same hosts never see each
+	// other's processes.
+	c, err := ppm.NewCluster(ppm.ClusterConfig{
+		Hosts: []ppm.HostSpec{{Name: "a"}, {Name: "b"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []string{"ana", "bob", "eve", "joe"}
+	sessions := make(map[string]*ppm.Session, len(users))
+	for _, u := range users {
+		c.AddUser(u)
+		sess, err := c.Attach(u, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[u] = sess
+		if _, err := sess.Run("b", "job-"+u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = c.Advance(time.Second)
+	for _, u := range users {
+		snap, err := sessions[u].Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.Procs) != 1 {
+			t.Fatalf("%s sees %d procs, want 1", u, len(snap.Procs))
+		}
+		if snap.Procs[0].User != u {
+			t.Fatalf("%s sees %s's process", u, snap.Procs[0].User)
+		}
+	}
+	// Broadcast kill from one user leaves the others untouched.
+	n, err := sessions["ana"].KillAll()
+	if err != nil || n != 1 {
+		t.Fatalf("ana killed %d err=%v", n, err)
+	}
+	snap, _ := sessions["bob"].Snapshot()
+	if snap.Procs[0].State.String() != "running" {
+		t.Fatal("bob's process harmed by ana's broadcast")
+	}
+}

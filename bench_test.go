@@ -288,7 +288,7 @@ func BenchmarkAblationRelayVsDirect(b *testing.B) {
 // a 24-host snapshot plus broadcast control, reporting virtual-time
 // latency.
 func BenchmarkScaleTensOfNodes(b *testing.B) {
-	var snapMS float64
+	var snapMS, snapMsgs float64
 	for i := 0; i < b.N; i++ {
 		var hosts []HostSpec
 		for j := 0; j < 24; j++ {
@@ -312,6 +312,7 @@ func BenchmarkScaleTensOfNodes(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		beforeMsgs, _ := wireCounts(c)
 		d, err := sess.Elapsed(func() error {
 			_, serr := sess.Snapshot()
 			return serr
@@ -319,9 +320,12 @@ func BenchmarkScaleTensOfNodes(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		afterMsgs, _ := wireCounts(c)
 		snapMS = float64(d) / float64(time.Millisecond)
+		snapMsgs = float64(afterMsgs - beforeMsgs)
 	}
 	b.ReportMetric(snapMS, "vms/24-host-snapshot")
+	b.ReportMetric(snapMsgs, "msgs/24-host-snapshot")
 }
 
 func fmtHost(i int) string {
@@ -368,4 +372,62 @@ func BenchmarkSnapshotFanout(b *testing.B) {
 	b.ReportMetric(v3, "vms/3-hosts")
 	b.ReportMetric(v6, "vms/6-hosts")
 	b.ReportMetric(v12, "vms/12-hosts")
+}
+
+// TestMessageBudgets pins the message economy of the core operations.
+// A snapshot flood over an n-host star is one request and one reply per
+// sibling circuit — 2(n-1) wire messages, no more; recovery from a CCS
+// crash must stay within a small constant bill. A regression that
+// multiplies traffic (re-floods, lost dedup, chatty recovery) fails
+// here even if latencies stay plausible.
+func TestMessageBudgets(t *testing.T) {
+	snapshotMsgs := func(n int) uint64 {
+		var hosts []HostSpec
+		for j := 0; j < n; j++ {
+			hosts = append(hosts, HostSpec{Name: fmtHost(j)})
+		}
+		c, err := NewCluster(ClusterConfig{Hosts: hosts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.AddUser("u")
+		sess, err := c.Attach("u", "h00")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 1; j < n; j++ {
+			if _, err := sess.Run(fmtHost(j), "w"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before, _ := wireCounts(c)
+		if _, err := sess.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+		after, _ := wireCounts(c)
+		return after - before
+	}
+	for _, n := range []int{2, 4, 8} {
+		want := uint64(2 * (n - 1))
+		if got := snapshotMsgs(n); got != want {
+			t.Errorf("snapshot over %d-host star: %d wire messages, budget is exactly %d",
+				n, got, want)
+		}
+	}
+
+	rec, err := RunRecoveryCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Msgs == 0 {
+		t.Error("recovery produced no wire messages")
+	}
+	// Measured bill is 7 messages / 304 bytes; leave headroom for
+	// benign protocol changes but catch order-of-magnitude regressions.
+	if rec.Msgs > 20 {
+		t.Errorf("recovery cost %d wire messages, budget is 20", rec.Msgs)
+	}
+	if rec.Bytes > 1000 {
+		t.Errorf("recovery cost %d wire bytes, budget is 1000", rec.Bytes)
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"ppm/internal/daemon"
 	"ppm/internal/kernel"
 	"ppm/internal/lpm"
+	"ppm/internal/metrics"
 	"ppm/internal/proc"
 	"ppm/internal/sim"
 	"ppm/internal/simnet"
@@ -85,6 +86,7 @@ type Cluster struct {
 	rlist map[string][]string // user -> .recovery host list
 	ns    *nameServer
 	port  uint16
+	reg   *metrics.Registry
 }
 
 // nameServer is the administrative CCS registry of the paper's §5
@@ -130,6 +132,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		port:  2000,
 	}
 	c.net = simnet.New(c.sched, simnet.Options{BreakDetect: cfg.BreakDetect})
+	// One registry per cluster, stamped with this cluster's virtual
+	// clock: identical runs produce identical snapshots.
+	c.reg = metrics.New(func() time.Duration { return c.sched.Now().Duration() })
+	c.net.SetMetrics(c.reg)
 	if cfg.CCSNameServer {
 		c.ns = &nameServer{ccs: make(map[string]string)}
 	}
@@ -138,7 +144,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if err := c.net.AddHost(hs.Name); err != nil {
 			return nil, err
 		}
-		c.kerns[hs.Name] = kernel.NewHost(c.sched, hs.Name, calib.Model(hs.Type))
+		k := kernel.NewHost(c.sched, hs.Name, calib.Model(hs.Type))
+		k.SetMetrics(c.reg)
+		c.kerns[hs.Name] = k
 		names = append(names, hs.Name)
 	}
 	if len(cfg.Segments) == 0 {
@@ -244,6 +252,18 @@ func (c *Cluster) Scheduler() *sim.Scheduler { return c.sched }
 
 // Network exposes the simulated internetwork.
 func (c *Cluster) Network() *simnet.Network { return c.net }
+
+// Metrics exposes the installation-wide metrics registry: every layer
+// (simnet, wire, kernel, daemon, lpm) feeds it as the simulation runs.
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
+
+// MetricsSnapshot copies all metrics at the current virtual time,
+// grouped by family and deterministically ordered.
+func (c *Cluster) MetricsSnapshot() metrics.Snapshot { return c.reg.Snapshot() }
+
+// MetricsReport renders the metrics as the operator-facing text block
+// (the `ppmtrace --metrics` section).
+func (c *Cluster) MetricsReport() string { return c.reg.Report() }
 
 // TraceNetwork installs a bounded network trace collector (limit 0
 // means 4096 events) and returns it; use it to assess message routing,

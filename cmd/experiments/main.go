@@ -10,6 +10,7 @@
 //	experiments -table 3      # only Table 3 / Figure 5
 //	experiments -figure 2     # only the Figure 2 LPM-creation exchange
 //	experiments -ablations    # only the ablations
+//	experiments -metrics      # only the message-count experiments
 package main
 
 import (
@@ -25,15 +26,16 @@ func main() {
 	table := flag.Int("table", 0, "run only this table (1-3)")
 	figure := flag.Int("figure", 0, "run only this figure (2)")
 	ablations := flag.Bool("ablations", false, "run only the ablations")
+	metricsOnly := flag.Bool("metrics", false, "run only the message-count experiments")
 	flag.Parse()
-	if err := run(*table, *figure, *ablations); err != nil {
+	if err := run(*table, *figure, *ablations, *metricsOnly); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, figure int, onlyAblations bool) error {
-	all := table == 0 && figure == 0 && !onlyAblations
+func run(table, figure int, onlyAblations, onlyMetrics bool) error {
+	all := table == 0 && figure == 0 && !onlyAblations && !onlyMetrics
 
 	if all || table == 1 {
 		rows, err := ppm.RunTable1()
@@ -112,6 +114,20 @@ func run(table, figure int, onlyAblations bool) error {
 		fmt.Printf("  routing to a distant host: first op relay %.1f ms vs direct+setup %.1f ms;\n"+
 			"                             steady state relay %.1f ms vs direct %.1f ms\n",
 			relayFirst, directFirst, relaySteady, directSteady)
+		fmt.Println()
+	}
+	if all || onlyMetrics {
+		rows, err := ppm.RunBroadcastFanout(nil)
+		if err != nil {
+			return fmt.Errorf("fanout: %w", err)
+		}
+		fmt.Print(ppm.FormatFanout(rows))
+		fmt.Println()
+		rec, err := ppm.RunRecoveryCost()
+		if err != nil {
+			return fmt.Errorf("recovery cost: %w", err)
+		}
+		fmt.Print(ppm.FormatRecoveryCost(rec))
 	}
 	return nil
 }

@@ -3,9 +3,14 @@
 // tracing, then prints the recorded timeline, the per-kind reduction,
 // the IPC activity analysis and an event-rate histogram — the data
 // gathering, reduction and display tools of the paper's Section 7.
+//
+// With --metrics it additionally prints the installation-wide metrics
+// report: what the simulated network, wire protocol, kernels, daemons
+// and LPMs counted while the scenario ran.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -15,13 +20,16 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	showMetrics := flag.Bool("metrics", false,
+		"print the cluster metrics report after the trace output")
+	flag.Parse()
+	if err := run(*showMetrics); err != nil {
 		fmt.Fprintln(os.Stderr, "ppmtrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(showMetrics bool) error {
 	cluster, err := ppm.NewCluster(ppm.ClusterConfig{
 		Hosts: []ppm.HostSpec{{Name: "vax1"}, {Name: "vax2"}},
 	})
@@ -107,5 +115,10 @@ func run() error {
 	}
 	fmt.Println("\n=== exited worker record ===")
 	fmt.Print(tools.FormatStats(info))
+
+	if showMetrics {
+		fmt.Println()
+		fmt.Print(cluster.MetricsReport())
+	}
 	return nil
 }

@@ -3,7 +3,13 @@ package main
 import "testing"
 
 func TestTraceDemoRuns(t *testing.T) {
-	if err := run(); err != nil {
+	if err := run(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceDemoWithMetrics(t *testing.T) {
+	if err := run(true); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -138,6 +138,15 @@ type Table2Row struct {
 	Distance   int    // hops
 	MeasuredMS float64
 	PaperMS    float64 // 0 = N/A in the paper
+	Msgs       uint64  // wire messages the operation put on the network
+}
+
+// wireCounts totals the wire family's message and byte counters — the
+// protocol frames every layer encoded so far. Deltas of these around
+// an operation are the operation's message cost.
+func wireCounts(c *Cluster) (msgs, bytes uint64) {
+	snap := c.MetricsSnapshot()
+	return snap.CounterSum("wire.msgs."), snap.CounterSum("wire.bytes.")
 }
 
 // RunTable2 regenerates Table 2 on a three-host line: a --net1-- gw
@@ -182,6 +191,7 @@ func RunTable2() ([]Table2Row, error) {
 	for dist := 0; dist <= 2; dist++ {
 		host := hostAt[dist]
 		var id GPID
+		before, _ := wireCounts(c)
 		d, err := sess.Elapsed(func() error {
 			var rerr error
 			id, rerr = sess.Run(host, "job")
@@ -190,31 +200,39 @@ func RunTable2() ([]Table2Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		after, _ := wireCounts(c)
 		rows = append(rows, Table2Row{
 			Action: "create", Distance: dist,
 			MeasuredMS: float64(d)/float64(time.Millisecond) - toolLegs,
 			PaperMS:    paperCreate[dist],
+			Msgs:       after - before,
 		})
 		if err := c.Advance(time.Second); err != nil { // let async exec settle
 			return nil, err
 		}
+		before, _ = wireCounts(c)
 		d, err = sess.Elapsed(func() error { return sess.Stop(id) })
 		if err != nil {
 			return nil, err
 		}
+		after, _ = wireCounts(c)
 		rows = append(rows, Table2Row{
 			Action: "stop", Distance: dist,
 			MeasuredMS: float64(d) / float64(time.Millisecond),
 			PaperMS:    paperStop[dist],
+			Msgs:       after - before,
 		})
+		before, _ = wireCounts(c)
 		d, err = sess.Elapsed(func() error { return sess.Kill(id) })
 		if err != nil {
 			return nil, err
 		}
+		after, _ = wireCounts(c)
 		rows = append(rows, Table2Row{
 			Action: "terminate", Distance: dist,
 			MeasuredMS: float64(d) / float64(time.Millisecond),
 			PaperMS:    paperStop[dist], // paper: same as stop
+			Msgs:       after - before,
 		})
 	}
 	return rows, nil
@@ -261,6 +279,8 @@ type Table3Row struct {
 	Description string
 	MeasuredMS  float64
 	PaperMS     float64
+	Msgs        uint64 // wire messages the snapshot flood exchanged
+	Bytes       uint64 // wire bytes of those messages
 }
 
 // table3Paper holds the published snapshot times.
@@ -351,6 +371,7 @@ func RunTable3() ([]Table3Row, error) {
 		if err := c.Advance(2 * time.Second); err != nil {
 			return nil, err
 		}
+		beforeMsgs, beforeBytes := wireCounts(c)
 		d, err := sess.Elapsed(func() error {
 			snap, serr := sess.Snapshot()
 			if serr != nil {
@@ -366,11 +387,14 @@ func RunTable3() ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		afterMsgs, afterBytes := wireCounts(c)
 		rows = append(rows, Table3Row{
 			Topology:    i + 1,
 			Description: spec.desc,
 			MeasuredMS:  float64(d) / float64(time.Millisecond),
 			PaperMS:     table3Paper[i],
+			Msgs:        afterMsgs - beforeMsgs,
+			Bytes:       afterBytes - beforeBytes,
 		})
 	}
 	return rows, nil
@@ -701,13 +725,14 @@ func FormatTable1(rows []Table1Row) string {
 func FormatTable2(rows []Table2Row) string {
 	var b strings.Builder
 	b.WriteString("Table 2: elapsed time of creation/termination events (ms)\n")
-	fmt.Fprintf(&b, "%-10s %10s %10s %8s\n", "action", "distance", "measured", "paper")
+	fmt.Fprintf(&b, "%-10s %10s %10s %8s %6s\n", "action", "distance", "measured", "paper", "msgs")
 	for _, r := range rows {
 		paper := "N/A"
 		if r.PaperMS > 0 {
 			paper = fmt.Sprintf("%.0f", r.PaperMS)
 		}
-		fmt.Fprintf(&b, "%-10s %10d %10.1f %8s\n", r.Action, r.Distance, r.MeasuredMS, paper)
+		fmt.Fprintf(&b, "%-10s %10d %10.1f %8s %6d\n",
+			r.Action, r.Distance, r.MeasuredMS, paper, r.Msgs)
 	}
 	return b.String()
 }
@@ -716,10 +741,192 @@ func FormatTable2(rows []Table2Row) string {
 func FormatTable3(rows []Table3Row) string {
 	var b strings.Builder
 	b.WriteString("Table 3: snapshot gathering time over four PPM topologies (ms)\n")
-	fmt.Fprintf(&b, "%-4s %-28s %10s %8s\n", "top", "circuits", "measured", "paper")
+	fmt.Fprintf(&b, "%-4s %-28s %10s %8s %6s %7s\n", "top", "circuits", "measured", "paper", "msgs", "bytes")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-4d %-28s %10.1f %8.0f\n", r.Topology, r.Description, r.MeasuredMS, r.PaperMS)
+		fmt.Fprintf(&b, "%-4d %-28s %10.1f %8.0f %6d %7d\n",
+			r.Topology, r.Description, r.MeasuredMS, r.PaperMS, r.Msgs, r.Bytes)
 	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Message-count experiments (enabled by the metrics subsystem).
+// ---------------------------------------------------------------------
+
+// FanoutRow is one point of the broadcast fan-out experiment: the
+// message cost of one distributed snapshot over a star of n hosts.
+type FanoutRow struct {
+	Hosts      int
+	SnapshotMS float64
+	Msgs       uint64 // wire messages the snapshot exchanged
+	Bytes      uint64 // wire bytes of those messages
+	Forwards   uint64 // LPMs that forwarded the flood
+	DedupHits  uint64 // duplicate broadcasts suppressed by the stamp window
+}
+
+// RunBroadcastFanout measures how the flood-based snapshot scales with
+// cluster size: for each size it builds a star of circuits (every
+// remote LPM is a sibling of the home LPM), runs one process per
+// remote host, then counts the wire messages one snapshot costs. The
+// counts grow linearly with the host count on a star; on cyclic
+// graphs the dedup column shows the suppressed retransmissions.
+func RunBroadcastFanout(sizes []int) ([]FanoutRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{2, 4, 8, 12}
+	}
+	var rows []FanoutRow
+	for _, n := range sizes {
+		if n < 2 {
+			return nil, fmt.Errorf("fanout: need at least 2 hosts, got %d", n)
+		}
+		var hs []HostSpec
+		for i := 0; i < n; i++ {
+			hs = append(hs, HostSpec{Name: fmt.Sprintf("h%d", i)})
+		}
+		c, err := NewCluster(ClusterConfig{Hosts: hs})
+		if err != nil {
+			return nil, err
+		}
+		c.AddUser("u")
+		sess, err := c.Attach("u", "h0")
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i < n; i++ {
+			if _, err := sess.Run(hs[i].Name, "job"); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.Advance(2 * time.Second); err != nil {
+			return nil, err
+		}
+		beforeMsgs, beforeBytes := wireCounts(c)
+		before := c.MetricsSnapshot()
+		d, err := sess.Elapsed(func() error {
+			_, serr := sess.Snapshot()
+			return serr
+		})
+		if err != nil {
+			return nil, err
+		}
+		afterMsgs, afterBytes := wireCounts(c)
+		after := c.MetricsSnapshot()
+		rows = append(rows, FanoutRow{
+			Hosts:      n,
+			SnapshotMS: float64(d) / float64(time.Millisecond),
+			Msgs:       afterMsgs - beforeMsgs,
+			Bytes:      afterBytes - beforeBytes,
+			Forwards:   after.Counter("lpm.flood.forwarded") - before.Counter("lpm.flood.forwarded"),
+			DedupHits:  after.Counter("lpm.flood.dedup_hits") - before.Counter("lpm.flood.dedup_hits"),
+		})
+	}
+	return rows, nil
+}
+
+// FormatFanout renders the broadcast fan-out table.
+func FormatFanout(rows []FanoutRow) string {
+	var b strings.Builder
+	b.WriteString("Broadcast fan-out: one snapshot flood vs cluster size\n")
+	fmt.Fprintf(&b, "%-6s %12s %6s %8s %9s %6s\n",
+		"hosts", "snapshot ms", "msgs", "bytes", "forwards", "dedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %12.1f %6d %8d %9d %6d\n",
+			r.Hosts, r.SnapshotMS, r.Msgs, r.Bytes, r.Forwards, r.DedupHits)
+	}
+	return b.String()
+}
+
+// RecoveryCostResult is the message bill of one crash recovery: a CCS
+// host crash, detection by the survivors, probing, and the election
+// plus announcement of a new CCS (the paper's Section 5 machinery).
+type RecoveryCostResult struct {
+	Msgs          uint64  // wire messages exchanged during recovery
+	Bytes         uint64  // wire bytes of those messages
+	Probes        uint64  // pmd probes issued by recovery managers
+	Announcements uint64  // CCS announcements sent to siblings
+	SiblingsLost  uint64  // broken sibling circuits that triggered recovery
+	ElapsedMS     float64 // virtual time from crash to the new CCS being agreed
+}
+
+// RunRecoveryCost crashes the CCS of a three-host computation and
+// counts the messages the survivors spend recovering.
+func RunRecoveryCost() (RecoveryCostResult, error) {
+	c, err := NewCluster(ClusterConfig{
+		Hosts: []HostSpec{{Name: "a"}, {Name: "b"}, {Name: "c"}},
+	})
+	if err != nil {
+		return RecoveryCostResult{}, err
+	}
+	c.AddUser("u")
+	c.SetRecoveryList("u", "a", "b", "c")
+	sess, err := c.Attach("u", "a")
+	if err != nil {
+		return RecoveryCostResult{}, err
+	}
+	if _, err := sess.Run("b", "jb"); err != nil {
+		return RecoveryCostResult{}, err
+	}
+	if _, err := sess.Run("c", "jc"); err != nil {
+		return RecoveryCostResult{}, err
+	}
+	if err := c.Advance(2 * time.Second); err != nil {
+		return RecoveryCostResult{}, err
+	}
+	beforeMsgs, beforeBytes := wireCounts(c)
+	before := c.MetricsSnapshot()
+	start := c.Now()
+	if err := c.Crash("a"); err != nil {
+		return RecoveryCostResult{}, err
+	}
+	// Run until both survivors have agreed on a CCS other than the
+	// crashed host, then let the machinery go quiet.
+	recovered := func() bool {
+		for _, h := range []string{"b", "c"} {
+			m, ok := c.ManagerOn(h, "u")
+			if !ok {
+				return false
+			}
+			if ccs := m.Recovery().CCS(); ccs == "" || ccs == "a" {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := c.Now().Add(5 * time.Minute)
+	for !recovered() && c.Now().Before(deadline) {
+		if err := c.Advance(time.Second); err != nil {
+			return RecoveryCostResult{}, err
+		}
+	}
+	if !recovered() {
+		return RecoveryCostResult{}, fmt.Errorf("recovery cost: survivors never agreed on a new CCS")
+	}
+	elapsed := c.Now().Sub(start)
+	if err := c.Advance(30 * time.Second); err != nil {
+		return RecoveryCostResult{}, err
+	}
+	afterMsgs, afterBytes := wireCounts(c)
+	after := c.MetricsSnapshot()
+	return RecoveryCostResult{
+		Msgs:          afterMsgs - beforeMsgs,
+		Bytes:         afterBytes - beforeBytes,
+		Probes:        after.Counter("lpm.recovery.probes") - before.Counter("lpm.recovery.probes"),
+		Announcements: after.Counter("lpm.recovery.ccs_announcements") - before.Counter("lpm.recovery.ccs_announcements"),
+		SiblingsLost:  after.Counter("lpm.recovery.siblings_lost") - before.Counter("lpm.recovery.siblings_lost"),
+		ElapsedMS:     float64(elapsed) / float64(time.Millisecond),
+	}, nil
+}
+
+// FormatRecoveryCost renders the recovery message bill.
+func FormatRecoveryCost(r RecoveryCostResult) string {
+	var b strings.Builder
+	b.WriteString("Bytes per recovery: CCS crash on a three-host PPM\n")
+	fmt.Fprintf(&b, "%-22s %8d\n", "wire messages", r.Msgs)
+	fmt.Fprintf(&b, "%-22s %8d\n", "wire bytes", r.Bytes)
+	fmt.Fprintf(&b, "%-22s %8d\n", "pmd probes", r.Probes)
+	fmt.Fprintf(&b, "%-22s %8d\n", "CCS announcements", r.Announcements)
+	fmt.Fprintf(&b, "%-22s %8d\n", "sibling circuits lost", r.SiblingsLost)
+	fmt.Fprintf(&b, "%-22s %8.0f\n", "elapsed virtual ms", r.ElapsedMS)
 	return b.String()
 }
 

@@ -149,12 +149,15 @@ func (d *Daemons) handleQuery(conn *simnet.Conn, reqID uint64, fromHost string, 
 		return
 	}
 	d.Queries++
+	d.net.Metrics().Counter("daemon.queries").Inc()
 	if err := d.authenticate(fromHost, q); err != nil {
+		d.net.Metrics().Counter("daemon.auth_failures").Inc()
 		d.reply(conn, reqID, wire.LPMQueryResp{OK: false, Reason: err.Error()})
 		return
 	}
 	// An existing LPM's address is returned directly.
 	if addr, ok := d.lpms[q.User]; ok {
+		d.net.Metrics().Counter("daemon.lpm.found").Inc()
 		d.reply(conn, reqID, wire.LPMQueryResp{
 			OK: true, AcceptHost: addr.Host, AcceptPort: addr.Port,
 		})
@@ -170,6 +173,7 @@ func (d *Daemons) handleQuery(conn *simnet.Conn, reqID uint64, fromHost string, 
 			return
 		}
 		d.register(q.User, addr)
+		d.net.Metrics().Counter("daemon.lpm.created").Inc()
 		// Step 4: the accept address is returned.
 		d.reply(conn, reqID, wire.LPMQueryResp{
 			OK: true, AcceptHost: addr.Host, AcceptPort: addr.Port, Created: true,
@@ -194,7 +198,7 @@ func (d *Daemons) authenticate(fromHost string, q wire.LPMQuery) error {
 
 func (d *Daemons) reply(conn *simnet.Conn, reqID uint64, resp wire.LPMQueryResp) {
 	env := wire.Envelope{Type: wire.MsgLPMQueryResp, ReqID: reqID, Body: resp.Encode()}
-	_ = conn.Send(env.Encode())
+	_ = conn.Send(env.EncodeCounted(d.net.Metrics()))
 }
 
 // register records an LPM, mirroring to stable storage when enabled.
@@ -281,6 +285,6 @@ func QueryLPM(net *simnet.Network, fromHost string, targetHost string,
 		})
 		q := wire.LPMQuery{User: user.Name, Token: auth.MintToken(user, "pmd")}
 		env := wire.Envelope{Type: wire.MsgLPMQuery, ReqID: 1, Body: q.Encode()}
-		_ = conn.Send(env.Encode())
+		_ = conn.Send(env.EncodeCounted(net.Metrics()))
 	})
 }

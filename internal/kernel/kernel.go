@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ppm/internal/calib"
+	"ppm/internal/metrics"
 	"ppm/internal/proc"
 	"ppm/internal/sim"
 )
@@ -132,6 +133,9 @@ type Host struct {
 	// Counters for the overhead benchmarks.
 	UntracedChecks int64
 	KernelMsgs     int64
+
+	// Installation-wide metrics registry (nil unless SetMetrics ran).
+	metrics *metrics.Registry
 }
 
 // loadTau is the smoothing constant of the load-average estimator (the
@@ -157,6 +161,11 @@ func NewHost(sched *sim.Scheduler, name string, model calib.CPUModel) *Host {
 
 // Name returns the host name.
 func (h *Host) Name() string { return h.name }
+
+// SetMetrics installs the installation-wide metrics registry (the
+// kernel family: process lifecycle counts and the event-message
+// delivery histogram). A nil registry disables metrics.
+func (h *Host) SetMetrics(reg *metrics.Registry) { h.metrics = reg }
 
 // Model returns the host's CPU model.
 func (h *Host) Model() calib.CPUModel { return h.model }
@@ -253,6 +262,7 @@ func (h *Host) Spawn(name, user string) (*Process, error) {
 	}
 	h.nextPID++
 	h.procs[p.PID] = p
+	h.metrics.Counter("kernel.spawns").Inc()
 	return p, nil
 }
 
@@ -290,6 +300,7 @@ func (h *Host) Fork(parentPID proc.PID, name string) (*Process, error) {
 	}
 	h.nextPID++
 	h.procs[child.PID] = child
+	h.metrics.Counter("kernel.forks").Inc()
 	parent.Rusage.Syscalls++
 	h.emit(parent, proc.Event{
 		Kind:  proc.EvFork,
@@ -345,6 +356,7 @@ func (h *Host) Exit(pid proc.PID, code int) error {
 	p.State = proc.Exited
 	p.ExitCode = code
 	p.ExitedAt = h.sched.Now()
+	h.metrics.Counter("kernel.exits").Inc()
 	h.setRunnable(p, false)
 	h.emit(p, proc.Event{
 		Kind:   proc.EvExit,
@@ -398,6 +410,7 @@ func (h *Host) Signal(pid proc.PID, sig proc.Signal) error {
 		p.State = proc.Exited
 		p.ExitCode = 128 + int(sig)
 		p.ExitedAt = h.sched.Now()
+		h.metrics.Counter("kernel.exits").Inc()
 		h.setRunnable(p, false)
 		h.emit(p, proc.Event{
 			Kind: proc.EvExit, Proc: proc.GPID{Host: h.name, PID: pid},
@@ -638,7 +651,9 @@ func (h *Host) emit(p *Process, ev proc.Event, class TraceMask) {
 	}
 	ev.At = h.sched.Now().Duration()
 	h.KernelMsgs++
+	h.metrics.Counter("kernel.events." + ev.Kind.String()).Inc()
 	delay := h.model.KernelMsgDelivery(h.LoadAvg())
+	h.metrics.Histogram("kernel.delivery").Observe(delay)
 	h.sched.After(delay, func() {
 		if h.up {
 			sink(ev)

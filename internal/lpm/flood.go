@@ -89,6 +89,7 @@ func (l *LPM) localFloodWork(inner wire.Envelope) (wire.FloodResult, time.Durati
 // aggregated result.
 func (l *LPM) startFlood(inner wire.Envelope, cb func(wire.FloodResult)) {
 	l.Stats.FloodsOriginated++
+	l.metrics.Counter("lpm.flood.originated").Inc()
 	l.floodSeq++
 	stamp := wire.NewStamp(l.user.Key(), l.Host(), l.sched.Now().Duration(), l.floodSeq)
 	l.markSeen(stamp)
@@ -123,6 +124,7 @@ func (l *LPM) handleFlood(sb *sibling, env wire.Envelope) {
 	if l.markSeen(bc.Stamp) {
 		// An old broadcast request: answer but do not retransmit.
 		l.Stats.FloodDuplicates++
+		l.metrics.Counter("lpm.flood.dedup_hits").Inc()
 		l.sendReply(sb, env.ReqID, wire.MsgBroadcastResp,
 			wire.BroadcastResp{
 				Seq: bc.Seq, From: l.Host(), Route: bc.Route,
@@ -131,6 +133,7 @@ func (l *LPM) handleFlood(sb *sibling, env wire.Envelope) {
 		return
 	}
 	l.Stats.FloodsForwarded++
+	l.metrics.Counter("lpm.flood.forwarded").Inc()
 	inner, err := wire.DecodeEnvelope(bc.Inner)
 	if err != nil {
 		l.sendReply(sb, env.ReqID, wire.MsgBroadcastResp,
@@ -167,6 +170,9 @@ func (l *LPM) runFlood(st *floodState, bc wire.Broadcast, inner wire.Envelope, p
 			children = append(children, sb)
 		}
 	}
+	// Fan out in host order: l.siblings is a map, and the order the
+	// requests hit the circuits decides queueing delays downstream.
+	sort.Slice(children, func(i, j int) bool { return children[i].host < children[j].host })
 	st.awaiting = len(children)
 	local, cost := l.localFloodWork(inner)
 	merge := func(res wire.FloodResult, from string, err error) {

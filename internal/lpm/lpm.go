@@ -18,6 +18,7 @@ package lpm
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"ppm/internal/auth"
@@ -25,6 +26,7 @@ import (
 	"ppm/internal/daemon"
 	"ppm/internal/history"
 	"ppm/internal/kernel"
+	"ppm/internal/metrics"
 	"ppm/internal/proc"
 	"ppm/internal/recovery"
 	"ppm/internal/sim"
@@ -124,6 +126,7 @@ type pendingReq struct {
 	cb      func(wire.Envelope, error)
 	timer   *sim.Timer
 	handler proc.PID // handler process assigned to block on this request
+	sentAt  sim.Time // registration time, for the request RTT histogram
 }
 
 // LPM is one Local Process Manager.
@@ -168,6 +171,10 @@ type LPM struct {
 	ttlTimer     *sim.Timer
 	exited       bool
 
+	// metrics is the installation-wide registry, taken from the
+	// network at construction (nil when the network carries none).
+	metrics *metrics.Registry
+
 	// Stats is exported for tests, benchmarks and ablations.
 	Stats Stats
 }
@@ -195,6 +202,7 @@ func New(kern *kernel.Host, net *simnet.Network, dir *auth.Directory,
 		records:    make(map[proc.PID]proc.Info),
 		store:      history.NewStore(cfg.HistoryCapacity),
 		seen:       make(map[string]sim.Time),
+		metrics:    net.Metrics(),
 	}
 	p, err := kern.Spawn("lpm", user.Name)
 	if err != nil {
@@ -246,6 +254,7 @@ func (l *LPM) SiblingHosts() []string {
 			out = append(out, h)
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -304,6 +313,7 @@ func (l *LPM) Exit() {
 		return
 	}
 	l.exited = true
+	l.metrics.Counter("lpm.exits").Inc()
 	if l.ttlTimer != nil {
 		l.ttlTimer.Cancel()
 	}
@@ -313,11 +323,24 @@ func (l *LPM) Exit() {
 	if l.dmns != nil {
 		l.dmns.Unregister(l.user.Name)
 	}
-	for _, sb := range l.siblings {
-		sb.conn.Close()
+	// Tear down in deterministic order: siblings by host, pending
+	// requests by id, own processes by pid — each step schedules events.
+	hosts := make([]string, 0, len(l.siblings))
+	for h := range l.siblings {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		l.siblings[h].conn.Close()
 	}
 	l.siblings = make(map[string]*sibling)
-	for id, pr := range l.pending {
+	ids := make([]uint64, 0, len(l.pending))
+	for id := range l.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		pr := l.pending[id]
 		if pr.timer != nil {
 			pr.timer.Cancel()
 		}
@@ -325,7 +348,12 @@ func (l *LPM) Exit() {
 		delete(l.pending, id)
 		cb(wire.Envelope{}, ErrExited)
 	}
+	pids := make([]proc.PID, 0, len(l.myPids))
 	for pid := range l.myPids {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
 		if p, err := l.kern.Lookup(pid); err == nil &&
 			(p.State == proc.Running || p.State == proc.Stopped) {
 			_ = l.kern.Exit(pid, 0)
@@ -354,6 +382,7 @@ func (l *LPM) onKernelEvent(ev proc.Event) {
 		return
 	}
 	l.Stats.KernelEvents++
+	l.metrics.Counter("lpm.kernel_events").Inc()
 	l.touch()
 	l.store.Append(ev)
 	switch ev.Kind {
@@ -384,10 +413,12 @@ func (l *LPM) withHandler(fn func(proc.PID)) {
 		h := l.idleHandlers[len(l.idleHandlers)-1]
 		l.idleHandlers = l.idleHandlers[:len(l.idleHandlers)-1]
 		l.Stats.HandlerReuses++
+		l.metrics.Counter("lpm.handler.reuses").Inc()
 		fn(h)
 		return
 	}
 	l.Stats.HandlerForks++
+	l.metrics.Counter("lpm.handler.forks").Inc()
 	l.kern.ExecCPU(calib.HandlerFork, func() {
 		h, err := l.kern.Fork(l.pid, "lpm-handler")
 		if err != nil {
@@ -435,6 +466,7 @@ func (r *recEnv) ProbeHost(host string, cb func(bool)) {
 		cb(false)
 		return
 	}
+	l.metrics.Counter("lpm.recovery.probes").Inc()
 	daemon.QueryLPM(l.net, l.Host(), host, l.user, func(resp wire.LPMQueryResp, err error) {
 		cb(err == nil && resp.OK)
 	})
@@ -453,14 +485,16 @@ func (r *recEnv) ConnectCCS(host string, cb func(bool)) {
 
 func (r *recEnv) AnnounceCCS(host string) {
 	l := r.lpm()
+	l.metrics.Counter("lpm.recovery.ccs_announcements").Inc()
 	body := wire.CCSUpdate{CCSHost: host}.Encode()
-	for _, sb := range l.siblings {
-		if sb.authed && sb.conn.Open() {
-			l.sendOneWay(sb, wire.MsgCCSUpdate, body)
-		}
+	for _, h := range l.SiblingHosts() {
+		l.sendOneWay(l.siblings[h], wire.MsgCCSUpdate, body)
 	}
 }
 
-func (r *recEnv) TerminateAll() { r.lpm().terminateAll() }
+func (r *recEnv) TerminateAll() {
+	r.lpm().metrics.Counter("lpm.recovery.terminations").Inc()
+	r.lpm().terminateAll()
+}
 
 func (r *recEnv) HaveSiblings() bool { return len(r.lpm().SiblingHosts()) > 0 }

@@ -2,6 +2,7 @@ package lpm
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"ppm/internal/calib"
@@ -22,6 +23,7 @@ import (
 // continuation.
 func (l *LPM) toolCall(op func(done func(func()))) {
 	l.Stats.RequestsServed++
+	l.metrics.Counter("lpm.requests_served").Inc()
 	l.touch()
 	l.kern.ExecCPU(calib.ToolLeg, func() {
 		op(func(fin func()) {
@@ -42,6 +44,7 @@ func (l *LPM) Adopt(pid proc.PID, cb func(error)) {
 		l.kern.ExecCPU(calib.Adopt, func() {
 			err := l.kern.Adopt(pid, l.user.Name)
 			if err == nil {
+				l.metrics.Counter("lpm.adoptions").Inc()
 				if info, ierr := l.kern.Info(pid); ierr == nil {
 					l.records[pid] = info
 				}
@@ -97,6 +100,7 @@ func (l *LPM) createLocal(req wire.CreateProc, cb func(wire.CreateAck)) {
 						cb(wire.CreateAck{OK: false, Reason: err.Error()})
 						return
 					}
+					l.metrics.Counter("lpm.adoptions").Inc()
 					if info, ierr := l.kern.Info(p.PID); ierr == nil {
 						l.records[p.PID] = info
 					}
@@ -126,6 +130,7 @@ func (l *LPM) createForRemote(req wire.CreateProc, ack func(wire.CreateAck)) {
 				ack(wire.CreateAck{OK: false, Reason: err.Error()})
 				return
 			}
+			l.metrics.Counter("lpm.adoptions").Inc()
 			if info, ierr := l.kern.Info(p.PID); ierr == nil {
 				l.records[p.PID] = info
 			}
@@ -262,13 +267,19 @@ func (l *LPM) localInfos() []proc.Info {
 		out = append(out, p)
 		seen[p.ID.PID] = true
 	}
-	// Records the kernel no longer holds (reaped) but the LPM retained.
-	for pid, info := range l.records {
+	// Records the kernel no longer holds (reaped) but the LPM retained,
+	// in pid order so the encoded fragment is byte-stable.
+	reaped := make([]proc.PID, 0, len(l.records))
+	for pid := range l.records {
 		if !seen[pid] && !l.myPids[pid] {
 			if _, err := l.kern.Lookup(pid); err != nil {
-				out = append(out, info)
+				reaped = append(reaped, pid)
 			}
 		}
+	}
+	sort.Slice(reaped, func(i, j int) bool { return reaped[i] < reaped[j] })
+	for _, pid := range reaped {
+		out = append(out, l.records[pid])
 	}
 	return out
 }
@@ -430,6 +441,7 @@ func (l *LPM) HistoryOf(host string, q history.Query, cb func([]proc.Event, erro
 // per-endpoint protocol cost has already been charged by onSiblingMsg.
 func (l *LPM) handleRequest(sb *sibling, env wire.Envelope) {
 	l.Stats.RequestsServed++
+	l.metrics.Counter("lpm.requests_served").Inc()
 	switch env.Type {
 	case wire.MsgBroadcast:
 		l.handleFlood(sb, env)
@@ -599,6 +611,7 @@ func (l *LPM) handleRelay(sb *sibling, env wire.Envelope) {
 		return
 	}
 	l.Stats.RelaysForwarded++
+	l.metrics.Counter("lpm.relay.forwarded").Inc()
 	fwd := wire.Relay{User: rel.User, Dest: rel.Dest, Path: rel.Path[1:], Inner: rel.Inner}
 	l.sendRequest(nsb, wire.MsgRelay, fwd.Encode(), func(resp wire.Envelope, err error) {
 		if err != nil {
@@ -624,6 +637,7 @@ func (l *LPM) remoteCall(host string, t wire.MsgType, body []byte, cb func(wire.
 			first := path[0]
 			if fsb, ok := l.siblings[first]; ok && fsb.authed && fsb.conn.Open() {
 				l.Stats.RelaysOriginated++
+				l.metrics.Counter("lpm.relay.originated").Inc()
 				inner := wire.Envelope{Type: t, Body: body}
 				rel := wire.Relay{User: l.user.Name, Dest: host, Path: path[1:], Inner: inner.Encode()}
 				l.sendRequest(fsb, wire.MsgRelay, rel.Encode(), func(env wire.Envelope, err error) {

@@ -2,6 +2,7 @@ package lpm
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"ppm/internal/auth"
@@ -48,8 +49,9 @@ func (l *LPM) onFirstMsg(conn *simnet.Conn, b []byte) {
 
 func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello) {
 	reject := func(reason string) {
+		l.metrics.Counter("lpm.siblings.rejected").Inc()
 		body := wire.HelloResp{OK: false, Reason: reason}.Encode()
-		_ = conn.Send(wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}.Encode())
+		_ = conn.Send(wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}.EncodeCounted(l.metrics))
 		l.sched.After(0, conn.Close)
 	}
 	if l.exited {
@@ -84,14 +86,14 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello) {
 		// sockets), not a sibling.
 		conn.SetHandler(func(b []byte) { l.onToolMsg(conn, b) })
 		conn.SetCloseHandler(func(error) {})
-		_ = conn.Send(wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}.Encode())
+		_ = conn.Send(wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}.EncodeCounted(l.metrics))
 		return
 	}
 	l.registerSibling(hello.FromHost, conn)
 	if hello.CCSHost != "" {
 		l.rec.OnContact(hello.CCSHost)
 	}
-	_ = conn.Send(wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}.Encode())
+	_ = conn.Send(wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}.EncodeCounted(l.metrics))
 }
 
 // registerSibling installs an authenticated circuit.
@@ -102,6 +104,8 @@ func (l *LPM) registerSibling(host string, conn *simnet.Conn) {
 	sb := &sibling{host: host, conn: conn, authed: true}
 	l.siblings[host] = sb
 	l.knownHosts[host] = true
+	l.metrics.Counter("lpm.siblings.opened").Inc()
+	l.metrics.Gauge("lpm.siblings.open").Add(1)
 	conn.SetHandler(func(b []byte) { l.onSiblingMsg(sb, b) })
 	conn.SetCloseHandler(func(err error) { l.onSiblingClosed(sb, err) })
 	l.touch()
@@ -110,20 +114,30 @@ func (l *LPM) registerSibling(host string, conn *simnet.Conn) {
 func (l *LPM) onSiblingClosed(sb *sibling, err error) {
 	if cur, ok := l.siblings[sb.host]; ok && cur == sb {
 		delete(l.siblings, sb.host)
+		l.metrics.Counter("lpm.siblings.closed").Inc()
+		l.metrics.Gauge("lpm.siblings.open").Add(-1)
 	}
-	// Fail outstanding requests to that host.
+	// Fail outstanding requests to that host, oldest first (map order
+	// would let error callbacks race each other across identical runs).
+	var ids []uint64
 	for id, pr := range l.pending {
 		if pr.host == sb.host {
-			if pr.timer != nil {
-				pr.timer.Cancel()
-			}
-			cb := pr.cb
-			l.releaseHandler(pr.handler)
-			delete(l.pending, id)
-			cb(wire.Envelope{}, fmt.Errorf("%w: %s", ErrNoSibling, sb.host))
+			ids = append(ids, id)
 		}
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		pr := l.pending[id]
+		if pr.timer != nil {
+			pr.timer.Cancel()
+		}
+		cb := pr.cb
+		l.releaseHandler(pr.handler)
+		delete(l.pending, id)
+		cb(wire.Envelope{}, fmt.Errorf("%w: %s", ErrNoSibling, sb.host))
+	}
 	if err != nil && !l.exited {
+		l.metrics.Counter("lpm.recovery.siblings_lost").Inc()
 		l.rec.OnSiblingLost(sb.host)
 	}
 }
@@ -223,7 +237,7 @@ func (l *LPM) helloTo(host string, conn *simnet.Conn, finish func(*sibling, erro
 	})
 	l.kern.ExecCPU(calib.SiblingEndpoint, func() {
 		env := wire.Envelope{Type: wire.MsgHello, ReqID: 0, Body: hello.Encode()}
-		_ = conn.Send(env.Encode())
+		_ = conn.Send(env.EncodeCounted(l.metrics))
 	})
 }
 
@@ -290,6 +304,7 @@ func (l *LPM) handleResponse(env wire.Envelope) {
 	if pr.timer != nil {
 		pr.timer.Cancel()
 	}
+	l.metrics.Histogram("lpm.request_rtt").Observe(l.sched.Now().Sub(pr.sentAt))
 	l.releaseHandler(pr.handler)
 	pr.cb(env, nil)
 }
@@ -307,7 +322,7 @@ func (l *LPM) sendRequest(sb *sibling, t wire.MsgType, body []byte, cb func(wire
 		}
 		l.reqSeq++
 		id := l.reqSeq
-		pr := &pendingReq{host: sb.host, cb: cb, handler: h}
+		pr := &pendingReq{host: sb.host, cb: cb, handler: h, sentAt: l.sched.Now()}
 		timeout := l.cfg.RequestTimeout
 		if t == wire.MsgBroadcast {
 			timeout = l.cfg.FloodTimeout
@@ -315,6 +330,7 @@ func (l *LPM) sendRequest(sb *sibling, t wire.MsgType, body []byte, cb func(wire
 		pr.timer = l.sched.After(timeout, func() {
 			if cur, ok := l.pending[id]; ok && cur == pr {
 				delete(l.pending, id)
+				l.metrics.Counter("lpm.request.timeouts").Inc()
 				l.releaseHandler(pr.handler)
 				pr.cb(wire.Envelope{}, fmt.Errorf("%w: %v to %s", ErrTimeout, t, sb.host))
 			}
@@ -326,7 +342,7 @@ func (l *LPM) sendRequest(sb *sibling, t wire.MsgType, body []byte, cb func(wire
 				return
 			}
 			env := wire.Envelope{Type: t, ReqID: id, Body: body}
-			_ = sb.conn.Send(env.Encode())
+			_ = sb.conn.Send(env.EncodeCounted(l.metrics))
 			l.kern.AccountIPC(l.pid, 1, 0, t.String())
 		})
 	})
@@ -337,7 +353,7 @@ func (l *LPM) sendReply(sb *sibling, reqID uint64, t wire.MsgType, body []byte) 
 	l.kern.ExecCPU(endpointCost(t), func() {
 		if sb.conn.Open() {
 			env := wire.Envelope{Type: t, ReqID: reqID, Body: body}
-			_ = sb.conn.Send(env.Encode())
+			_ = sb.conn.Send(env.EncodeCounted(l.metrics))
 			l.kern.AccountIPC(l.pid, 1, 0, t.String())
 		}
 	})
@@ -349,7 +365,7 @@ func (l *LPM) sendOneWay(sb *sibling, t wire.MsgType, body []byte) {
 	l.kern.ExecCPU(endpointCost(t), func() {
 		if sb.conn.Open() {
 			env := wire.Envelope{Type: t, ReqID: 0, Body: body}
-			_ = sb.conn.Send(env.Encode())
+			_ = sb.conn.Send(env.EncodeCounted(l.metrics))
 		}
 	})
 }

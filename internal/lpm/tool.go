@@ -3,11 +3,13 @@ package lpm
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"ppm/internal/auth"
 	"ppm/internal/daemon"
 	"ppm/internal/history"
+	"ppm/internal/metrics"
 	"ppm/internal/proc"
 	"ppm/internal/sim"
 	"ppm/internal/simnet"
@@ -31,6 +33,7 @@ type ToolClient struct {
 	user    *auth.User
 	host    string
 	sched   *sim.Scheduler
+	metrics *metrics.Registry
 	conn    *simnet.Conn
 	reqSeq  uint64
 	pending map[uint64]func(wire.Envelope, error)
@@ -63,6 +66,7 @@ func ConnectTool(net *simnet.Network, user *auth.User, host string,
 				user:    user,
 				host:    host,
 				sched:   net.Scheduler(),
+				metrics: net.Metrics(),
 				conn:    conn,
 				pending: make(map[uint64]func(wire.Envelope, error)),
 			}
@@ -101,7 +105,7 @@ func (t *ToolClient) hello(cb func(*ToolClient, error)) {
 		Token:    auth.MintToken(t.user, "sibling"),
 		Stamp:    wire.NewStamp(t.user.Key(), t.host, t.sched.Now().Duration(), 1),
 	}
-	_ = t.conn.Send(wire.Envelope{Type: wire.MsgHello, Body: hello.Encode()}.Encode())
+	_ = t.conn.Send(wire.Envelope{Type: wire.MsgHello, Body: hello.Encode()}.EncodeCounted(t.metrics))
 }
 
 func (t *ToolClient) onClosed(err error) {
@@ -109,7 +113,13 @@ func (t *ToolClient) onClosed(err error) {
 	if err == nil {
 		err = ErrToolClosed
 	}
-	for id, cb := range t.pending {
+	ids := make([]uint64, 0, len(t.pending))
+	for id := range t.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cb := t.pending[id]
 		delete(t.pending, id)
 		cb(wire.Envelope{}, err)
 	}
@@ -145,7 +155,7 @@ func (t *ToolClient) call(mt wire.MsgType, body []byte, cb func(wire.Envelope, e
 	t.reqSeq++
 	id := t.reqSeq
 	t.pending[id] = cb
-	_ = t.conn.Send(wire.Envelope{Type: mt, ReqID: id, Body: body}.Encode())
+	_ = t.conn.Send(wire.Envelope{Type: mt, ReqID: id, Body: body}.EncodeCounted(t.metrics))
 }
 
 // Control performs a process-control operation through the wire
@@ -267,7 +277,7 @@ func (l *LPM) onToolMsg(conn *simnet.Conn, b []byte) {
 	reply := func(mt wire.MsgType, body []byte) {
 		l.kern.ExecCPU(toolSocketLeg, func() {
 			if conn.Open() {
-				_ = conn.Send(wire.Envelope{Type: mt, ReqID: env.ReqID, Body: body}.Encode())
+				_ = conn.Send(wire.Envelope{Type: mt, ReqID: env.ReqID, Body: body}.EncodeCounted(l.metrics))
 			}
 		})
 	}

@@ -1,0 +1,42 @@
+// Package metrics is the observability layer of the simulated PPM
+// installation: a zero-dependency, deterministic registry of counters,
+// gauges and latency histograms shared by every layer of the stack
+// (simnet, wire, kernel, daemon, lpm).
+//
+// # Determinism
+//
+// The registry records no wall-clock time. Its only notion of "now" is
+// the function handed to New, which the Cluster wires to the
+// discrete-event scheduler's virtual clock (package sim). Because the
+// whole simulation is single-goroutine and event-ordered, two runs with
+// the same seed and the same inputs produce byte-identical Snapshot and
+// Report output — the property determinism_test.go asserts. For the
+// same reason the registry needs (and has) no locks: all mutation
+// happens on the one simulation goroutine.
+//
+// # Naming
+//
+// Metric names are dotted paths whose first component is the family —
+// the subsystem that owns the metric: "simnet.datagram.sent",
+// "wire.msgs.Control", "lpm.flood.originated", "daemon.queries",
+// "kernel.events.fork". Snapshot groups metrics by family and sorts
+// both families and metrics lexicographically, so output order never
+// depends on map iteration.
+//
+// # Nil safety
+//
+// A nil *Registry is a valid no-op sink: Counter/Gauge/Histogram return
+// nil handles and every handle method tolerates a nil receiver. Code
+// under test (or any component constructed without a Cluster) can
+// therefore be instrumented unconditionally, with zero configuration
+// and near-zero cost when metrics are off.
+//
+// # Paper anchor
+//
+// The paper's Section 7 plans "data gathering tools, data reduction
+// tools and data representation tools" for assessing the PPM; this
+// package is the data-gathering substrate for the system itself, the
+// counterpart of the per-process tracing in package history. DESIGN.md
+// ("Metrics and the paper") maps each metric family to the paper
+// section it measures.
+package metrics

@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New(nil)
+	c := r.Counter("wire.msgs.Hello")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("wire.msgs.Hello") != c {
+		t.Fatalf("second lookup returned a different counter")
+	}
+}
+
+func TestCounterSaturates(t *testing.T) {
+	r := New(nil)
+	c := r.Counter("x")
+	c.Add(math.MaxUint64 - 1)
+	c.Add(10)
+	if got := c.Value(); got != math.MaxUint64 {
+		t.Fatalf("counter = %d, want saturation at MaxUint64", got)
+	}
+	c.Inc()
+	if got := c.Value(); got != math.MaxUint64 {
+		t.Fatalf("counter wrapped after saturation: %d", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New(nil)
+	g := r.Gauge("lpm.siblings.open")
+	g.Add(3)
+	g.Add(-5)
+	if got := g.Value(); got != -2 {
+		t.Fatalf("gauge = %d, want -2", got)
+	}
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New(nil)
+	h := r.Histogram("lpm.request_rtt")
+	h.Observe(500 * time.Microsecond) // first bucket (<= 1ms)
+	h.Observe(45 * time.Millisecond)  // <= 50ms bucket
+	h.Observe(time.Hour)              // +Inf bucket
+	h.Observe(-time.Second)           // clamped to 0, first bucket
+
+	snap := r.Snapshot()
+	f, ok := snap.Family("lpm")
+	if !ok || len(f.Histograms) != 1 {
+		t.Fatalf("missing lpm histogram family: %+v", snap)
+	}
+	hp := f.Histograms[0]
+	if hp.Count != 4 {
+		t.Fatalf("count = %d, want 4", hp.Count)
+	}
+	if hp.Min != 0 {
+		t.Fatalf("min = %v, want 0 (negative clamped)", hp.Min)
+	}
+	if hp.Max != time.Hour {
+		t.Fatalf("max = %v, want 1h", hp.Max)
+	}
+	if want := 500*time.Microsecond + 45*time.Millisecond + time.Hour; hp.Sum != want {
+		t.Fatalf("sum = %v, want %v", hp.Sum, want)
+	}
+	if got := hp.Buckets[0].Count; got != 2 {
+		t.Fatalf("first bucket = %d, want 2", got)
+	}
+	last := hp.Buckets[len(hp.Buckets)-1]
+	if last.Le != InfBound || last.Count != 1 {
+		t.Fatalf("overflow bucket = %+v, want Le=InfBound count=1", last)
+	}
+	var total uint64
+	for _, bp := range hp.Buckets {
+		total += bp.Count
+	}
+	if total != hp.Count {
+		t.Fatalf("bucket counts total %d, want %d", total, hp.Count)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	var at time.Duration = 90 * time.Second
+	r := New(func() time.Duration { return at })
+	snap := r.Snapshot()
+	if snap.At != 90*time.Second {
+		t.Fatalf("At = %v, want 90s", snap.At)
+	}
+	if len(snap.Families) != 0 {
+		t.Fatalf("empty registry has families: %+v", snap.Families)
+	}
+	rep := snap.Report()
+	if !strings.Contains(rep, "no metrics recorded") {
+		t.Fatalf("empty report missing placeholder:\n%s", rep)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Counter("a").Add(2)
+	r.Gauge("b").Set(1)
+	r.Gauge("b").Add(-1)
+	r.Histogram("c").Observe(time.Second)
+	if r.Counter("a").Value() != 0 || r.Gauge("b").Value() != 0 ||
+		r.Histogram("c").Count() != 0 || r.Histogram("c").Sum() != 0 {
+		t.Fatalf("nil registry recorded something")
+	}
+	snap := r.Snapshot()
+	if len(snap.Families) != 0 || snap.At != 0 {
+		t.Fatalf("nil registry snapshot not zero: %+v", snap)
+	}
+	if !strings.Contains(r.Report(), "no metrics") {
+		t.Fatalf("nil registry report unexpected: %q", r.Report())
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func(names []string) string {
+		r := New(nil)
+		for i, n := range names {
+			r.Counter(n).Add(uint64(i + 1))
+		}
+		r.Gauge("simnet.partitioned_hosts").Set(2)
+		r.Histogram("simnet.transit").Observe(30 * time.Millisecond)
+		return r.Report()
+	}
+	// Same contents inserted in different orders must render identically.
+	a := build([]string{"wire.msgs.Hello", "simnet.datagram.sent", "lpm.exits", "daemon.queries"})
+	b := build([]string{"daemon.queries", "lpm.exits", "simnet.datagram.sent", "wire.msgs.Hello"})
+	_ = b
+	// Values differ (insertion index is the value), so compare structure only.
+	r1 := New(nil)
+	r2 := New(nil)
+	for _, n := range []string{"b.two", "a.one", "c.three"} {
+		r1.Counter(n).Inc()
+	}
+	for _, n := range []string{"c.three", "a.one", "b.two"} {
+		r2.Counter(n).Inc()
+	}
+	if r1.Report() != r2.Report() {
+		t.Fatalf("insertion order leaked into report:\n%s\nvs\n%s", r1.Report(), r2.Report())
+	}
+	if !strings.Contains(a, "[daemon]") || !strings.Contains(a, "[wire]") {
+		t.Fatalf("family headers missing:\n%s", a)
+	}
+	idx := func(s, sub string) int { return strings.Index(s, sub) }
+	if !(idx(a, "[daemon]") < idx(a, "[lpm]") && idx(a, "[lpm]") < idx(a, "[simnet]") &&
+		idx(a, "[simnet]") < idx(a, "[wire]")) {
+		t.Fatalf("families not sorted:\n%s", a)
+	}
+}
+
+func TestSnapshotLookupsAndSums(t *testing.T) {
+	r := New(nil)
+	r.Counter("wire.msgs.Hello").Add(3)
+	r.Counter("wire.msgs.Control").Add(4)
+	r.Counter("wire.bytes.Hello").Add(90)
+	r.Gauge("lpm.siblings.open").Set(2)
+	snap := r.Snapshot()
+	if got := snap.Counter("wire.msgs.Hello"); got != 3 {
+		t.Fatalf("Counter lookup = %d, want 3", got)
+	}
+	if got := snap.Counter("wire.msgs.absent"); got != 0 {
+		t.Fatalf("absent counter = %d, want 0", got)
+	}
+	if got := snap.Gauge("lpm.siblings.open"); got != 2 {
+		t.Fatalf("Gauge lookup = %d, want 2", got)
+	}
+	if got := snap.CounterSum("wire.msgs."); got != 7 {
+		t.Fatalf("CounterSum(wire.msgs.) = %d, want 7", got)
+	}
+	if got := snap.CounterSum("wire."); got != 97 {
+		t.Fatalf("CounterSum(wire.) = %d, want 97", got)
+	}
+}
+
+// TestSingleGoroutineUse documents the concurrency contract: the
+// registry is mutated only from the simulation goroutine, so plain
+// field access (no atomics, no locks) is correct. The test just
+// exercises a realistic single-goroutine mixed workload.
+func TestSingleGoroutineUse(t *testing.T) {
+	now := time.Duration(0)
+	r := New(func() time.Duration { return now })
+	for i := 0; i < 1000; i++ {
+		now += time.Millisecond
+		r.Counter("simnet.datagram.sent").Inc()
+		r.Histogram("simnet.transit").Observe(now % (80 * time.Millisecond))
+		if i%10 == 0 {
+			r.Gauge("lpm.siblings.open").Add(1)
+		}
+	}
+	snap := r.Snapshot()
+	if snap.At != time.Second {
+		t.Fatalf("At = %v, want 1s", snap.At)
+	}
+	if got := snap.Counter("simnet.datagram.sent"); got != 1000 {
+		t.Fatalf("counter = %d, want 1000", got)
+	}
+	f, _ := snap.Family("simnet")
+	if len(f.Histograms) != 1 || f.Histograms[0].Count != 1000 {
+		t.Fatalf("histogram count wrong: %+v", f.Histograms)
+	}
+}

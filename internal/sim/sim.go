@@ -8,6 +8,12 @@
 // next event. This makes every test and every experiment in the
 // repository fully deterministic: the same seed and the same inputs
 // produce byte-identical tables.
+//
+// The paper itself has no simulator — it measured a live 4.3BSD
+// installation (§8's VAX and Sun hosts). This package is the
+// substitution that makes the paper's quantitative evaluation
+// reproducible: virtual time stands in for the 1986 wall clock, so
+// Tables 1–3 regenerate exactly instead of approximately.
 package sim
 
 import (

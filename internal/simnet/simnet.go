@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ppm/internal/calib"
+	"ppm/internal/metrics"
 	"ppm/internal/sim"
 )
 
@@ -97,7 +98,9 @@ type Network struct {
 	segments map[string][]string // segment -> member hosts
 	hops     map[string]map[string]int
 	dirty    bool // routes need recompute
+	connSeq  uint64
 	stats    Stats
+	metrics  *metrics.Registry
 	tap      func(TapEvent)
 }
 
@@ -117,6 +120,17 @@ func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 
 // Stats returns a copy of the activity counters.
 func (n *Network) Stats() Stats { return n.stats }
+
+// SetMetrics installs the installation-wide metrics registry. The
+// network both feeds it (the simnet family) and carries it for the
+// layers above: daemons and LPMs reach the registry through their
+// *Network, so instrumenting them needs no constructor changes. A nil
+// registry (the default) disables metrics.
+func (n *Network) SetMetrics(reg *metrics.Registry) { n.metrics = reg }
+
+// Metrics returns the registry installed with SetMetrics (possibly
+// nil; all registry methods tolerate that).
+func (n *Network) Metrics() *metrics.Registry { return n.metrics }
 
 // ResetStats zeroes the activity counters.
 func (n *Network) ResetStats() { n.stats = Stats{} }
@@ -238,6 +252,23 @@ func (n *Network) Reachable(a, b string) bool {
 	return ok
 }
 
+// countSend records one message of the given kind ("simnet.datagram"
+// or "simnet.circuit") in the metrics registry, including the segment
+// hops it will cross: <kind>.sent / <kind>.bytes count the message
+// once, simnet.hop.crossings / simnet.hop.bytes charge it once per
+// physical segment traversed (a 2-hop datagram loads two Ethernets).
+func (n *Network) countSend(kind, from, to string, size int) {
+	if n.metrics == nil {
+		return
+	}
+	n.metrics.Counter(kind + ".sent").Inc()
+	n.metrics.Counter(kind + ".bytes").Add(uint64(size))
+	if hops, ok := n.Hops(from, to); ok && hops > 0 {
+		n.metrics.Counter("simnet.hop.crossings").Add(uint64(hops))
+		n.metrics.Counter("simnet.hop.bytes").Add(uint64(hops * size))
+	}
+}
+
 // transit computes the one-way delay for size bytes between two hosts.
 // Intra-host delivery still pays a small fixed cost (loopback).
 func (n *Network) transit(a, b string, size int) time.Duration {
@@ -271,10 +302,11 @@ func (n *Network) Crash(host string) error {
 	if !nd.up {
 		return nil
 	}
+	n.metrics.Counter("simnet.host.crashes").Inc()
 	nd.up = false
 	nd.listeners = make(map[uint16]func(*Conn))
 	nd.dgram = make(map[uint16]func(Addr, []byte))
-	for c := range nd.conns {
+	for _, c := range nd.sortedConns() {
 		c.dieLocal() // no callbacks: the software on this host is gone
 		if peer := c.peer; peer != nil {
 			n.breakRemote(peer)
@@ -284,12 +316,27 @@ func (n *Network) Crash(host string) error {
 	return nil
 }
 
+// sortedConns returns the node's circuit endpoints in creation order,
+// so that teardown paths iterating the conn set schedule their break
+// notifications deterministically.
+func (nd *node) sortedConns() []*Conn {
+	out := make([]*Conn, 0, len(nd.conns))
+	for c := range nd.conns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
 // Restart brings a crashed host back up with no listeners (system
 // daemons must be restarted by the environment).
 func (n *Network) Restart(host string) error {
 	nd, ok := n.hosts[host]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownHost, host)
+	}
+	if !nd.up {
+		n.metrics.Counter("simnet.host.restarts").Inc()
 	}
 	nd.up = true
 	return nil
@@ -311,6 +358,8 @@ func (n *Network) Partition(groups ...[]string) error {
 			nd.group = i + 1
 		}
 	}
+	n.metrics.Counter("simnet.partition.events").Inc()
+	n.updatePartitionGauge()
 	n.breakSeveredConns()
 	return nil
 }
@@ -320,11 +369,25 @@ func (n *Network) Heal() {
 	for _, nd := range n.hosts {
 		nd.group = 0
 	}
+	n.metrics.Counter("simnet.partition.heals").Inc()
+	n.updatePartitionGauge()
+}
+
+// updatePartitionGauge tracks how many hosts currently sit outside the
+// default partition group.
+func (n *Network) updatePartitionGauge() {
+	var cut int64
+	for _, nd := range n.hosts {
+		if nd.group != 0 {
+			cut++
+		}
+	}
+	n.metrics.Gauge("simnet.partitioned_hosts").Set(cut)
 }
 
 func (n *Network) breakSeveredConns() {
-	for _, nd := range n.hosts {
-		for c := range nd.conns {
+	for _, h := range n.Hosts() {
+		for _, c := range n.hosts[h].sortedConns() {
 			if c.peer == nil || !c.open {
 				continue
 			}
@@ -346,6 +409,7 @@ func (n *Network) breakRemote(c *Conn) {
 		c.closeWith(ErrPeerLost)
 	})
 	n.stats.ConnsBroken++
+	n.metrics.Counter("simnet.circuit.broken").Inc()
 	n.emitTap(TapEvent{Kind: TapConnBreak, From: c.local, To: c.remote, Circuit: true})
 }
 
@@ -380,24 +444,29 @@ func (n *Network) RemoveDatagramHandler(host string, port uint16) {
 func (n *Network) SendDatagram(from, to Addr, payload []byte) {
 	n.stats.MsgsSent++
 	n.stats.BytesSent += int64(len(payload))
+	n.countSend("simnet.datagram", from.Host, to.Host, len(payload))
 	n.emitTap(TapEvent{Kind: TapSend, From: from, To: to, Size: len(payload)})
 	if !n.Reachable(from.Host, to.Host) {
 		n.stats.MsgsDropped++
+		n.metrics.Counter("simnet.datagram.dropped").Inc()
 		n.emitTap(TapEvent{Kind: TapDrop, From: from, To: to, Size: len(payload)})
 		return
 	}
 	delay := n.transit(from.Host, to.Host, len(payload))
+	n.metrics.Histogram("simnet.transit").Observe(delay)
 	body := append([]byte(nil), payload...)
 	n.sched.After(delay, func() {
 		nd, ok := n.hosts[to.Host]
 		if !ok || !nd.up || !n.Reachable(from.Host, to.Host) {
 			n.stats.MsgsDropped++
+			n.metrics.Counter("simnet.datagram.dropped").Inc()
 			n.emitTap(TapEvent{Kind: TapDrop, From: from, To: to, Size: len(body)})
 			return
 		}
 		h, ok := nd.dgram[to.Port]
 		if !ok {
 			n.stats.MsgsDropped++
+			n.metrics.Counter("simnet.datagram.dropped").Inc()
 			n.emitTap(TapEvent{Kind: TapDrop, From: from, To: to, Size: len(body)})
 			return
 		}
@@ -412,6 +481,7 @@ func (n *Network) SendDatagram(from, to Addr, payload []byte) {
 // Callbacks (message and close handlers) run on the scheduler.
 type Conn struct {
 	net      *Network
+	seq      uint64 // creation order; keeps map-wide teardown deterministic
 	local    Addr
 	remote   Addr
 	peer     *Conn
@@ -448,16 +518,19 @@ func (c *Conn) Send(payload []byte) error {
 	n := c.net
 	n.stats.MsgsSent++
 	n.stats.BytesSent += int64(len(payload))
+	n.countSend("simnet.circuit", c.local.Host, c.remote.Host, len(payload))
 	n.emitTap(TapEvent{Kind: TapSend, From: c.local, To: c.remote, Size: len(payload), Circuit: true})
 	if !n.Reachable(c.local.Host, c.remote.Host) {
 		// TCP would retransmit and eventually time out; model that as
 		// an eventual break of both endpoints.
 		n.stats.MsgsDropped++
+		n.metrics.Counter("simnet.circuit.dropped").Inc()
 		n.breakRemote(c)
 		n.breakRemote(c.peer)
 		return nil
 	}
 	delay := n.transit(c.local.Host, c.remote.Host, len(payload))
+	n.metrics.Histogram("simnet.transit").Observe(delay)
 	at := n.sched.Now().Add(delay)
 	peer := c.peer
 	if at.Before(peer.lastRecv) {
@@ -468,11 +541,13 @@ func (c *Conn) Send(payload []byte) error {
 	n.sched.At(at, func() {
 		if !peer.open {
 			n.stats.MsgsDropped++
+			n.metrics.Counter("simnet.circuit.dropped").Inc()
 			n.emitTap(TapEvent{Kind: TapDrop, From: c.local, To: c.remote, Size: len(body), Circuit: true})
 			return
 		}
 		if !n.Reachable(c.local.Host, c.remote.Host) {
 			n.stats.MsgsDropped++
+			n.metrics.Counter("simnet.circuit.dropped").Inc()
 			n.emitTap(TapEvent{Kind: TapDrop, From: c.local, To: c.remote, Size: len(body), Circuit: true})
 			n.breakRemote(c)
 			n.breakRemote(peer)
@@ -494,6 +569,7 @@ func (c *Conn) Close() {
 	if !c.open {
 		return
 	}
+	c.net.metrics.Counter("simnet.circuit.closed").Inc()
 	c.closeWith(nil)
 	peer := c.peer
 	if peer != nil && peer.open {
@@ -557,6 +633,7 @@ func (n *Network) CloseListen(host string, port uint16) {
 // error (refused, unreachable, host down).
 func (n *Network) Dial(fromHost string, to Addr, cb func(*Conn, error)) {
 	n.stats.DialAttempts++
+	n.metrics.Counter("simnet.dial.attempts").Inc()
 	src, ok := n.hosts[fromHost]
 	if !ok {
 		n.sched.Defer(func() { cb(nil, fmt.Errorf("%w: %s", ErrUnknownHost, fromHost)) })
@@ -590,13 +667,15 @@ func (n *Network) Dial(fromHost string, to Addr, cb func(*Conn, error)) {
 			n.sched.After(d, func() { cb(nil, fmt.Errorf("%w: %s", ErrNoListener, to)) })
 			return
 		}
-		client := &Conn{net: n, local: local, remote: to, open: true}
-		server := &Conn{net: n, local: to, remote: local, open: true}
+		n.connSeq += 2
+		client := &Conn{net: n, seq: n.connSeq - 1, local: local, remote: to, open: true}
+		server := &Conn{net: n, seq: n.connSeq, local: to, remote: local, open: true}
 		client.peer = server
 		server.peer = client
 		src.conns[client] = true
 		dst.conns[server] = true
 		n.stats.ConnsOpened++
+		n.metrics.Counter("simnet.circuit.opened").Inc()
 		n.emitTap(TapEvent{Kind: TapConnOpen, From: local, To: to, Circuit: true})
 		acceptFn(server)
 		n.sched.After(d, func() { // SYN-ACK back to the dialer

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ppm/internal/calib"
+	"ppm/internal/metrics"
 	"ppm/internal/proc"
 )
 
@@ -102,6 +103,22 @@ func (ev Envelope) Encode() []byte {
 	e.U64(ev.ReqID)
 	e.Bytes32(ev.Body)
 	return e.Bytes()
+}
+
+// EncodeCounted serializes the envelope and records it in reg's wire
+// family — one message and len(frame) bytes under the envelope's type
+// name ("wire.msgs.Hello", "wire.bytes.Hello", ...). Protocol send
+// paths use this so every encoded frame is accounted for exactly once,
+// at the moment it is produced; a nil registry makes it equivalent to
+// Encode.
+func (ev Envelope) EncodeCounted(reg *metrics.Registry) []byte {
+	b := ev.Encode()
+	if reg != nil {
+		name := ev.Type.String()
+		reg.Counter("wire.msgs." + name).Inc()
+		reg.Counter("wire.bytes." + name).Add(uint64(len(b)))
+	}
+	return b
 }
 
 // DecodeEnvelope parses a framed message.

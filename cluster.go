@@ -14,6 +14,7 @@ import (
 	"ppm/internal/proc"
 	"ppm/internal/sim"
 	"ppm/internal/simnet"
+	"ppm/internal/trace"
 	"ppm/internal/wire"
 )
 
@@ -87,6 +88,7 @@ type Cluster struct {
 	ns    *nameServer
 	port  uint16
 	reg   *metrics.Registry
+	tr    *trace.Tracer
 }
 
 // nameServer is the administrative CCS registry of the paper's §5
@@ -136,6 +138,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	// clock: identical runs produce identical snapshots.
 	c.reg = metrics.New(func() time.Duration { return c.sched.Now().Duration() })
 	c.net.SetMetrics(c.reg)
+	// One causal tracer per cluster, on the same virtual clock. It
+	// starts disabled: untraced operations record nothing and carry no
+	// trace context on the wire.
+	c.tr = trace.New(func() time.Duration { return c.sched.Now().Duration() })
+	c.net.SetTracer(c.tr)
 	if cfg.CCSNameServer {
 		c.ns = &nameServer{ccs: make(map[string]string)}
 	}
@@ -146,6 +153,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		k := kernel.NewHost(c.sched, hs.Name, calib.Model(hs.Type))
 		k.SetMetrics(c.reg)
+		k.SetTracer(c.tr)
 		c.kerns[hs.Name] = k
 		names = append(names, hs.Name)
 	}
@@ -271,6 +279,31 @@ func (c *Cluster) MetricsReport() string { return c.reg.Report() }
 func (c *Cluster) TraceNetwork(limit int) *simnet.TraceCollector {
 	return c.net.Trace(limit)
 }
+
+// Tracer exposes the cluster-wide causal tracer (normally driven
+// through Trace and TraceReport).
+func (c *Cluster) Tracer() *trace.Tracer { return c.tr }
+
+// Trace runs op with causal tracing enabled: every PPM operation
+// started inside op records a trace tree of virtual-time spans across
+// all hosts it touches (kernel events, dispatcher and handler
+// occupancy, circuit establishment, per-hop network transit, remote
+// handling). It returns the ID of the last trace started, for
+// TraceReport. Tracing is disabled again when op returns, so
+// surrounding traffic stays unrecorded.
+func (c *Cluster) Trace(op func() error) (uint64, error) {
+	c.tr.Enable()
+	err := op()
+	c.tr.Disable()
+	return c.tr.LastTrace(), err
+}
+
+// TraceReport renders one assembled trace tree as a virtual-time
+// waterfall (milliseconds relative to the root span's start).
+func (c *Cluster) TraceReport(traceID uint64) string { return c.tr.Report(traceID) }
+
+// TraceReportAll renders every recorded trace in trace-ID order.
+func (c *Cluster) TraceReportAll() string { return c.tr.ReportAll() }
 
 // Kernel returns a host's simulated kernel.
 func (c *Cluster) Kernel(host string) (*kernel.Host, error) {

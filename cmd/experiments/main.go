@@ -7,6 +7,9 @@
 //	experiments               # everything
 //	experiments -table 1      # only Table 1
 //	experiments -table 2      # only Table 2 (+ the §8 remote create)
+//	experiments -table 2 -breakdown
+//	                          # Table 2 plus its traced decomposition
+//	                          # (network / dispatch / kernel columns)
 //	experiments -table 3      # only Table 3 / Figure 5
 //	experiments -figure 2     # only the Figure 2 LPM-creation exchange
 //	experiments -ablations    # only the ablations
@@ -27,14 +30,21 @@ func main() {
 	figure := flag.Int("figure", 0, "run only this figure (2)")
 	ablations := flag.Bool("ablations", false, "run only the ablations")
 	metricsOnly := flag.Bool("metrics", false, "run only the message-count experiments")
+	breakdown := flag.Bool("breakdown", false,
+		"with -table 2: decompose each cell into network/dispatch/kernel from a traced run")
 	flag.Parse()
-	if err := run(*table, *figure, *ablations, *metricsOnly); err != nil {
+	if *breakdown && *table != 2 {
+		fmt.Fprintln(os.Stderr, "experiments: -breakdown requires -table 2")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*table, *figure, *ablations, *metricsOnly, *breakdown); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, figure int, onlyAblations, onlyMetrics bool) error {
+func run(table, figure int, onlyAblations, onlyMetrics, breakdown bool) error {
 	all := table == 0 && figure == 0 && !onlyAblations && !onlyMetrics
 
 	if all || table == 1 {
@@ -51,6 +61,14 @@ func run(table, figure int, onlyAblations, onlyMetrics bool) error {
 			return fmt.Errorf("table 2: %w", err)
 		}
 		fmt.Print(ppm.FormatTable2(rows))
+		if breakdown {
+			brows, err := ppm.RunTable2Breakdown()
+			if err != nil {
+				return fmt.Errorf("table 2 breakdown: %w", err)
+			}
+			fmt.Println()
+			fmt.Print(ppm.FormatTable2Breakdown(brows))
+		}
 		measured, paper, err := ppm.RemoteCreateWarm()
 		if err != nil {
 			return fmt.Errorf("remote create: %w", err)

@@ -4,9 +4,12 @@
 // the IPC activity analysis and an event-rate histogram — the data
 // gathering, reduction and display tools of the paper's Section 7.
 //
+// With --spans the stop of the remote worker runs under causal
+// tracing and the assembled cross-host span waterfall is printed.
 // With --metrics it additionally prints the installation-wide metrics
 // report: what the simulated network, wire protocol, kernels, daemons
-// and LPMs counted while the scenario ran.
+// and LPMs counted while the scenario ran. -hosts N (2..5) widens the
+// scenario to N hosts with one worker per extra host.
 package main
 
 import (
@@ -19,20 +22,42 @@ import (
 	"ppm/internal/tools"
 )
 
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		"usage: ppmtrace [-hosts N] [-spans] [-metrics]\n")
+	flag.PrintDefaults()
+}
+
 func main() {
+	flag.Usage = usage
+	hosts := flag.Int("hosts", 2, "number of hosts in the scenario (2..5)")
+	showSpans := flag.Bool("spans", false,
+		"trace the remote stop and print the causal span waterfall")
 	showMetrics := flag.Bool("metrics", false,
 		"print the cluster metrics report after the trace output")
 	flag.Parse()
-	if err := run(*showMetrics); err != nil {
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ppmtrace: unexpected argument %q\n", flag.Arg(0))
+		usage()
+		os.Exit(2)
+	}
+	if *hosts < 2 || *hosts > 5 {
+		fmt.Fprintf(os.Stderr, "ppmtrace: -hosts must be between 2 and 5, got %d\n", *hosts)
+		usage()
+		os.Exit(2)
+	}
+	if err := run(*hosts, *showSpans, *showMetrics); err != nil {
 		fmt.Fprintln(os.Stderr, "ppmtrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(showMetrics bool) error {
-	cluster, err := ppm.NewCluster(ppm.ClusterConfig{
-		Hosts: []ppm.HostSpec{{Name: "vax1"}, {Name: "vax2"}},
-	})
+func run(hosts int, showSpans, showMetrics bool) error {
+	specs := make([]ppm.HostSpec, hosts)
+	for i := range specs {
+		specs[i] = ppm.HostSpec{Name: fmt.Sprintf("vax%d", i+1)}
+	}
+	cluster, err := ppm.NewCluster(ppm.ClusterConfig{Hosts: specs})
 	if err != nil {
 		return err
 	}
@@ -53,6 +78,12 @@ func run(showMetrics bool) error {
 	worker, err := sess.RunChild("vax2", "worker", root)
 	if err != nil {
 		return err
+	}
+	for i := 3; i <= hosts; i++ {
+		h := fmt.Sprintf("vax%d", i)
+		if _, err := sess.RunChild(h, "worker"+h[3:], root); err != nil {
+			return err
+		}
 	}
 	if err := cluster.Advance(time.Second); err != nil {
 		return err
@@ -79,7 +110,13 @@ func run(showMetrics bool) error {
 			return err
 		}
 	}
-	if err := sess.Stop(worker); err != nil {
+	var stopTrace uint64
+	if showSpans {
+		stopTrace, err = cluster.Trace(func() error { return sess.Stop(worker) })
+	} else {
+		err = sess.Stop(worker)
+	}
+	if err != nil {
 		return err
 	}
 	if err := sess.Foreground(worker); err != nil {
@@ -116,6 +153,10 @@ func run(showMetrics bool) error {
 	fmt.Println("\n=== exited worker record ===")
 	fmt.Print(tools.FormatStats(info))
 
+	if showSpans {
+		fmt.Println()
+		fmt.Print(cluster.TraceReport(stopTrace))
+	}
 	if showMetrics {
 		fmt.Println()
 		fmt.Print(cluster.MetricsReport())

@@ -3,13 +3,19 @@ package main
 import "testing"
 
 func TestTraceDemoRuns(t *testing.T) {
-	if err := run(false); err != nil {
+	if err := run(2, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestTraceDemoWithMetrics(t *testing.T) {
-	if err := run(true); err != nil {
+	if err := run(2, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceDemoWithSpansAndMoreHosts(t *testing.T) {
+	if err := run(5, true, false); err != nil {
 		t.Fatal(err)
 	}
 }

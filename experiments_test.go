@@ -89,6 +89,56 @@ func TestTable2ReproducesShape(t *testing.T) {
 	}
 }
 
+// TestTable2BreakdownSums: the traced decomposition must (a) have its
+// columns sum to the total by construction, and (b) have that total
+// land within 1 virtual ms of the corresponding unbroken Table 2 cell
+// — tracing may add trailer bytes to the wire but must not reshape
+// the operation it measures.
+func TestTable2BreakdownSums(t *testing.T) {
+	brows, err := RunTable2Breakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brows) != len(rows) {
+		t.Fatalf("breakdown has %d rows, Table 2 has %d", len(brows), len(rows))
+	}
+	unbroken := func(action string, dist int) float64 {
+		for _, r := range rows {
+			if r.Action == action && r.Distance == dist {
+				return r.MeasuredMS
+			}
+		}
+		t.Fatalf("missing Table 2 row %s/%d", action, dist)
+		return 0
+	}
+	for _, br := range brows {
+		sum := br.NetworkMS + br.DispatchMS + br.KernelMS + br.OtherMS
+		if math.Abs(sum-br.TotalMS) > 0.001 {
+			t.Errorf("%s dist=%d: columns sum to %.3f, total is %.3f",
+				br.Action, br.Distance, sum, br.TotalMS)
+		}
+		if br.OtherMS < 0 {
+			t.Errorf("%s dist=%d: negative residual %.3f ms (double-counted category?)",
+				br.Action, br.Distance, br.OtherMS)
+		}
+		if cell := unbroken(br.Action, br.Distance); math.Abs(br.TotalMS-cell) > 1.0 {
+			t.Errorf("%s dist=%d: traced total %.3f ms vs unbroken cell %.3f ms (>1ms apart)",
+				br.Action, br.Distance, br.TotalMS, cell)
+		}
+		if br.Distance > 0 && br.NetworkMS <= 0 {
+			t.Errorf("%s dist=%d: remote op attributes no network time", br.Action, br.Distance)
+		}
+		if br.Distance > 0 && br.DispatchMS <= br.NetworkMS {
+			t.Errorf("%s dist=%d: dispatch (%.1f) should dominate network (%.1f) on a LAN",
+				br.Action, br.Distance, br.DispatchMS, br.NetworkMS)
+		}
+	}
+}
+
 func TestRemoteCreateWarmReproduces177(t *testing.T) {
 	measured, paper, err := RemoteCreateWarm()
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"ppm/internal/kernel"
 	"ppm/internal/proc"
 	"ppm/internal/simnet"
+	"ppm/internal/trace"
 	"ppm/internal/wire"
 )
 
@@ -123,36 +124,39 @@ func (d *Daemons) accept(conn *simnet.Conn) {
 			conn.Close()
 			return
 		}
+		ctx := trace.Context{Trace: env.TraceID, Span: env.SpanID}
 		if env.Type != wire.MsgLPMQuery {
-			d.reply(conn, env.ReqID, wire.LPMQueryResp{OK: false, Reason: "inetd: unexpected message"})
+			d.reply(conn, env.ReqID, wire.LPMQueryResp{OK: false, Reason: "inetd: unexpected message"}, ctx, nil)
 			return
 		}
 		q, err := wire.DecodeLPMQuery(env.Body)
 		if err != nil {
-			d.reply(conn, env.ReqID, wire.LPMQueryResp{OK: false, Reason: "inetd: bad query"})
+			d.reply(conn, env.ReqID, wire.LPMQueryResp{OK: false, Reason: "inetd: bad query"}, ctx, nil)
 			return
 		}
 		from := conn.RemoteAddr().Host
+		sp := d.net.Tracer().StartSpan(d.hostName, "dispatch.pmd", ctx)
 		// Step 2: inetd passes the request to pmd.
 		d.kern.ExecCPU(inetdForwardCost, func() {
 			d.kern.ExecCPU(pmdHandleCost, func() {
-				d.handleQuery(conn, env.ReqID, from, q)
+				d.handleQuery(conn, env.ReqID, from, q, ctx, sp)
 			})
 		})
 	})
 }
 
 // handleQuery is the pmd: the trusted name server of Figure 2 steps 3-4.
-func (d *Daemons) handleQuery(conn *simnet.Conn, reqID uint64, fromHost string, q wire.LPMQuery) {
+func (d *Daemons) handleQuery(conn *simnet.Conn, reqID uint64, fromHost string,
+	q wire.LPMQuery, ctx trace.Context, sp *trace.Span) {
 	if !d.running {
-		d.reply(conn, reqID, wire.LPMQueryResp{OK: false, Reason: "pmd: not running"})
+		d.reply(conn, reqID, wire.LPMQueryResp{OK: false, Reason: "pmd: not running"}, ctx, sp)
 		return
 	}
 	d.Queries++
 	d.net.Metrics().Counter("daemon.queries").Inc()
 	if err := d.authenticate(fromHost, q); err != nil {
 		d.net.Metrics().Counter("daemon.auth_failures").Inc()
-		d.reply(conn, reqID, wire.LPMQueryResp{OK: false, Reason: err.Error()})
+		d.reply(conn, reqID, wire.LPMQueryResp{OK: false, Reason: err.Error()}, ctx, sp)
 		return
 	}
 	// An existing LPM's address is returned directly.
@@ -160,7 +164,7 @@ func (d *Daemons) handleQuery(conn *simnet.Conn, reqID uint64, fromHost string, 
 		d.net.Metrics().Counter("daemon.lpm.found").Inc()
 		d.reply(conn, reqID, wire.LPMQueryResp{
 			OK: true, AcceptHost: addr.Host, AcceptPort: addr.Port,
-		})
+		}, ctx, sp)
 		return
 	}
 	// Step 3: pmd creates the LPM — paying the fork before the reply;
@@ -169,7 +173,7 @@ func (d *Daemons) handleQuery(conn *simnet.Conn, reqID uint64, fromHost string, 
 	d.kern.ExecCPU(calib.Fork, func() {
 		addr, err := d.factory(q.User)
 		if err != nil {
-			d.reply(conn, reqID, wire.LPMQueryResp{OK: false, Reason: fmt.Sprintf("pmd: create LPM: %v", err)})
+			d.reply(conn, reqID, wire.LPMQueryResp{OK: false, Reason: fmt.Sprintf("pmd: create LPM: %v", err)}, ctx, sp)
 			return
 		}
 		d.register(q.User, addr)
@@ -177,7 +181,7 @@ func (d *Daemons) handleQuery(conn *simnet.Conn, reqID uint64, fromHost string, 
 		// Step 4: the accept address is returned.
 		d.reply(conn, reqID, wire.LPMQueryResp{
 			OK: true, AcceptHost: addr.Host, AcceptPort: addr.Port, Created: true,
-		})
+		}, ctx, sp)
 	})
 }
 
@@ -196,9 +200,12 @@ func (d *Daemons) authenticate(fromHost string, q wire.LPMQuery) error {
 	return nil
 }
 
-func (d *Daemons) reply(conn *simnet.Conn, reqID uint64, resp wire.LPMQueryResp) {
+func (d *Daemons) reply(conn *simnet.Conn, reqID uint64, resp wire.LPMQueryResp,
+	ctx trace.Context, sp *trace.Span) {
+	sp.End()
 	env := wire.Envelope{Type: wire.MsgLPMQueryResp, ReqID: reqID, Body: resp.Encode()}
-	_ = conn.Send(env.EncodeCounted(d.net.Metrics()))
+	env.SetTrace(ctx.Trace, ctx.Span)
+	_ = conn.SendCtx(env.EncodeCounted(d.net.Metrics()), ctx)
 }
 
 // register records an LPM, mirroring to stable storage when enabled.
@@ -257,34 +264,52 @@ func (d *Daemons) Stop() {
 // LPMs creating remote siblings.
 func QueryLPM(net *simnet.Network, fromHost string, targetHost string,
 	user *auth.User, cb func(wire.LPMQueryResp, error)) {
+	QueryLPMCtx(net, fromHost, targetHost, user, trace.Context{}, cb)
+}
+
+// QueryLPMCtx is QueryLPM under a trace context: the dial handshake,
+// the query's transit and the pmd's handling all record spans under a
+// "pmd.query" child of ctx.
+func QueryLPMCtx(net *simnet.Network, fromHost string, targetHost string,
+	user *auth.User, ctx trace.Context, cb func(wire.LPMQueryResp, error)) {
+	sp := net.Tracer().StartSpan(fromHost, "pmd.query."+targetHost, ctx)
+	qctx := sp.Context()
+	if !qctx.Valid() {
+		qctx = ctx
+	}
+	done := func(resp wire.LPMQueryResp, err error) {
+		sp.End()
+		cb(resp, err)
+	}
 	to := simnet.Addr{Host: targetHost, Port: PortInetd}
-	net.Dial(fromHost, to, func(conn *simnet.Conn, err error) {
+	net.DialCtx(fromHost, to, qctx, func(conn *simnet.Conn, err error) {
 		if err != nil {
-			cb(wire.LPMQueryResp{}, err)
+			done(wire.LPMQueryResp{}, err)
 			return
 		}
 		conn.SetHandler(func(b []byte) {
 			env, derr := wire.DecodeEnvelope(b)
 			if derr != nil {
-				cb(wire.LPMQueryResp{}, derr)
+				done(wire.LPMQueryResp{}, derr)
 				conn.Close()
 				return
 			}
 			resp, derr := wire.DecodeLPMQueryResp(env.Body)
 			conn.Close()
 			if derr != nil {
-				cb(wire.LPMQueryResp{}, derr)
+				done(wire.LPMQueryResp{}, derr)
 				return
 			}
-			cb(resp, nil)
+			done(resp, nil)
 		})
 		conn.SetCloseHandler(func(cerr error) {
 			if cerr != nil {
-				cb(wire.LPMQueryResp{}, cerr)
+				done(wire.LPMQueryResp{}, cerr)
 			}
 		})
 		q := wire.LPMQuery{User: user.Name, Token: auth.MintToken(user, "pmd")}
 		env := wire.Envelope{Type: wire.MsgLPMQuery, ReqID: 1, Body: q.Encode()}
-		_ = conn.Send(env.EncodeCounted(net.Metrics()))
+		env.SetTrace(qctx.Trace, qctx.Span)
+		_ = conn.SendCtx(env.EncodeCounted(net.Metrics()), qctx)
 	})
 }

@@ -22,8 +22,14 @@ import (
 // are kept separately and never dropped).
 type Store struct {
 	capacity int
-	events   []proc.Event
-	dropped  int64
+	// ring is a circular buffer, allocated on first append: start
+	// indexes the oldest retained event and count is how many are
+	// retained. Eviction at capacity overwrites the oldest slot in
+	// O(1) instead of shifting the whole slice per append.
+	ring    []proc.Event
+	start   int
+	count   int
+	dropped int64
 
 	// summaries of exited processes, preserved beyond event eviction.
 	exited map[proc.GPID]proc.Info
@@ -52,12 +58,19 @@ func NewStore(capacity int) *Store {
 // Append records an event, evicting the oldest if at capacity, then
 // fires any matching watches.
 func (s *Store) Append(ev proc.Event) {
-	if len(s.events) >= s.capacity {
-		n := copy(s.events, s.events[1:])
-		s.events = s.events[:n]
-		s.dropped++
+	if s.ring == nil {
+		s.ring = make([]proc.Event, s.capacity)
 	}
-	s.events = append(s.events, ev)
+	if s.count == s.capacity {
+		// Full: the slot holding the oldest event receives the newest
+		// and the window advances.
+		s.ring[s.start] = ev
+		s.start = (s.start + 1) % s.capacity
+		s.dropped++
+	} else {
+		s.ring[(s.start+s.count)%s.capacity] = ev
+		s.count++
+	}
 	for _, w := range s.watches {
 		if w.matches(ev) {
 			w.hits++
@@ -66,6 +79,20 @@ func (s *Store) Append(ev proc.Event) {
 			}
 		}
 	}
+}
+
+// at returns the i-th retained event, oldest first.
+func (s *Store) at(i int) proc.Event {
+	return s.ring[(s.start+i)%s.capacity]
+}
+
+// Events returns the retained events, oldest first.
+func (s *Store) Events() []proc.Event {
+	out := make([]proc.Event, s.count)
+	for i := range out {
+		out[i] = s.at(i)
+	}
+	return out
 }
 
 // RecordExit preserves the final resource-consumption record of an
@@ -84,7 +111,7 @@ func (s *Store) ExitedInfo(id proc.GPID) (proc.Info, bool) {
 func (s *Store) Dropped() int64 { return s.dropped }
 
 // Len returns the number of retained events.
-func (s *Store) Len() int { return len(s.events) }
+func (s *Store) Len() int { return s.count }
 
 // Query selects retained events. Zero-valued fields match everything.
 type Query struct {
@@ -108,7 +135,8 @@ func (s *Store) Select(q Query) []proc.Event {
 		return false
 	}
 	var out []proc.Event
-	for _, ev := range s.events {
+	for i := 0; i < s.count; i++ {
+		ev := s.at(i)
 		if !q.Proc.IsZero() && ev.Proc != q.Proc && ev.Child != q.Proc {
 			continue
 		}
@@ -181,7 +209,8 @@ func (s *Store) Reduce() Reduction {
 		Dropped:  s.dropped,
 		ExitRecs: len(s.exited),
 	}
-	for i, ev := range s.events {
+	for i := 0; i < s.count; i++ {
+		ev := s.at(i)
 		r.Total++
 		r.ByKind[ev.Kind]++
 		r.ByProc[ev.Proc]++

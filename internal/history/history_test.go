@@ -186,6 +186,43 @@ func TestReduceEmpty(t *testing.T) {
 	}
 }
 
+func TestEventsOldestFirstAfterWraparound(t *testing.T) {
+	s := NewStore(4)
+	// 4+3 appends wrap the ring so the oldest slot is in the middle of
+	// the backing array; Events must still come back oldest first.
+	for i := 0; i < 7; i++ {
+		s.Append(ev(time.Duration(i)*time.Second, proc.EvSyscall, proc.PID(i)))
+	}
+	got := s.Events()
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := time.Duration(3+i) * time.Second; e.At != want {
+			t.Fatalf("Events()[%d].At = %v, want %v", i, e.At, want)
+		}
+	}
+	if s.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", s.Dropped())
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	s := NewStore(2)
+	s.Append(ev(1*time.Second, proc.EvFork, 1))
+	got := s.Events()
+	got[0].At = 99 * time.Second
+	if s.Events()[0].At != time.Second {
+		t.Fatal("Events() exposed the ring's backing storage")
+	}
+}
+
+func TestEventsEmpty(t *testing.T) {
+	if got := NewStore(0).Events(); len(got) != 0 {
+		t.Fatalf("empty store Events() = %d events", len(got))
+	}
+}
+
 // Property: with capacity c, after n appends the store holds
 // min(n, c) events and they are the most recent ones.
 func TestPropertyEvictionKeepsNewest(t *testing.T) {

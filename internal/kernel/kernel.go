@@ -21,6 +21,7 @@ import (
 	"ppm/internal/metrics"
 	"ppm/internal/proc"
 	"ppm/internal/sim"
+	"ppm/internal/trace"
 )
 
 // Kernel errors.
@@ -136,6 +137,9 @@ type Host struct {
 
 	// Installation-wide metrics registry (nil unless SetMetrics ran).
 	metrics *metrics.Registry
+
+	// Cluster-wide causal tracer (nil unless SetTracer ran).
+	tracer *trace.Tracer
 }
 
 // loadTau is the smoothing constant of the load-average estimator (the
@@ -166,6 +170,11 @@ func (h *Host) Name() string { return h.name }
 // kernel family: process lifecycle counts and the event-message
 // delivery histogram). A nil registry disables metrics.
 func (h *Host) SetMetrics(reg *metrics.Registry) { h.metrics = reg }
+
+// SetTracer installs the cluster-wide causal tracer. Kernel event
+// emission attaches delivery spans to whatever operation context is
+// active at emit time. A nil tracer disables tracing.
+func (h *Host) SetTracer(t *trace.Tracer) { h.tracer = t }
 
 // Model returns the host's CPU model.
 func (h *Host) Model() calib.CPUModel { return h.model }
@@ -654,6 +663,13 @@ func (h *Host) emit(p *Process, ev proc.Event, class TraceMask) {
 	h.metrics.Counter("kernel.events." + ev.Kind.String()).Inc()
 	delay := h.model.KernelMsgDelivery(h.LoadAvg())
 	h.metrics.Histogram("kernel.delivery").Observe(delay)
+	// Attribute the 112-byte message's delivery window to the operation
+	// whose kernel action produced it (the caller wraps that region in
+	// Tracer.Exchange).
+	if ctx := h.tracer.Active(); ctx.Valid() {
+		h.tracer.AddSpan(h.name, "kernel.event."+ev.Kind.String(), ctx,
+			ev.At, ev.At+delay)
+	}
 	h.sched.After(delay, func() {
 		if h.up {
 			sink(ev)

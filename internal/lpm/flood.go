@@ -8,6 +8,7 @@ import (
 
 	"ppm/internal/proc"
 	"ppm/internal/sim"
+	"ppm/internal/trace"
 	"ppm/internal/wire"
 )
 
@@ -87,7 +88,7 @@ func (l *LPM) localFloodWork(inner wire.Envelope) (wire.FloodResult, time.Durati
 
 // startFlood originates a broadcast from this LPM and calls cb with the
 // aggregated result.
-func (l *LPM) startFlood(inner wire.Envelope, cb func(wire.FloodResult)) {
+func (l *LPM) startFlood(ctx trace.Context, inner wire.Envelope, cb func(wire.FloodResult)) {
 	l.Stats.FloodsOriginated++
 	l.metrics.Counter("lpm.flood.originated").Inc()
 	l.floodSeq++
@@ -103,21 +104,22 @@ func (l *LPM) startFlood(inner wire.Envelope, cb func(wire.FloodResult)) {
 		l.learnRoutes(res)
 		cb(res)
 	}}
-	l.runFlood(st, bc, inner, "")
+	l.runFlood(ctx, st, bc, inner, "")
 }
 
 // handleFlood serves a broadcast arriving over a sibling circuit.
 func (l *LPM) handleFlood(sb *sibling, env wire.Envelope) {
+	ctx := trace.Context{Trace: env.TraceID, Span: env.SpanID}
 	bc, err := wire.DecodeBroadcast(env.Body)
 	if err != nil {
-		l.sendReply(sb, env.ReqID, wire.MsgBroadcastResp,
+		l.sendReply(ctx, sb, env.ReqID, wire.MsgBroadcastResp,
 			wire.BroadcastResp{Inner: wire.FloodResult{OK: false}.Encode()}.Encode())
 		return
 	}
 	// Verify the signed stamp: the origin's name appears in it and the
 	// signature binds it to the user's key.
 	if !bc.Stamp.Verify(l.user.Key()) {
-		l.sendReply(sb, env.ReqID, wire.MsgBroadcastResp,
+		l.sendReply(ctx, sb, env.ReqID, wire.MsgBroadcastResp,
 			wire.BroadcastResp{Inner: wire.FloodResult{OK: false}.Encode()}.Encode())
 		return
 	}
@@ -125,7 +127,7 @@ func (l *LPM) handleFlood(sb *sibling, env wire.Envelope) {
 		// An old broadcast request: answer but do not retransmit.
 		l.Stats.FloodDuplicates++
 		l.metrics.Counter("lpm.flood.dedup_hits").Inc()
-		l.sendReply(sb, env.ReqID, wire.MsgBroadcastResp,
+		l.sendReply(ctx, sb, env.ReqID, wire.MsgBroadcastResp,
 			wire.BroadcastResp{
 				Seq: bc.Seq, From: l.Host(), Route: bc.Route,
 				Inner: wire.FloodResult{OK: true, Dup: true}.Encode(),
@@ -136,23 +138,23 @@ func (l *LPM) handleFlood(sb *sibling, env wire.Envelope) {
 	l.metrics.Counter("lpm.flood.forwarded").Inc()
 	inner, err := wire.DecodeEnvelope(bc.Inner)
 	if err != nil {
-		l.sendReply(sb, env.ReqID, wire.MsgBroadcastResp,
+		l.sendReply(ctx, sb, env.ReqID, wire.MsgBroadcastResp,
 			wire.BroadcastResp{Inner: wire.FloodResult{OK: false}.Encode()}.Encode())
 		return
 	}
 	fwd := bc
 	fwd.Route = append(append([]string(nil), bc.Route...), l.Host())
 	st := &floodState{key: bc.Stamp.Key(), finish: func(res wire.FloodResult) {
-		l.sendReply(sb, env.ReqID, wire.MsgBroadcastResp, wire.BroadcastResp{
+		l.sendReply(ctx, sb, env.ReqID, wire.MsgBroadcastResp, wire.BroadcastResp{
 			Seq: bc.Seq, From: l.Host(), Route: fwd.Route, Inner: res.Encode(),
 		}.Encode())
 	}}
-	l.runFlood(st, fwd, inner, sb.host)
+	l.runFlood(ctx, st, fwd, inner, sb.host)
 }
 
 // runFlood performs the local work and forwards to all siblings except
 // the parent, completing st when every child answered (or failed).
-func (l *LPM) runFlood(st *floodState, bc wire.Broadcast, inner wire.Envelope, parentHost string) {
+func (l *LPM) runFlood(ctx trace.Context, st *floodState, bc wire.Broadcast, inner wire.Envelope, parentHost string) {
 	children := make([]*sibling, 0, len(l.siblings))
 	for h, sb := range l.siblings {
 		if h == parentHost || !sb.authed || !sb.conn.Open() {
@@ -174,7 +176,9 @@ func (l *LPM) runFlood(st *floodState, bc wire.Broadcast, inner wire.Envelope, p
 	// requests hit the circuits decides queueing delays downstream.
 	sort.Slice(children, func(i, j int) bool { return children[i].host < children[j].host })
 	st.awaiting = len(children)
-	local, cost := l.localFloodWork(inner)
+	var local wire.FloodResult
+	var cost time.Duration
+	l.withTraceCtx(ctx, func() { local, cost = l.localFloodWork(inner) })
 	merge := func(res wire.FloodResult, from string, err error) {
 		if err != nil {
 			st.result.Partial = append(st.result.Partial, from)
@@ -190,7 +194,7 @@ func (l *LPM) runFlood(st *floodState, bc wire.Broadcast, inner wire.Envelope, p
 	}
 	for _, child := range children {
 		from := child.host
-		l.sendRequest(child, wire.MsgBroadcast, bc.Encode(), func(env wire.Envelope, err error) {
+		l.sendRequest(ctx, child, wire.MsgBroadcast, bc.Encode(), func(env wire.Envelope, err error) {
 			if err != nil {
 				merge(wire.FloodResult{}, from, err)
 				return
@@ -241,8 +245,8 @@ func (l *LPM) Snapshot(cb func(proc.Snapshot, error)) {
 	}
 	inner := wire.Envelope{Type: wire.MsgSnapshotReq,
 		Body: wire.SnapshotReq{User: l.user.Name, Forward: true}.Encode()}
-	l.toolCall(func(done func(func())) {
-		l.startFlood(inner, func(res wire.FloodResult) {
+	l.toolCall("snapshot", func(ctx trace.Context, done func(func())) {
+		l.startFlood(ctx, inner, func(res wire.FloodResult) {
 			done(func() {
 				snap := proc.Merge(l.sched.Now().Duration(), res.Procs)
 				snap.Partial = l.uncovered(res)
@@ -262,8 +266,8 @@ func (l *LPM) ControlAll(op wire.ControlOp, sig proc.Signal, cb func(int, error)
 	}
 	req := wire.Control{User: l.user.Name, Op: op, Signal: sig}
 	inner := wire.Envelope{Type: wire.MsgControl, Body: req.Encode()}
-	l.toolCall(func(done func(func())) {
-		l.startFlood(inner, func(res wire.FloodResult) {
+	l.toolCall("control_all", func(ctx trace.Context, done func(func())) {
+		l.startFlood(ctx, inner, func(res wire.FloodResult) {
 			done(func() {
 				if len(res.Partial) > 0 {
 					cb(int(res.Count), fmt.Errorf("%w: no answer from %v", ErrNoSibling, res.Partial))
@@ -281,14 +285,14 @@ func (l *LPM) Ping(host string, cb func(wire.Pong, error)) {
 		l.sched.Defer(func() { cb(wire.Pong{}, ErrExited) })
 		return
 	}
-	l.toolCall(func(done func(func())) {
-		l.ensureSibling(host, func(sb *sibling, err error) {
+	l.toolCall("ping", func(ctx trace.Context, done func(func())) {
+		l.ensureSibling(ctx, host, func(sb *sibling, err error) {
 			if err != nil {
 				done(func() { cb(wire.Pong{}, err) })
 				return
 			}
 			body := wire.Ping{FromHost: l.Host(), User: l.user.Name}.Encode()
-			l.sendRequest(sb, wire.MsgPing, body, func(env wire.Envelope, err error) {
+			l.sendRequest(ctx, sb, wire.MsgPing, body, func(env wire.Envelope, err error) {
 				done(func() {
 					if err != nil {
 						cb(wire.Pong{}, err)

@@ -31,6 +31,7 @@ import (
 	"ppm/internal/recovery"
 	"ppm/internal/sim"
 	"ppm/internal/simnet"
+	"ppm/internal/trace"
 	"ppm/internal/wire"
 )
 
@@ -125,8 +126,9 @@ type pendingReq struct {
 	host    string
 	cb      func(wire.Envelope, error)
 	timer   *sim.Timer
-	handler proc.PID // handler process assigned to block on this request
-	sentAt  sim.Time // registration time, for the request RTT histogram
+	handler proc.PID    // handler process assigned to block on this request
+	sentAt  sim.Time    // registration time, for the request RTT histogram
+	span    *trace.Span // handler occupancy, from assignment to response
 }
 
 // LPM is one Local Process Manager.
@@ -174,6 +176,10 @@ type LPM struct {
 	// metrics is the installation-wide registry, taken from the
 	// network at construction (nil when the network carries none).
 	metrics *metrics.Registry
+	// tracer is the installation-wide causal tracer, also taken from
+	// the network (nil or disabled on untraced runs: every span call
+	// below degrades to a no-op).
+	tracer *trace.Tracer
 
 	// Stats is exported for tests, benchmarks and ablations.
 	Stats Stats
@@ -203,6 +209,7 @@ func New(kern *kernel.Host, net *simnet.Network, dir *auth.Directory,
 		store:      history.NewStore(cfg.HistoryCapacity),
 		seen:       make(map[string]sim.Time),
 		metrics:    net.Metrics(),
+		tracer:     net.Tracer(),
 	}
 	p, err := kern.Spawn("lpm", user.Name)
 	if err != nil {
@@ -260,6 +267,16 @@ func (l *LPM) SiblingHosts() []string {
 
 // touch records activity for the TTL logic.
 func (l *LPM) touch() { l.lastActivity = l.sched.Now() }
+
+// withTraceCtx runs fn with ctx installed as the tracer's active
+// context, so kernel events emitted synchronously inside fn (signals,
+// forks, execs) attach to the trace. Safe under the single-goroutine
+// scheduler; a nil or disabled tracer makes this a plain call.
+func (l *LPM) withTraceCtx(ctx trace.Context, fn func()) {
+	old := l.tracer.Exchange(ctx)
+	fn()
+	l.tracer.Exchange(old)
+}
 
 // --- time-to-live ---
 
@@ -345,6 +362,7 @@ func (l *LPM) Exit() {
 			pr.timer.Cancel()
 		}
 		cb := pr.cb
+		pr.span.End()
 		delete(l.pending, id)
 		cb(wire.Envelope{}, ErrExited)
 	}
@@ -478,7 +496,7 @@ func (r *recEnv) ConnectCCS(host string, cb func(bool)) {
 		cb(true)
 		return
 	}
-	l.ensureSibling(host, func(sb *sibling, err error) {
+	l.ensureSibling(trace.Context{}, host, func(sb *sibling, err error) {
 		cb(err == nil && sb != nil)
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"ppm/internal/history"
 	"ppm/internal/kernel"
 	"ppm/internal/proc"
+	"ppm/internal/trace"
 	"ppm/internal/wire"
 )
 
@@ -20,14 +21,22 @@ import (
 // toolCall wraps an operation in the two tool legs: the request pays
 // one leg before op runs, and op must route its completion through the
 // provided done function, which pays the reply leg before running the
-// continuation.
-func (l *LPM) toolCall(op func(done func(func()))) {
+// continuation. When tracing is enabled a root "op.<name>" span covers
+// the whole exchange and its context is handed to op for propagation;
+// on untraced runs ctx is invalid and every downstream span call
+// no-ops.
+func (l *LPM) toolCall(name string, op func(ctx trace.Context, done func(func()))) {
 	l.Stats.RequestsServed++
 	l.metrics.Counter("lpm.requests_served").Inc()
 	l.touch()
+	root := l.tracer.StartTrace(l.Host(), "op."+name)
+	ctx := root.Context()
 	l.kern.ExecCPU(calib.ToolLeg, func() {
-		op(func(fin func()) {
-			l.kern.ExecCPU(calib.ToolLeg, fin)
+		op(ctx, func(fin func()) {
+			l.kern.ExecCPU(calib.ToolLeg, func() {
+				root.End()
+				fin()
+			})
 		})
 	})
 }
@@ -40,9 +49,10 @@ func (l *LPM) Adopt(pid proc.PID, cb func(error)) {
 		l.sched.Defer(func() { cb(ErrExited) })
 		return
 	}
-	l.toolCall(func(done func(func())) {
+	l.toolCall("adopt", func(ctx trace.Context, done func(func())) {
 		l.kern.ExecCPU(calib.Adopt, func() {
-			err := l.kern.Adopt(pid, l.user.Name)
+			var err error
+			l.withTraceCtx(ctx, func() { err = l.kern.Adopt(pid, l.user.Name) })
 			if err == nil {
 				l.metrics.Counter("lpm.adoptions").Inc()
 				if info, ierr := l.kern.Info(pid); ierr == nil {
@@ -60,7 +70,7 @@ func (l *LPM) SetTraceMask(pid proc.PID, mask kernel.TraceMask, cb func(error)) 
 		l.sched.Defer(func() { cb(ErrExited) })
 		return
 	}
-	l.toolCall(func(done func(func())) {
+	l.toolCall("trace_mask", func(ctx trace.Context, done func(func())) {
 		err := l.kern.SetTraceMask(pid, l.user.Name, mask)
 		done(func() { cb(err) })
 	})
@@ -77,10 +87,12 @@ func (l *LPM) RemoveWatch(id int) { l.store.RemoveWatch(id) }
 
 // createLocal forks, execs and adopts a process on this host; the
 // within-host creation path of Table 2 (77 ms).
-func (l *LPM) createLocal(req wire.CreateProc, cb func(wire.CreateAck)) {
+func (l *LPM) createLocal(ctx trace.Context, req wire.CreateProc, cb func(wire.CreateAck)) {
 	l.kern.ExecCPU(calib.CreateDispatch, func() {
 		l.kern.ExecCPU(calib.Fork, func() {
-			p, err := l.kern.Fork(l.pid, req.Name)
+			var p *kernel.Process
+			var err error
+			l.withTraceCtx(ctx, func() { p, err = l.kern.Fork(l.pid, req.Name) })
 			if err != nil {
 				cb(wire.CreateAck{OK: false, Reason: err.Error()})
 				return
@@ -93,9 +105,9 @@ func (l *LPM) createLocal(req wire.CreateProc, cb func(wire.CreateAck)) {
 			_ = l.kern.SetLogicalParent(p.PID, parent)
 			_ = l.kern.SetForeground(p.PID, req.Foreground)
 			l.kern.ExecCPU(calib.Exec, func() {
-				_ = l.kern.Exec(p.PID, req.Name)
+				l.withTraceCtx(ctx, func() { _ = l.kern.Exec(p.PID, req.Name) })
 				l.kern.ExecCPU(calib.Adopt, func() {
-					err := l.kern.Adopt(p.PID, l.user.Name)
+					l.withTraceCtx(ctx, func() { err = l.kern.Adopt(p.PID, l.user.Name) })
 					if err != nil {
 						cb(wire.CreateAck{OK: false, Reason: err.Error()})
 						return
@@ -115,9 +127,11 @@ func (l *LPM) createLocal(req wire.CreateProc, cb func(wire.CreateAck)) {
 // immediately, and let exec complete asynchronously (its completion
 // arrives at the requester as a kernel event via this LPM). This is the
 // paper's 177 ms remote creation once a circuit exists.
-func (l *LPM) createForRemote(req wire.CreateProc, ack func(wire.CreateAck)) {
+func (l *LPM) createForRemote(ctx trace.Context, req wire.CreateProc, ack func(wire.CreateAck)) {
 	l.kern.ExecCPU(calib.Fork, func() {
-		p, err := l.kern.Fork(l.pid, req.Name)
+		var p *kernel.Process
+		var err error
+		l.withTraceCtx(ctx, func() { p, err = l.kern.Fork(l.pid, req.Name) })
 		if err != nil {
 			ack(wire.CreateAck{OK: false, Reason: err.Error()})
 			return
@@ -126,7 +140,8 @@ func (l *LPM) createForRemote(req wire.CreateProc, ack func(wire.CreateAck)) {
 		_ = l.kern.SetLogicalParent(p.PID, req.Parent)
 		_ = l.kern.SetForeground(p.PID, req.Foreground)
 		l.kern.ExecCPU(calib.Adopt, func() {
-			if err := l.kern.Adopt(p.PID, l.user.Name); err != nil {
+			l.withTraceCtx(ctx, func() { err = l.kern.Adopt(p.PID, l.user.Name) })
+			if err != nil {
 				ack(wire.CreateAck{OK: false, Reason: err.Error()})
 				return
 			}
@@ -137,7 +152,7 @@ func (l *LPM) createForRemote(req wire.CreateProc, ack func(wire.CreateAck)) {
 			ack(wire.CreateAck{OK: true, ID: proc.GPID{Host: l.Host(), PID: p.PID}})
 			// exec continues after the ack.
 			l.kern.ExecCPU(calib.Exec, func() {
-				_ = l.kern.Exec(p.PID, req.Name)
+				l.withTraceCtx(ctx, func() { _ = l.kern.Exec(p.PID, req.Name) })
 			})
 		})
 	})
@@ -151,9 +166,9 @@ func (l *LPM) Create(host, name string, parent proc.GPID, cb func(proc.GPID, err
 		return
 	}
 	req := wire.CreateProc{User: l.user.Name, Name: name, Parent: parent}
-	l.toolCall(func(done func(func())) {
+	l.toolCall("create", func(ctx trace.Context, done func(func())) {
 		if host == l.Host() || host == "" {
-			l.createLocal(req, func(a wire.CreateAck) {
+			l.createLocal(ctx, req, func(a wire.CreateAck) {
 				done(func() {
 					if !a.OK {
 						cb(proc.GPID{}, fmt.Errorf("%w: %s", ErrRemote, a.Reason))
@@ -164,7 +179,7 @@ func (l *LPM) Create(host, name string, parent proc.GPID, cb func(proc.GPID, err
 			})
 			return
 		}
-		l.remoteCall(host, wire.MsgCreateProc, req.Encode(), func(env wire.Envelope, err error) {
+		l.remoteCall(ctx, host, wire.MsgCreateProc, req.Encode(), func(env wire.Envelope, err error) {
 			done(func() {
 				if err != nil {
 					cb(proc.GPID{}, err)
@@ -226,16 +241,19 @@ func (l *LPM) Control(target proc.GPID, op wire.ControlOp, sig proc.Signal, cb f
 		l.sched.Defer(func() { cb(wire.ControlResp{}, ErrExited) })
 		return
 	}
-	l.toolCall(func(done func(func())) {
+	l.toolCall("control", func(ctx trace.Context, done func(func())) {
 		if target.Host == l.Host() {
+			csp := l.tracer.StartSpan(l.Host(), "dispatch.control", ctx)
 			l.kern.ExecCPU(calib.ControlAction, func() {
-				resp := l.applyControl(target.PID, op, sig)
+				csp.End()
+				var resp wire.ControlResp
+				l.withTraceCtx(ctx, func() { resp = l.applyControl(target.PID, op, sig) })
 				done(func() { cb(resp, nil) })
 			})
 			return
 		}
 		req := wire.Control{User: l.user.Name, Target: target, Op: op, Signal: sig}
-		l.remoteCall(target.Host, wire.MsgControl, req.Encode(), func(env wire.Envelope, err error) {
+		l.remoteCall(ctx, target.Host, wire.MsgControl, req.Encode(), func(env wire.Envelope, err error) {
 			done(func() {
 				if err != nil {
 					cb(wire.ControlResp{}, err)
@@ -297,14 +315,14 @@ func (l *LPM) StatsOf(target proc.GPID, cb func(proc.Info, error)) {
 		l.sched.Defer(func() { cb(proc.Info{}, ErrExited) })
 		return
 	}
-	l.toolCall(func(done func(func())) {
+	l.toolCall("stats", func(ctx trace.Context, done func(func())) {
 		if target.Host == l.Host() {
 			info, err := l.localStats(target.PID)
 			done(func() { cb(info, err) })
 			return
 		}
 		req := wire.StatsReq{User: l.user.Name, Target: target}
-		l.remoteCall(target.Host, wire.MsgStatsReq, req.Encode(), func(env wire.Envelope, err error) {
+		l.remoteCall(ctx, target.Host, wire.MsgStatsReq, req.Encode(), func(env wire.Envelope, err error) {
 			done(func() {
 				if err != nil {
 					cb(proc.Info{}, err)
@@ -345,14 +363,14 @@ func (l *LPM) FDs(target proc.GPID, cb func([]string, error)) {
 		l.sched.Defer(func() { cb(nil, ErrExited) })
 		return
 	}
-	l.toolCall(func(done func(func())) {
+	l.toolCall("fds", func(ctx trace.Context, done func(func())) {
 		if target.Host == l.Host() {
 			open, err := l.localFDs(target.PID)
 			done(func() { cb(open, err) })
 			return
 		}
 		req := wire.FDReq{User: l.user.Name, Target: target}
-		l.remoteCall(target.Host, wire.MsgFDReq, req.Encode(), func(env wire.Envelope, err error) {
+		l.remoteCall(ctx, target.Host, wire.MsgFDReq, req.Encode(), func(env wire.Envelope, err error) {
 			done(func() {
 				if err != nil {
 					cb(nil, err)
@@ -387,7 +405,7 @@ func (l *LPM) HistoryQuery(q history.Query, cb func([]proc.Event, error)) {
 		l.sched.Defer(func() { cb(nil, ErrExited) })
 		return
 	}
-	l.toolCall(func(done func(func())) {
+	l.toolCall("history", func(ctx trace.Context, done func(func())) {
 		evs := l.store.Select(q)
 		done(func() { cb(evs, nil) })
 	})
@@ -413,8 +431,8 @@ func (l *LPM) HistoryOf(host string, q history.Query, cb func([]proc.Event, erro
 	for _, k := range q.Kinds {
 		req.Kinds = append(req.Kinds, uint8(k))
 	}
-	l.toolCall(func(done func(func())) {
-		l.remoteCall(host, wire.MsgHistoryReq, req.Encode(), func(env wire.Envelope, err error) {
+	l.toolCall("history", func(ctx trace.Context, done func(func())) {
+		l.remoteCall(ctx, host, wire.MsgHistoryReq, req.Encode(), func(env wire.Envelope, err error) {
 			done(func() {
 				if err != nil {
 					cb(nil, err)
@@ -442,6 +460,7 @@ func (l *LPM) HistoryOf(host string, q history.Query, cb func([]proc.Event, erro
 func (l *LPM) handleRequest(sb *sibling, env wire.Envelope) {
 	l.Stats.RequestsServed++
 	l.metrics.Counter("lpm.requests_served").Inc()
+	ctx := trace.Context{Trace: env.TraceID, Span: env.SpanID}
 	switch env.Type {
 	case wire.MsgBroadcast:
 		l.handleFlood(sb, env)
@@ -457,16 +476,17 @@ func (l *LPM) handleRequest(sb *sibling, env wire.Envelope) {
 		// One-way: no reply.
 
 	default:
-		l.serveRequest(env, func(t wire.MsgType, body []byte) {
-			l.sendReply(sb, env.ReqID, t, body)
+		l.serveRequest(ctx, env, func(t wire.MsgType, body []byte) {
+			l.sendReply(ctx, sb, env.ReqID, t, body)
 		})
 	}
 }
 
 // serveRequest executes one point-to-point request and produces its
 // reply through the given function; the transport (direct circuit or
-// relay) is the caller's concern.
-func (l *LPM) serveRequest(env wire.Envelope, reply func(t wire.MsgType, body []byte)) {
+// relay) is the caller's concern. ctx is the request's trace context,
+// under which the serving-side kernel work records spans.
+func (l *LPM) serveRequest(ctx trace.Context, env wire.Envelope, reply func(t wire.MsgType, body []byte)) {
 	switch env.Type {
 	case wire.MsgCreateProc:
 		req, err := wire.DecodeCreateProc(env.Body)
@@ -474,7 +494,7 @@ func (l *LPM) serveRequest(env wire.Envelope, reply func(t wire.MsgType, body []
 			reply(wire.MsgCreateAck, wire.CreateAck{OK: false, Reason: "bad create request"}.Encode())
 			return
 		}
-		l.createForRemote(req, func(a wire.CreateAck) {
+		l.createForRemote(ctx, req, func(a wire.CreateAck) {
 			reply(wire.MsgCreateAck, a.Encode())
 		})
 
@@ -484,8 +504,11 @@ func (l *LPM) serveRequest(env wire.Envelope, reply func(t wire.MsgType, body []
 			reply(wire.MsgControlResp, wire.ControlResp{OK: false, Reason: "bad control request"}.Encode())
 			return
 		}
+		csp := l.tracer.StartSpan(l.Host(), "dispatch.control", ctx)
 		l.kern.ExecCPU(calib.ControlAction, func() {
-			resp := l.applyControl(req.Target.PID, req.Op, req.Signal)
+			csp.End()
+			var resp wire.ControlResp
+			l.withTraceCtx(ctx, func() { resp = l.applyControl(req.Target.PID, req.Op, req.Signal) })
 			reply(wire.MsgControlResp, resp.Encode())
 		})
 
@@ -577,8 +600,9 @@ func (l *LPM) serveRequest(env wire.Envelope, reply func(t wire.MsgType, body []
 // this host is the destination), sending the response back along the
 // same circuits.
 func (l *LPM) handleRelay(sb *sibling, env wire.Envelope) {
+	ctx := trace.Context{Trace: env.TraceID, Span: env.SpanID}
 	fail := func(reason string) {
-		l.sendReply(sb, env.ReqID, wire.MsgRelayResp,
+		l.sendReply(ctx, sb, env.ReqID, wire.MsgRelayResp,
 			wire.RelayResp{OK: false, Reason: reason}.Encode())
 	}
 	rel, err := wire.DecodeRelay(env.Body)
@@ -592,9 +616,9 @@ func (l *LPM) handleRelay(sb *sibling, env wire.Envelope) {
 			fail("bad relayed payload")
 			return
 		}
-		l.serveRequest(inner, func(t wire.MsgType, body []byte) {
+		l.serveRequest(ctx, inner, func(t wire.MsgType, body []byte) {
 			respEnv := wire.Envelope{Type: t, Body: body}
-			l.sendReply(sb, env.ReqID, wire.MsgRelayResp,
+			l.sendReply(ctx, sb, env.ReqID, wire.MsgRelayResp,
 				wire.RelayResp{OK: true, Inner: respEnv.Encode()}.Encode())
 		})
 		return
@@ -613,12 +637,12 @@ func (l *LPM) handleRelay(sb *sibling, env wire.Envelope) {
 	l.Stats.RelaysForwarded++
 	l.metrics.Counter("lpm.relay.forwarded").Inc()
 	fwd := wire.Relay{User: rel.User, Dest: rel.Dest, Path: rel.Path[1:], Inner: rel.Inner}
-	l.sendRequest(nsb, wire.MsgRelay, fwd.Encode(), func(resp wire.Envelope, err error) {
+	l.sendRequest(ctx, nsb, wire.MsgRelay, fwd.Encode(), func(resp wire.Envelope, err error) {
 		if err != nil {
 			fail(fmt.Sprintf("relay via %s: %v", next, err))
 			return
 		}
-		l.sendReply(sb, env.ReqID, wire.MsgRelayResp, resp.Body)
+		l.sendReply(ctx, sb, env.ReqID, wire.MsgRelayResp, resp.Body)
 	})
 }
 
@@ -627,9 +651,9 @@ func (l *LPM) handleRelay(sb *sibling, env wire.Envelope) {
 // without UseRelay) the request travels directly; otherwise, if a relay
 // route through a live sibling is known, the request is relayed along
 // it instead of opening a new circuit.
-func (l *LPM) remoteCall(host string, t wire.MsgType, body []byte, cb func(wire.Envelope, error)) {
+func (l *LPM) remoteCall(ctx trace.Context, host string, t wire.MsgType, body []byte, cb func(wire.Envelope, error)) {
 	if sb, ok := l.siblings[host]; ok && sb.authed && sb.conn.Open() {
-		l.sendRequest(sb, t, body, cb)
+		l.sendRequest(ctx, sb, t, body, cb)
 		return
 	}
 	if l.cfg.UseRelay {
@@ -639,8 +663,9 @@ func (l *LPM) remoteCall(host string, t wire.MsgType, body []byte, cb func(wire.
 				l.Stats.RelaysOriginated++
 				l.metrics.Counter("lpm.relay.originated").Inc()
 				inner := wire.Envelope{Type: t, Body: body}
+				inner.SetTrace(ctx.Trace, ctx.Span)
 				rel := wire.Relay{User: l.user.Name, Dest: host, Path: path[1:], Inner: inner.Encode()}
-				l.sendRequest(fsb, wire.MsgRelay, rel.Encode(), func(env wire.Envelope, err error) {
+				l.sendRequest(ctx, fsb, wire.MsgRelay, rel.Encode(), func(env wire.Envelope, err error) {
 					if err != nil {
 						cb(wire.Envelope{}, err)
 						return
@@ -665,12 +690,12 @@ func (l *LPM) remoteCall(host string, t wire.MsgType, body []byte, cb func(wire.
 			}
 		}
 	}
-	l.ensureSibling(host, func(sb *sibling, err error) {
+	l.ensureSibling(ctx, host, func(sb *sibling, err error) {
 		if err != nil {
 			cb(wire.Envelope{}, err)
 			return
 		}
-		l.sendRequest(sb, t, body, cb)
+		l.sendRequest(ctx, sb, t, body, cb)
 	})
 }
 
@@ -691,7 +716,7 @@ func (l *LPM) runWatchAction(req wire.WatchReq) {
 	body := wire.Control{
 		User: l.user.Name, Target: req.Target, Op: req.Op, Signal: req.ActionSig,
 	}.Encode()
-	l.remoteCall(req.Target.Host, wire.MsgControl, body, func(wire.Envelope, error) {})
+	l.remoteCall(trace.Context{}, req.Target.Host, wire.MsgControl, body, func(wire.Envelope, error) {})
 }
 
 // WatchOn installs a history-dependent trigger on the user's LPM on
@@ -712,8 +737,8 @@ func (l *LPM) WatchOn(host string, w *history.Watch, op wire.ControlOp,
 		ActionSig: sig,
 		Target:    target,
 	}
-	l.toolCall(func(done func(func())) {
-		l.remoteCall(host, wire.MsgWatch, req.Encode(), func(env wire.Envelope, err error) {
+	l.toolCall("watch", func(ctx trace.Context, done func(func())) {
+		l.remoteCall(ctx, host, wire.MsgWatch, req.Encode(), func(env wire.Envelope, err error) {
 			done(func() {
 				if err != nil {
 					cb(nil, err)
@@ -730,7 +755,7 @@ func (l *LPM) WatchOn(host string, w *history.Watch, op wire.ControlOp,
 				}
 				remove := func() {
 					rm := wire.WatchReq{User: l.user.Name, Remove: true, ID: resp.ID}
-					l.remoteCall(host, wire.MsgWatch, rm.Encode(), func(wire.Envelope, error) {})
+					l.remoteCall(trace.Context{}, host, wire.MsgWatch, rm.Encode(), func(wire.Envelope, error) {})
 				}
 				cb(remove, nil)
 			})

@@ -11,6 +11,7 @@ import (
 	"ppm/internal/proc"
 	"ppm/internal/recovery"
 	"ppm/internal/simnet"
+	"ppm/internal/trace"
 	"ppm/internal/wire"
 )
 
@@ -42,16 +43,21 @@ func (l *LPM) onFirstMsg(conn *simnet.Conn, b []byte) {
 		conn.Close()
 		return
 	}
+	ctx := trace.Context{Trace: env.TraceID, Span: env.SpanID}
+	esp := l.tracer.StartSpan(l.Host(), "dispatch.endpoint", ctx)
 	l.kern.ExecCPU(calib.SiblingEndpoint, func() {
-		l.handleHello(conn, env.ReqID, hello)
+		esp.End()
+		l.handleHello(conn, env.ReqID, hello, ctx)
 	})
 }
 
-func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello) {
+func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx trace.Context) {
 	reject := func(reason string) {
 		l.metrics.Counter("lpm.siblings.rejected").Inc()
 		body := wire.HelloResp{OK: false, Reason: reason}.Encode()
-		_ = conn.Send(wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}.EncodeCounted(l.metrics))
+		env := wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}
+		env.SetTrace(ctx.Trace, ctx.Span)
+		_ = conn.SendCtx(env.EncodeCounted(l.metrics), ctx)
 		l.sched.After(0, conn.Close)
 	}
 	if l.exited {
@@ -81,19 +87,21 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello) {
 		return
 	}
 	body := wire.HelloResp{OK: true}.Encode()
+	respEnv := wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}
+	respEnv.SetTrace(ctx.Trace, ctx.Span)
 	if hello.FromHost == l.Host() {
 		// A local tool connecting to the accept socket (Figure 4's tool
 		// sockets), not a sibling.
 		conn.SetHandler(func(b []byte) { l.onToolMsg(conn, b) })
 		conn.SetCloseHandler(func(error) {})
-		_ = conn.Send(wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}.EncodeCounted(l.metrics))
+		_ = conn.SendCtx(respEnv.EncodeCounted(l.metrics), ctx)
 		return
 	}
 	l.registerSibling(hello.FromHost, conn)
 	if hello.CCSHost != "" {
 		l.rec.OnContact(hello.CCSHost)
 	}
-	_ = conn.Send(wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}.EncodeCounted(l.metrics))
+	_ = conn.SendCtx(respEnv.EncodeCounted(l.metrics), ctx)
 }
 
 // registerSibling installs an authenticated circuit.
@@ -133,6 +141,7 @@ func (l *LPM) onSiblingClosed(sb *sibling, err error) {
 		}
 		cb := pr.cb
 		l.releaseHandler(pr.handler)
+		pr.span.End()
 		delete(l.pending, id)
 		cb(wire.Envelope{}, fmt.Errorf("%w: %s", ErrNoSibling, sb.host))
 	}
@@ -146,8 +155,10 @@ func (l *LPM) onSiblingClosed(sb *sibling, err error) {
 
 // ensureSibling returns an authenticated circuit to the user's LPM on
 // host, creating the remote LPM (via its pmd) and the circuit on
-// demand. Concurrent requests for the same host coalesce.
-func (l *LPM) ensureSibling(host string, cb func(*sibling, error)) {
+// demand. Concurrent requests for the same host coalesce. The pmd
+// query, the dial handshake and the Hello exchange all record spans
+// under a "circuit.establish" child of ctx.
+func (l *LPM) ensureSibling(ctx trace.Context, host string, cb func(*sibling, error)) {
 	if l.exited {
 		cb(nil, ErrExited)
 		return
@@ -165,14 +176,20 @@ func (l *LPM) ensureSibling(host string, cb func(*sibling, error)) {
 		return
 	}
 	l.dialing[host] = []func(*sibling, error){cb}
+	csp := l.tracer.StartSpan(l.Host(), "circuit.establish."+host, ctx)
+	cctx := csp.Context()
+	if !cctx.Valid() {
+		cctx = ctx
+	}
 	finish := func(sb *sibling, err error) {
+		csp.End()
 		q := l.dialing[host]
 		delete(l.dialing, host)
 		for _, f := range q {
 			f(sb, err)
 		}
 	}
-	daemon.QueryLPM(l.net, l.Host(), host, l.user, func(resp wire.LPMQueryResp, err error) {
+	daemon.QueryLPMCtx(l.net, l.Host(), host, l.user, cctx, func(resp wire.LPMQueryResp, err error) {
 		if l.exited {
 			finish(nil, ErrExited)
 			return
@@ -186,18 +203,18 @@ func (l *LPM) ensureSibling(host string, cb func(*sibling, error)) {
 			return
 		}
 		to := simnet.Addr{Host: resp.AcceptHost, Port: resp.AcceptPort}
-		l.net.Dial(l.Host(), to, func(conn *simnet.Conn, err error) {
+		l.net.DialCtx(l.Host(), to, cctx, func(conn *simnet.Conn, err error) {
 			if err != nil {
 				finish(nil, fmt.Errorf("%w: dial %s: %v", ErrNoSibling, host, err))
 				return
 			}
-			l.helloTo(host, conn, finish)
+			l.helloTo(cctx, host, conn, finish)
 		})
 	})
 }
 
 // helloTo authenticates a freshly dialed circuit.
-func (l *LPM) helloTo(host string, conn *simnet.Conn, finish func(*sibling, error)) {
+func (l *LPM) helloTo(ctx trace.Context, host string, conn *simnet.Conn, finish func(*sibling, error)) {
 	l.floodSeq++
 	hello := wire.Hello{
 		User:     l.user.Name,
@@ -224,7 +241,9 @@ func (l *LPM) helloTo(host string, conn *simnet.Conn, finish func(*sibling, erro
 			finish(nil, fmt.Errorf("%w: %s rejected hello: %s", ErrNoSibling, host, resp.Reason))
 			return
 		}
+		rsp := l.tracer.StartSpan(l.Host(), "dispatch.endpoint", ctx)
 		l.kern.ExecCPU(calib.SiblingEndpoint, func() {
+			rsp.End()
 			l.registerSibling(host, conn)
 			finish(l.siblings[host], nil)
 		})
@@ -235,9 +254,12 @@ func (l *LPM) helloTo(host string, conn *simnet.Conn, finish func(*sibling, erro
 			finish(nil, fmt.Errorf("%w: circuit to %s broke during hello", ErrNoSibling, host))
 		}
 	})
+	esp := l.tracer.StartSpan(l.Host(), "dispatch.endpoint", ctx)
 	l.kern.ExecCPU(calib.SiblingEndpoint, func() {
+		esp.End()
 		env := wire.Envelope{Type: wire.MsgHello, ReqID: 0, Body: hello.Encode()}
-		_ = conn.Send(env.EncodeCounted(l.metrics))
+		env.SetTrace(ctx.Trace, ctx.Span)
+		_ = conn.SendCtx(env.EncodeCounted(l.metrics), ctx)
 	})
 }
 
@@ -282,7 +304,10 @@ func (l *LPM) onSiblingMsg(sb *sibling, b []byte) {
 		// of once per channel.
 		cost += calib.AuthCheck
 	}
+	ctx := trace.Context{Trace: env.TraceID, Span: env.SpanID}
+	esp := l.tracer.StartSpan(l.Host(), "dispatch.endpoint", ctx)
 	l.kern.ExecCPU(cost, func() {
+		esp.End()
 		if l.exited {
 			return
 		}
@@ -306,14 +331,18 @@ func (l *LPM) handleResponse(env wire.Envelope) {
 	}
 	l.metrics.Histogram("lpm.request_rtt").Observe(l.sched.Now().Sub(pr.sentAt))
 	l.releaseHandler(pr.handler)
+	pr.span.End()
 	pr.cb(env, nil)
 }
 
 // sendRequest transmits a request over the circuit and registers the
 // response callback. A handler process is assigned to block on the
 // response (the paper's dispatcher/handler split); sending pays the
-// per-endpoint protocol cost on this host's CPU.
-func (l *LPM) sendRequest(sb *sibling, t wire.MsgType, body []byte, cb func(wire.Envelope, error)) {
+// per-endpoint protocol cost on this host's CPU. Under a valid ctx
+// the whole exchange is covered by an "lpm.request" span (handler
+// occupancy), the trace context rides inside the envelope, and the
+// send-side protocol cost records a "dispatch.endpoint" span.
+func (l *LPM) sendRequest(ctx trace.Context, sb *sibling, t wire.MsgType, body []byte, cb func(wire.Envelope, error)) {
 	l.Stats.RemoteForwards++
 	l.withHandler(func(h proc.PID) {
 		if l.exited {
@@ -323,6 +352,11 @@ func (l *LPM) sendRequest(sb *sibling, t wire.MsgType, body []byte, cb func(wire
 		l.reqSeq++
 		id := l.reqSeq
 		pr := &pendingReq{host: sb.host, cb: cb, handler: h, sentAt: l.sched.Now()}
+		pr.span = l.tracer.StartSpan(l.Host(), "lpm.request."+sb.host, ctx)
+		rctx := pr.span.Context()
+		if !rctx.Valid() {
+			rctx = ctx
+		}
 		timeout := l.cfg.RequestTimeout
 		if t == wire.MsgBroadcast {
 			timeout = l.cfg.FloodTimeout
@@ -332,28 +366,36 @@ func (l *LPM) sendRequest(sb *sibling, t wire.MsgType, body []byte, cb func(wire
 				delete(l.pending, id)
 				l.metrics.Counter("lpm.request.timeouts").Inc()
 				l.releaseHandler(pr.handler)
+				pr.span.End()
 				pr.cb(wire.Envelope{}, fmt.Errorf("%w: %v to %s", ErrTimeout, t, sb.host))
 			}
 		})
 		l.pending[id] = pr
+		esp := l.tracer.StartSpan(l.Host(), "dispatch.endpoint", rctx)
 		l.kern.ExecCPU(endpointCost(t), func() {
+			esp.End()
 			if !sb.conn.Open() {
 				// The close handler will fail the pending entry.
 				return
 			}
 			env := wire.Envelope{Type: t, ReqID: id, Body: body}
-			_ = sb.conn.Send(env.EncodeCounted(l.metrics))
+			env.SetTrace(rctx.Trace, rctx.Span)
+			_ = sb.conn.SendCtx(env.EncodeCounted(l.metrics), rctx)
 			l.kern.AccountIPC(l.pid, 1, 0, t.String())
 		})
 	})
 }
 
-// sendReply answers a request on the circuit it arrived on.
-func (l *LPM) sendReply(sb *sibling, reqID uint64, t wire.MsgType, body []byte) {
+// sendReply answers a request on the circuit it arrived on, echoing
+// the request's trace context so the reply's transit is attributed.
+func (l *LPM) sendReply(ctx trace.Context, sb *sibling, reqID uint64, t wire.MsgType, body []byte) {
+	esp := l.tracer.StartSpan(l.Host(), "dispatch.endpoint", ctx)
 	l.kern.ExecCPU(endpointCost(t), func() {
+		esp.End()
 		if sb.conn.Open() {
 			env := wire.Envelope{Type: t, ReqID: reqID, Body: body}
-			_ = sb.conn.Send(env.EncodeCounted(l.metrics))
+			env.SetTrace(ctx.Trace, ctx.Span)
+			_ = sb.conn.SendCtx(env.EncodeCounted(l.metrics), ctx)
 			l.kern.AccountIPC(l.pid, 1, 0, t.String())
 		}
 	})

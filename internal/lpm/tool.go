@@ -13,6 +13,7 @@ import (
 	"ppm/internal/proc"
 	"ppm/internal/sim"
 	"ppm/internal/simnet"
+	"ppm/internal/trace"
 	"ppm/internal/wire"
 )
 
@@ -274,10 +275,13 @@ func (l *LPM) onToolMsg(conn *simnet.Conn, b []byte) {
 	}
 	l.touch()
 	l.Stats.RequestsServed++
+	ctx := trace.Context{Trace: env.TraceID, Span: env.SpanID}
 	reply := func(mt wire.MsgType, body []byte) {
 		l.kern.ExecCPU(toolSocketLeg, func() {
 			if conn.Open() {
-				_ = conn.Send(wire.Envelope{Type: mt, ReqID: env.ReqID, Body: body}.EncodeCounted(l.metrics))
+				renv := wire.Envelope{Type: mt, ReqID: env.ReqID, Body: body}
+				renv.SetTrace(ctx.Trace, ctx.Span)
+				_ = conn.SendCtx(renv.EncodeCounted(l.metrics), ctx)
 			}
 		})
 	}
@@ -294,7 +298,7 @@ func (l *LPM) onToolMsg(conn *simnet.Conn, b []byte) {
 				return
 			}
 			inner := wire.Envelope{Type: wire.MsgSnapshotReq, Body: env.Body}
-			l.startFlood(inner, func(res wire.FloodResult) {
+			l.startFlood(ctx, inner, func(res wire.FloodResult) {
 				reply(wire.MsgSnapshotResp, wire.SnapshotResp{
 					OK: true, Procs: res.Procs, Partial: l.uncovered(res),
 				}.Encode())
@@ -304,7 +308,7 @@ func (l *LPM) onToolMsg(conn *simnet.Conn, b []byte) {
 			req, derr := wire.DecodeControl(env.Body)
 			if derr == nil && req.Target.IsZero() && req.User == l.user.Name {
 				inner := wire.Envelope{Type: wire.MsgControl, Body: env.Body}
-				l.startFlood(inner, func(res wire.FloodResult) {
+				l.startFlood(ctx, inner, func(res wire.FloodResult) {
 					reply(wire.MsgControlResp,
 						wire.ControlResp{OK: true, State: proc.Running}.Encode())
 				})
@@ -312,7 +316,7 @@ func (l *LPM) onToolMsg(conn *simnet.Conn, b []byte) {
 			}
 			if derr == nil && req.Target.Host != l.Host() {
 				// Tools may target remote processes; the LPM forwards.
-				l.remoteCall(req.Target.Host, wire.MsgControl, env.Body,
+				l.remoteCall(ctx, req.Target.Host, wire.MsgControl, env.Body,
 					func(renv wire.Envelope, rerr error) {
 						if rerr != nil {
 							reply(wire.MsgControlResp,
@@ -323,9 +327,9 @@ func (l *LPM) onToolMsg(conn *simnet.Conn, b []byte) {
 					})
 				return
 			}
-			l.serveRequest(env, reply)
+			l.serveRequest(ctx, env, reply)
 		default:
-			l.serveRequest(env, reply)
+			l.serveRequest(ctx, env, reply)
 		}
 	})
 }

@@ -21,6 +21,7 @@ import (
 	"ppm/internal/calib"
 	"ppm/internal/metrics"
 	"ppm/internal/sim"
+	"ppm/internal/trace"
 )
 
 // Network errors.
@@ -101,6 +102,7 @@ type Network struct {
 	connSeq  uint64
 	stats    Stats
 	metrics  *metrics.Registry
+	tracer   *trace.Tracer
 	tap      func(TapEvent)
 }
 
@@ -131,6 +133,16 @@ func (n *Network) SetMetrics(reg *metrics.Registry) { n.metrics = reg }
 // Metrics returns the registry installed with SetMetrics (possibly
 // nil; all registry methods tolerate that).
 func (n *Network) Metrics() *metrics.Registry { return n.metrics }
+
+// SetTracer installs the cluster-wide causal tracer. Like the metrics
+// registry, the network both feeds it (per-hop transit spans) and
+// carries it for the layers above, which reach it through their
+// *Network. A nil tracer (the default) disables tracing.
+func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
+
+// Tracer returns the tracer installed with SetTracer (possibly nil;
+// all tracer methods tolerate that).
+func (n *Network) Tracer() *trace.Tracer { return n.tracer }
 
 // ResetStats zeroes the activity counters.
 func (n *Network) ResetStats() { n.stats = Stats{} }
@@ -281,6 +293,77 @@ func (n *Network) transit(a, b string, size int) time.Duration {
 	}
 	return time.Duration(hops)*n.opts.HopTransit +
 		time.Duration(hops)*calib.TransmissionTime(size)
+}
+
+// Path returns the shortest host path from a to b (both endpoints
+// included), ignoring partitions and host state. The BFS expands hosts
+// and segment members in their registration order, so the path is the
+// same on every run — trace reports that attribute hop spans to the
+// hosts along it stay byte-identical.
+func (n *Network) Path(a, b string) ([]string, bool) {
+	if n.dirty {
+		n.computeRoutes()
+	}
+	if _, ok := n.hosts[a]; !ok {
+		return nil, false
+	}
+	if a == b {
+		return []string{a}, true
+	}
+	prev := map[string]string{a: a}
+	frontier := []string{a}
+	for len(frontier) > 0 {
+		var next []string
+		for _, h := range frontier {
+			for _, seg := range n.hosts[h].segments {
+				for _, peer := range n.segments[seg] {
+					if _, seen := prev[peer]; seen {
+						continue
+					}
+					prev[peer] = h
+					if peer == b {
+						var rev []string
+						for cur := b; cur != a; cur = prev[cur] {
+							rev = append(rev, cur)
+						}
+						rev = append(rev, a)
+						for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+							rev[i], rev[j] = rev[j], rev[i]
+						}
+						return rev, true
+					}
+					next = append(next, peer)
+				}
+			}
+		}
+		frontier = next
+	}
+	return nil, false
+}
+
+// traceTransit records the per-hop transit schedule of a payload sent
+// now from a to b as spans under ctx: one span per segment crossing,
+// attributed to the forwarding host (so a gateway relaying a two-hop
+// message shows up in the trace), or a single loopback span for
+// intra-host delivery. The schedule mirrors transit()'s arithmetic.
+func (n *Network) traceTransit(ctx trace.Context, a, b string, size int) {
+	if n.tracer == nil || !ctx.Valid() {
+		return
+	}
+	path, ok := n.Path(a, b)
+	if !ok {
+		return
+	}
+	now := n.sched.Now().Duration()
+	if len(path) == 1 {
+		n.tracer.AddSpan(a, "net.loopback", ctx, now, now+100*time.Microsecond)
+		return
+	}
+	per := n.opts.HopTransit + calib.TransmissionTime(size)
+	for i := 0; i+1 < len(path); i++ {
+		start := now + time.Duration(i)*per
+		n.tracer.AddSpan(path[i], "net.hop."+path[i+1], ctx, start, start+per)
+	}
 }
 
 // --- host lifecycle and failures ---
@@ -442,6 +525,12 @@ func (n *Network) RemoveDatagramHandler(host string, port uint16) {
 // dropped if the destination is unreachable or has no handler, like
 // UDP.
 func (n *Network) SendDatagram(from, to Addr, payload []byte) {
+	n.SendDatagramCtx(from, to, payload, trace.Context{})
+}
+
+// SendDatagramCtx is SendDatagram under a trace context; when ctx is
+// valid the datagram's per-hop transit is recorded as spans.
+func (n *Network) SendDatagramCtx(from, to Addr, payload []byte, ctx trace.Context) {
 	n.stats.MsgsSent++
 	n.stats.BytesSent += int64(len(payload))
 	n.countSend("simnet.datagram", from.Host, to.Host, len(payload))
@@ -452,6 +541,7 @@ func (n *Network) SendDatagram(from, to Addr, payload []byte) {
 		n.emitTap(TapEvent{Kind: TapDrop, From: from, To: to, Size: len(payload)})
 		return
 	}
+	n.traceTransit(ctx, from.Host, to.Host, len(payload))
 	delay := n.transit(from.Host, to.Host, len(payload))
 	n.metrics.Histogram("simnet.transit").Observe(delay)
 	body := append([]byte(nil), payload...)
@@ -512,6 +602,13 @@ func (c *Conn) SetCloseHandler(fn func(err error)) { c.onClose = fn }
 // and in order while the circuit lives; if the circuit breaks before
 // delivery the message is lost and both ends learn of the break.
 func (c *Conn) Send(payload []byte) error {
+	return c.SendCtx(payload, trace.Context{})
+}
+
+// SendCtx is Send under a trace context: when ctx is valid, the
+// message's per-hop transit schedule is recorded as spans attributed
+// to the hosts it crosses. An invalid ctx makes it identical to Send.
+func (c *Conn) SendCtx(payload []byte, ctx trace.Context) error {
 	if !c.open {
 		return ErrConnClosed
 	}
@@ -529,6 +626,7 @@ func (c *Conn) Send(payload []byte) error {
 		n.breakRemote(c.peer)
 		return nil
 	}
+	n.traceTransit(ctx, c.local.Host, c.remote.Host, len(payload))
 	delay := n.transit(c.local.Host, c.remote.Host, len(payload))
 	n.metrics.Histogram("simnet.transit").Observe(delay)
 	at := n.sched.Now().Add(delay)
@@ -632,6 +730,12 @@ func (n *Network) CloseListen(host string, port uint16) {
 // runs after the simulated handshake with either an open Conn or an
 // error (refused, unreachable, host down).
 func (n *Network) Dial(fromHost string, to Addr, cb func(*Conn, error)) {
+	n.DialCtx(fromHost, to, trace.Context{}, cb)
+}
+
+// DialCtx is Dial under a trace context; when ctx is valid the SYN and
+// SYN-ACK legs of the handshake are recorded as per-hop spans.
+func (n *Network) DialCtx(fromHost string, to Addr, ctx trace.Context, cb func(*Conn, error)) {
 	n.stats.DialAttempts++
 	n.metrics.Counter("simnet.dial.attempts").Inc()
 	src, ok := n.hosts[fromHost]
@@ -653,7 +757,8 @@ func (n *Network) Dial(fromHost string, to Addr, cb func(*Conn, error)) {
 	}
 	src.nextPort++
 	local := Addr{Host: fromHost, Port: src.nextPort}
-	d := n.transit(fromHost, to.Host, 64) // SYN
+	n.traceTransit(ctx, fromHost, to.Host, 64) // SYN
+	d := n.transit(fromHost, to.Host, 64)
 	n.sched.After(d, func() {
 		dst, ok := n.hosts[to.Host]
 		if !ok || !dst.up || !n.Reachable(fromHost, to.Host) {
@@ -678,7 +783,8 @@ func (n *Network) Dial(fromHost string, to Addr, cb func(*Conn, error)) {
 		n.metrics.Counter("simnet.circuit.opened").Inc()
 		n.emitTap(TapEvent{Kind: TapConnOpen, From: local, To: to, Circuit: true})
 		acceptFn(server)
-		n.sched.After(d, func() { // SYN-ACK back to the dialer
+		n.traceTransit(ctx, to.Host, fromHost, 64) // SYN-ACK
+		n.sched.After(d, func() {                  // SYN-ACK back to the dialer
 			if !client.open {
 				cb(nil, ErrConnClosed)
 				return

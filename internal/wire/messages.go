@@ -89,19 +89,47 @@ func (t MsgType) String() string {
 }
 
 // Envelope frames every message: type, a request id correlating
-// responses with requests, and the encoded payload.
+// responses with requests, and the encoded payload. TraceID/SpanID are
+// the optional causal-trace context (internal/trace) propagated across
+// machine boundaries; zero means the message is not part of a trace.
 type Envelope struct {
 	Type  MsgType
 	ReqID uint64
 	Body  []byte
+
+	// Trace context trailer. Only encoded when TraceID != 0, so
+	// untraced traffic keeps its exact pre-tracing frame size.
+	TraceID uint64
+	SpanID  uint64
 }
 
-// Encode serializes the envelope.
+// SetTrace stamps the envelope with a trace context given as raw IDs
+// (the caller holds a trace.Context; wire stays decoupled from it).
+func (ev *Envelope) SetTrace(traceID, spanID uint64) {
+	ev.TraceID, ev.SpanID = traceID, spanID
+}
+
+// traceFlag marks a trace-context trailer on an envelope frame.
+const traceFlag = 1
+
+// Encode serializes the envelope. A trace context, when present, is
+// appended as a 17-byte trailer (flag byte + two u64s); decoders that
+// predate the trailer still parse the frame because Finish permits
+// trailing bytes.
 func (ev Envelope) Encode() []byte {
-	e := NewEncoder(14 + len(ev.Body))
+	size := 14 + len(ev.Body)
+	if ev.TraceID != 0 {
+		size += 17
+	}
+	e := NewEncoder(size)
 	e.U16(uint16(ev.Type))
 	e.U64(ev.ReqID)
 	e.Bytes32(ev.Body)
+	if ev.TraceID != 0 {
+		e.U8(traceFlag)
+		e.U64(ev.TraceID)
+		e.U64(ev.SpanID)
+	}
 	return e.Bytes()
 }
 
@@ -121,13 +149,19 @@ func (ev Envelope) EncodeCounted(reg *metrics.Registry) []byte {
 	return b
 }
 
-// DecodeEnvelope parses a framed message.
+// DecodeEnvelope parses a framed message. A 17-byte trace trailer is
+// read when present; zero padding after the body (fixed-size frames)
+// decodes as "no trace".
 func DecodeEnvelope(b []byte) (Envelope, error) {
 	d := NewDecoder(b)
 	var ev Envelope
 	ev.Type = MsgType(d.U16())
 	ev.ReqID = d.U64()
 	ev.Body = d.Bytes32()
+	if d.Remaining() >= 17 && d.U8() == traceFlag {
+		ev.TraceID = d.U64()
+		ev.SpanID = d.U64()
+	}
 	if err := d.Finish(); err != nil {
 		return Envelope{}, err
 	}

@@ -1,0 +1,52 @@
+package wire
+
+import "testing"
+
+// TestEnvelopeTraceTrailerRoundTrip: envelopes with a trace context
+// carry it in the optional trailer and get it back on decode.
+func TestEnvelopeTraceTrailerRoundTrip(t *testing.T) {
+	ev := Envelope{Type: MsgControl, ReqID: 42, Body: []byte("body")}
+	ev.SetTrace(7, 13)
+	out, err := DecodeEnvelope(ev.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != 7 || out.SpanID != 13 {
+		t.Fatalf("trace context lost: got (%d, %d), want (7, 13)", out.TraceID, out.SpanID)
+	}
+	if out.Type != ev.Type || out.ReqID != ev.ReqID || string(out.Body) != "body" {
+		t.Fatalf("payload corrupted by trailer: %+v", out)
+	}
+}
+
+// TestEnvelopeUntracedUnchanged: without a trace context the encoding
+// must be byte-identical to the pre-trailer format — untraced runs put
+// zero extra bytes on the wire.
+func TestEnvelopeUntracedUnchanged(t *testing.T) {
+	ev := Envelope{Type: MsgPing, ReqID: 9, Body: []byte("xyz")}
+	b := ev.Encode()
+	if want := 14 + len(ev.Body); len(b) != want {
+		t.Fatalf("untraced envelope is %d bytes, want %d", len(b), want)
+	}
+	out, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != 0 || out.SpanID != 0 {
+		t.Fatalf("untraced envelope decoded with a trace context: %+v", out)
+	}
+}
+
+// TestEnvelopeZeroPaddingIsNotATrace: trailing zero bytes (padded
+// frames) must not be misread as a trace trailer.
+func TestEnvelopeZeroPaddingIsNotATrace(t *testing.T) {
+	ev := Envelope{Type: MsgPing, ReqID: 1, Body: []byte("p")}
+	b := append(ev.Encode(), make([]byte, 32)...)
+	out, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != 0 || out.SpanID != 0 {
+		t.Fatalf("zero padding decoded as a trace context: %+v", out)
+	}
+}

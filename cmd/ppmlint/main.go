@@ -1,0 +1,46 @@
+// Command ppmlint is the determinism-invariant checker for this repo:
+// a go/analysis multichecker speaking the `go vet -vettool` protocol.
+//
+// Usage:
+//
+//	go build -o /tmp/ppmlint ./cmd/ppmlint
+//	go vet -vettool=/tmp/ppmlint ./...
+//
+// It enforces the four invariants the golden-output CI job depends on:
+//
+//	walltime      no time.Now/Since/Sleep/... outside internal/sim,
+//	              cmd/, and tests
+//	rawgoroutine  no go statements outside tests
+//	unseededrand  no global math/rand or crypto/rand outside internal/sim
+//	maporder      no map iteration with order-sensitive effects unless
+//	              keys are sorted first
+//
+// A finding can be silenced for one line by the comment
+// //ppmlint:allow <analyzer> on the line above; an allowance that
+// silences nothing is itself reported. See DESIGN.md "Determinism
+// invariants".
+package main
+
+import (
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"ppm/internal/analysis/maporder"
+	"ppm/internal/analysis/rawgoroutine"
+	"ppm/internal/analysis/unseededrand"
+	"ppm/internal/analysis/walltime"
+)
+
+// suite lists the enforced determinism invariants.
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		walltime.Analyzer,
+		rawgoroutine.Analyzer,
+		unseededrand.Analyzer,
+		maporder.Analyzer,
+	}
+}
+
+func main() {
+	unitchecker.Main(suite()...)
+}

@@ -1,0 +1,268 @@
+// Package maporder defines a ppmlint analyzer that flags iteration
+// over a map when the loop body has order-sensitive effects. Go
+// randomizes map iteration order per run, so a map-range that appends
+// to an outer slice, sends on a channel, emits metrics or trace spans,
+// or prints output makes two runs of the same seed diverge — exactly
+// the class of bug hand audits kept finding in the flood fan-out and
+// teardown paths before this analyzer existed.
+//
+// Two forms are recognized as deterministic and left alone:
+//
+//   - iterating a sorted key slice (for _, k := range detord.Keys(m)),
+//     which never ranges the map at all; and
+//   - the collect-then-sort idiom: a loop whose only effect is
+//     appending to local slices, each of which is later passed to a
+//     recognized sort (detord.Sort, detord.SortBy, detord.SortBy2,
+//     sort.*, slices.Sort*) in the same enclosing block.
+//
+// Anything else needs an explicit //ppmlint:allow maporder suppression
+// on the line above the loop.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ppm/internal/analysis/suppress"
+)
+
+// Analyzer is the maporder determinism invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag range over a map whose body has order-sensitive effects",
+	Run:  run,
+}
+
+// sorters maps a package's base name to the functions recognized as
+// establishing a deterministic order for their first argument.
+var sorters = map[string]map[string]bool{
+	"detord": {"Sort": true, "SortBy": true, "SortBy2": true},
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// emissionPkgs are package base names whose calls inside a map-range
+// body count as order-sensitive emission: each call appends to a
+// deterministic stream (a metric series, a trace span log).
+var emissionPkgs = map[string]bool{"metrics": true, "trace": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var diags []analysis.Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, st := range list {
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass, rs) {
+					continue
+				}
+				if d, flagged := check(pass, rs, list[i+1:]); flagged {
+					diags = append(diags, d)
+				}
+			}
+			return true
+		})
+	}
+	suppress.Apply(pass, diags)
+	return nil, nil
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	tv := pass.TypesInfo.TypeOf(rs.X)
+	if tv == nil {
+		return false
+	}
+	_, ok := tv.Underlying().(*types.Map)
+	return ok
+}
+
+// check inspects one map-range for order-sensitive effects. tail is
+// the statement list following the loop in its enclosing block, used
+// to recognize the collect-then-sort idiom.
+func check(pass *analysis.Pass, rs *ast.RangeStmt, tail []ast.Stmt) (analysis.Diagnostic, bool) {
+	var (
+		collected []*ast.Ident // outer slices the body appends to
+		effect    string       // first non-append effect found
+	)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if effect != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			effect = "channel send"
+		case *ast.CallExpr:
+			if kind := emissionKind(pass, n); kind != "" {
+				effect = kind
+			}
+		case *ast.AssignStmt:
+			for li, lhs := range n.Lhs {
+				if li >= len(n.Rhs) {
+					continue
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					// Appending to a field or element survives the loop but
+					// cannot be tracked to a later sort; always an effect.
+					if _, sel := lhs.(*ast.SelectorExpr); sel && isAppendCall(pass, n.Rhs[li]) {
+						effect = "append to a non-local slice"
+					}
+					continue
+				}
+				if !isAppendOf(pass, n.Rhs[li], id) {
+					continue
+				}
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil &&
+					(obj.Pos() < rs.Pos() || obj.Pos() > rs.End()) {
+					collected = append(collected, id)
+				}
+			}
+		}
+		return true
+	})
+
+	if effect == "" && len(collected) == 0 {
+		return analysis.Diagnostic{}, false
+	}
+	if effect == "" {
+		// Append-only loop: fine if every collected slice is sorted
+		// before use later in the same block.
+		allSorted := true
+		for _, id := range collected {
+			if !sortedLater(pass, id, tail) {
+				allSorted = false
+				break
+			}
+		}
+		if allSorted {
+			return analysis.Diagnostic{}, false
+		}
+		effect = "append to " + collected[0].Name + " without a later sort"
+	}
+	return analysis.Diagnostic{
+		Pos: rs.Pos(), End: rs.X.End(),
+		Message: "map iteration order is random: " + effect +
+			"; range detord.Keys, sort before use, or annotate //ppmlint:allow maporder",
+	}, true
+}
+
+// isAppendCall reports whether expr is a call of the append builtin.
+func isAppendCall(pass *analysis.Pass, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isAppendOf reports whether expr is append(id, ...).
+func isAppendOf(pass *analysis.Pass, expr ast.Expr, id *ast.Ident) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	return ok && arg.Name == id.Name &&
+		pass.TypesInfo.ObjectOf(arg) == pass.TypesInfo.ObjectOf(id)
+}
+
+// emissionKind classifies a call as order-sensitive emission, returning
+// a description or "".
+func emissionKind(pass *analysis.Pass, call *ast.CallExpr) string {
+	var name *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel
+	case *ast.Ident:
+		name = fun
+	default:
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[name].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	base := pkgBase(fn.Pkg().Path())
+	if emissionPkgs[base] {
+		return base + " emission (" + base + "." + fn.Name() + ")"
+	}
+	if base == "fmt" && (strings.HasPrefix(fn.Name(), "Print") ||
+		strings.HasPrefix(fn.Name(), "Fprint")) {
+		return "output (fmt." + fn.Name() + ")"
+	}
+	return ""
+}
+
+// sortedLater reports whether a recognized sorter is applied to id in
+// the statements following the loop.
+func sortedLater(pass *analysis.Pass, id *ast.Ident, tail []ast.Stmt) bool {
+	obj := pass.TypesInfo.ObjectOf(id)
+	found := false
+	for _, st := range tail {
+		ast.Inspect(st, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			fns := sorters[pkgBase(fn.Pkg().Path())]
+			if fns == nil || !fns[fn.Name()] {
+				return true
+			}
+			if arg, ok := call.Args[0].(*ast.Ident); ok &&
+				pass.TypesInfo.ObjectOf(arg) == obj {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,13 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"ppm/internal/analysis/analyzertest"
+	"ppm/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analyzertest.Run(t, maporder.Analyzer, "m",
+		"ppm/internal/detord", "ppm/internal/metrics")
+}

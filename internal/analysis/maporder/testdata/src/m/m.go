@@ -1,0 +1,107 @@
+// Package m exercises the maporder analyzer: order-sensitive map
+// ranges, the collect-then-sort idiom, the blessed detord forms, and
+// suppressions.
+package m
+
+import (
+	"fmt"
+	"sort"
+
+	"ppm/internal/detord"
+	"ppm/internal/metrics"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is random: append to out without a later sort`
+		out = append(out, k)
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // ok: out is sorted before use below
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func appendThenDetordSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // ok: detord.Sort establishes the order
+		out = append(out, k)
+	}
+	detord.Sort(out)
+	return out
+}
+
+func appendThenSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // ok: sort.Slice establishes the order
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func blessedKeys(m map[string]int) {
+	for _, k := range detord.Keys(m) { // ok: ranges a sorted slice, not the map
+		fmt.Println(k, m[k])
+	}
+}
+
+func send(m map[string]int, ch chan int) {
+	for _, v := range m { // want `map iteration order is random: channel send`
+		ch <- v
+	}
+}
+
+func output(m map[string]int) {
+	for k := range m { // want `map iteration order is random: output \(fmt.Println\)`
+		fmt.Println(k)
+	}
+}
+
+func emission(m map[string]int) {
+	for k := range m { // want `map iteration order is random: metrics emission \(metrics.Inc\)`
+		metrics.Inc(k)
+	}
+}
+
+type agg struct{ rows []string }
+
+func fieldAppend(m map[string]int, a *agg) {
+	for k := range m { // want `map iteration order is random: append to a non-local slice`
+		a.rows = append(a.rows, k)
+	}
+}
+
+func localCollect(m map[string][]int) {
+	for _, vs := range m { // ok: tmp does not outlive the iteration
+		var tmp []int
+		tmp = append(tmp, vs...)
+		_ = tmp
+	}
+}
+
+func pureReads(m map[string]int) int {
+	total := 0
+	for _, v := range m { // ok: summing is order-insensitive
+		total += v
+	}
+	return total
+}
+
+func suppressed(m map[string]int, ch chan int) {
+	//ppmlint:allow maporder replies are counted, not ordered
+	for _, v := range m { // ok: suppressed
+		ch <- v
+	}
+
+	//ppmlint:allow maporder // want `unused //ppmlint:allow maporder suppression`
+	for _, v := range m { // ok: nothing order-sensitive, so the allowance is stale
+		_ = v
+	}
+}

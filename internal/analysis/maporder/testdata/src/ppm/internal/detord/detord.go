@@ -1,0 +1,32 @@
+// Package detord is a non-generic stand-in for the real
+// ppm/internal/detord, enough for the maporder analyzer to recognize
+// the blessed idiom by package name.
+package detord
+
+// Keys returns m's keys sorted.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	Sort(out)
+	return out
+}
+
+// Sort sorts s ascending.
+func Sort(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// SortBy sorts s ascending by key.
+func SortBy(s []string, key func(string) string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && key(s[j]) < key(s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

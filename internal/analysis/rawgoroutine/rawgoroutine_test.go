@@ -1,0 +1,12 @@
+package rawgoroutine_test
+
+import (
+	"testing"
+
+	"ppm/internal/analysis/analyzertest"
+	"ppm/internal/analysis/rawgoroutine"
+)
+
+func TestFlagsGoStatements(t *testing.T) {
+	analyzertest.Run(t, rawgoroutine.Analyzer, "b")
+}

@@ -1,0 +1,20 @@
+// Package b exercises the rawgoroutine analyzer.
+package b
+
+func work() {}
+
+func spawns() {
+	go work() // want `raw goroutine: concurrency must be modeled as events on the sim scheduler`
+
+	go func() { // want `raw goroutine: concurrency must be modeled as events on the sim scheduler`
+		work()
+	}()
+
+	defer work() // ok: defer is synchronous
+
+	//ppmlint:allow rawgoroutine bridging to a real OS process
+	go work() // ok: suppressed
+
+	//ppmlint:allow rawgoroutine // want `unused //ppmlint:allow rawgoroutine suppression`
+	work() // ok: not a go statement, so the allowance above is stale
+}

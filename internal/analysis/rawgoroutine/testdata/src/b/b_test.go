@@ -1,0 +1,9 @@
+package b
+
+// Test files may spawn goroutines (timeout watchdogs, parallel test
+// drivers).
+func spawnInTest() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

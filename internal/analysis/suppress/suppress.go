@@ -1,0 +1,84 @@
+// Package suppress implements the ppmlint suppression-comment protocol
+// shared by every analyzer in internal/analysis.
+//
+// A comment of the form
+//
+//	//ppmlint:allow <analyzer>
+//
+// on its own line silences exactly one diagnostic that the named
+// analyzer would report on the immediately following source line. A
+// suppression that silences nothing is itself reported, so stale
+// allowances cannot accumulate as the code they excused changes.
+package suppress
+
+import (
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Prefix is the comment marker that introduces a suppression.
+const Prefix = "//ppmlint:allow "
+
+// Apply filters diags through the //ppmlint:allow comments found in the
+// pass's files, reporting the diagnostics that survive and flagging any
+// suppression that consumed nothing. Analyzers should buffer their
+// diagnostics and hand them to Apply instead of calling pass.Report
+// directly. diags must belong to files of the pass.
+func Apply(pass *analysis.Pass, diags []analysis.Diagnostic) {
+	name := pass.Analyzer.Name
+
+	type suppression struct {
+		pos  token.Pos
+		file string
+		line int
+		used bool
+	}
+	var supps []suppression
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			// A suppression applies to the first line after its whole
+			// comment group, so several //ppmlint:allow lines can stack
+			// above one statement that trips multiple analyzers.
+			end := pass.Fset.Position(cg.End())
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, Prefix)
+				if !ok {
+					continue
+				}
+				// The directive names exactly one analyzer; anything after
+				// the name is free-form justification.
+				target, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if target != name {
+					continue
+				}
+				supps = append(supps, suppression{
+					pos: c.Pos(), file: end.Filename, line: end.Line,
+				})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		p := pass.Fset.Position(d.Pos)
+		suppressed := false
+		for i := range supps {
+			s := &supps[i]
+			if !s.used && s.file == p.Filename && s.line+1 == p.Line {
+				s.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			pass.Report(d)
+		}
+	}
+
+	for _, s := range supps {
+		if !s.used {
+			pass.Reportf(s.pos, "unused //ppmlint:allow %s suppression", name)
+		}
+	}
+}

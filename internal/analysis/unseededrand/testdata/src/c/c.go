@@ -1,0 +1,27 @@
+// Package c exercises the unseededrand analyzer.
+package c
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+)
+
+func draws() {
+	_ = rand.Intn(10)                  // want `global math/rand source: rand.Intn is unseeded`
+	_ = rand.Int()                     // want `global math/rand source: rand.Int is unseeded`
+	_ = rand.Float64()                 // want `global math/rand source: rand.Float64 is unseeded`
+	rand.Shuffle(0, func(int, int) {}) // want `global math/rand source: rand.Shuffle is unseeded`
+
+	_, _ = crand.Read(make([]byte, 8)) // want `crypto/rand is entropy`
+
+	// Explicitly seeded generators are the blessed form anywhere.
+	r := rand.New(rand.NewSource(7)) // ok: seeded constructor
+	_ = r.Intn(10)                   // ok: method on a caller-built generator
+	_ = r.Perm(4)                    // ok
+
+	//ppmlint:allow unseededrand
+	_ = rand.Uint64() // ok: suppressed
+
+	//ppmlint:allow unseededrand // want `unused //ppmlint:allow unseededrand suppression`
+	_ = r.Uint64() // ok: nothing to suppress on this line
+}

@@ -1,0 +1,7 @@
+// Package sim stands in for the real internal/sim, which owns the
+// blessed seeded source and may use math/rand freely.
+package sim
+
+import "math/rand"
+
+func Jitter() float64 { return rand.Float64() }

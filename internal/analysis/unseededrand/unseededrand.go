@@ -1,0 +1,91 @@
+// Package unseededrand defines a ppmlint analyzer that forbids
+// nondeterministic randomness. The simulation draws every random
+// number from internal/sim's per-run seeded *rand.Rand, so a given
+// seed replays exactly. Two things break that:
+//
+//   - the global math/rand source (rand.Intn, rand.Shuffle, ...),
+//     which Go seeds randomly at process start, and
+//   - crypto/rand, which is entropy by definition.
+//
+// Constructing an explicitly seeded generator (rand.New,
+// rand.NewSource, rand.NewZipf) is allowed anywhere: the seed is in
+// the caller's hands, which is exactly the invariant. internal/sim is
+// exempt wholesale as the owner of the blessed source.
+package unseededrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ppm/internal/analysis/suppress"
+)
+
+// seededConstructors are the math/rand package-level functions that
+// build an explicitly seeded generator rather than using the global
+// source.
+var seededConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Analyzer is the unseededrand determinism invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "unseededrand",
+	Doc:  "forbid the global math/rand source and crypto/rand outside internal/sim",
+	Run:  run,
+}
+
+func allowedPkg(path string) bool {
+	return path == "ppm/internal/sim" || strings.HasPrefix(path, "ppm/internal/sim/")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if allowedPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	var diags []analysis.Diagnostic
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch path := obj.Pkg().Path(); {
+			case path == "crypto/rand":
+				diags = append(diags, analysis.Diagnostic{
+					Pos: sel.Pos(), End: sel.End(),
+					Message: "crypto/rand is entropy; draw from the sim scheduler's seeded source",
+				})
+			case path == "math/rand" || path == "math/rand/v2":
+				fn, ok := obj.(*types.Func)
+				// Methods (fn.Type().(*types.Signature).Recv() != nil) run on
+				// a generator the caller built, so only package-level
+				// functions — the global source — are flagged.
+				if !ok || fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				if !seededConstructors[fn.Name()] {
+					diags = append(diags, analysis.Diagnostic{
+						Pos: sel.Pos(), End: sel.End(),
+						Message: "global math/rand source: rand." + fn.Name() +
+							" is unseeded; use the sim scheduler's seeded *rand.Rand",
+					})
+				}
+			}
+			return true
+		})
+	}
+	suppress.Apply(pass, diags)
+	return nil, nil
+}

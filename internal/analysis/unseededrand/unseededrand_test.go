@@ -1,0 +1,16 @@
+package unseededrand_test
+
+import (
+	"testing"
+
+	"ppm/internal/analysis/analyzertest"
+	"ppm/internal/analysis/unseededrand"
+)
+
+func TestFlagsUnseededSources(t *testing.T) {
+	analyzertest.Run(t, unseededrand.Analyzer, "c")
+}
+
+func TestAllowsSimPackage(t *testing.T) {
+	analyzertest.Run(t, unseededrand.Analyzer, "ppm/internal/sim")
+}

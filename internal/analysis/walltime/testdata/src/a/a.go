@@ -1,0 +1,46 @@
+// Package a exercises the walltime analyzer: flagged clock reads,
+// allowed time arithmetic, suppressions, and the unused-suppression
+// report.
+package a
+
+import (
+	"time"
+
+	tt "time"
+)
+
+var bootedAt = time.Now() // want `wall clock: time.Now is nondeterministic`
+
+func clocks() {
+	time.Sleep(time.Second)          // want `wall clock: time.Sleep is nondeterministic`
+	_ = time.Since(time.Time{})      // want `wall clock: time.Since is nondeterministic`
+	_ = time.Until(time.Time{})      // want `wall clock: time.Until is nondeterministic`
+	<-time.After(time.Second)        // want `wall clock: time.After is nondeterministic`
+	_ = time.NewTimer(time.Second)   // want `wall clock: time.NewTimer is nondeterministic`
+	_ = tt.Now()                     // want `wall clock: time.Now is nondeterministic`
+	_ = time.Duration(42)            // ok: duration arithmetic is not a clock read
+	_ = 5 * time.Millisecond         // ok
+	_ = time.Unix(0, 0)              // ok: pure conversion
+	_ = time.Time{}.Add(time.Second) // ok: method on a value
+}
+
+func suppressed() {
+	//ppmlint:allow walltime
+	_ = time.Now() // ok: suppressed by the line above
+
+	// A suppression consumes exactly one diagnostic, so of the two
+	// clock reads below only the first is silenced.
+	//ppmlint:allow walltime
+	_, _ = time.Now(), time.Now() // want `wall clock: time.Now is nondeterministic`
+
+	//ppmlint:allow walltime stale justification // want `unused //ppmlint:allow walltime suppression`
+	_ = time.Unix(1, 0) // ok: nothing here to suppress
+
+	// Suppressions stack: each line of a comment group targets the
+	// first code line after the group, so allowances for several
+	// analyzers (or several diagnostics) can sit above one statement.
+	//ppmlint:allow walltime
+	//ppmlint:allow rawgoroutine
+	//ppmlint:allow walltime
+	_, _ = time.Now(), time.Now() // ok: both reads suppressed
+}

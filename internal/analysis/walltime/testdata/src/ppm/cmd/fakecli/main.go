@@ -1,0 +1,10 @@
+// Command fakecli stands in for the real CLIs, which may time their
+// own wall-clock execution for operators.
+package main
+
+import "time"
+
+func main() {
+	start := time.Now()
+	_ = time.Since(start)
+}

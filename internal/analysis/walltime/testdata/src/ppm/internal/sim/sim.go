@@ -1,0 +1,7 @@
+// Package sim stands in for the real internal/sim: the one
+// non-command package allowed to observe the wall clock.
+package sim
+
+import "time"
+
+func RealNow() time.Time { return time.Now() }

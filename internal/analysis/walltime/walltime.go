@@ -1,0 +1,83 @@
+// Package walltime defines a ppmlint analyzer that forbids reading the
+// wall clock. Everything inside the simulation must take its notion of
+// time from the seeded discrete-event scheduler (internal/sim); a
+// single time.Now leaking into a code path makes two runs of the same
+// seed diverge and breaks the golden-output CI job.
+//
+// time.Duration and the time constants remain fine everywhere — only
+// the functions that observe or wait on the real clock are flagged.
+// The allowlist: internal/sim (which owns virtual time and is the one
+// place allowed to talk about real time), the cmd/ entry points (which
+// may time their own wall-clock execution for operators), and _test.go
+// files.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ppm/internal/analysis/suppress"
+)
+
+// forbidden lists the time package functions that observe or wait on
+// the real clock.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Analyzer is the walltime determinism invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock reads outside internal/sim, cmd/, and tests",
+	Run:  run,
+}
+
+// allowedPkg reports whether the package may touch the wall clock.
+func allowedPkg(path string) bool {
+	return path == "ppm/internal/sim" ||
+		strings.HasPrefix(path, "ppm/internal/sim/") ||
+		strings.HasPrefix(path, "ppm/cmd/")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if allowedPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	var diags []analysis.Diagnostic
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if forbidden[fn.Name()] {
+				diags = append(diags, analysis.Diagnostic{
+					Pos: sel.Pos(), End: sel.End(),
+					Message: "wall clock: time." + fn.Name() +
+						" is nondeterministic; use the sim scheduler's virtual time",
+				})
+			}
+			return true
+		})
+	}
+	suppress.Apply(pass, diags)
+	return nil, nil
+}

@@ -1,0 +1,20 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"ppm/internal/analysis/analyzertest"
+	"ppm/internal/analysis/walltime"
+)
+
+func TestFlagsClockReads(t *testing.T) {
+	analyzertest.Run(t, walltime.Analyzer, "a")
+}
+
+func TestAllowsSimPackage(t *testing.T) {
+	analyzertest.Run(t, walltime.Analyzer, "ppm/internal/sim")
+}
+
+func TestAllowsCommands(t *testing.T) {
+	analyzertest.Run(t, walltime.Analyzer, "ppm/cmd/fakecli")
+}

@@ -11,7 +11,8 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
-	"sort"
+
+	"ppm/internal/detord"
 )
 
 // Authentication errors.
@@ -73,12 +74,7 @@ func (d *Directory) Lookup(name string) (*User, error) {
 
 // Users returns the sorted account names.
 func (d *Directory) Users() []string {
-	out := make([]string, 0, len(d.users))
-	for n := range d.users {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	return detord.Keys(d.users)
 }
 
 // AllowRHost adds host to the user's .rhosts, permitting remote access

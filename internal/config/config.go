@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ppm/internal/detord"
 	"ppm/internal/kernel"
 	"ppm/internal/proc"
 )
@@ -269,18 +270,5 @@ func (p *Plan) Hosts() []string {
 	for _, d := range p.Procs {
 		set[d.Host] = true
 	}
-	out := make([]string, 0, len(set))
-	for h := range set {
-		out = append(out, h)
-	}
-	sortStrings(out)
-	return out
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	return detord.Keys(set)
 }

@@ -1,0 +1,75 @@
+package detord
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeys(t *testing.T) {
+	m := map[string]int{"c": 3, "a": 1, "b": 2}
+	if got, want := Keys(m), []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	if got := Keys(map[int]string(nil)); len(got) != 0 {
+		t.Fatalf("Keys(nil) = %v, want empty", got)
+	}
+	// Named map types work through the ~map constraint.
+	type registry map[int]string
+	if got, want := Keys(registry{9: "x", 4: "y"}), []int{4, 9}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys(named) = %v, want %v", got, want)
+	}
+}
+
+func TestKeysDeterministic(t *testing.T) {
+	m := map[string]bool{}
+	for _, k := range []string{"h3", "h1", "h9", "h2", "h5"} {
+		m[k] = true
+	}
+	first := Keys(m)
+	for i := 0; i < 20; i++ {
+		if got := Keys(m); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: Keys = %v, want %v", i, got, first)
+		}
+	}
+}
+
+func TestSort(t *testing.T) {
+	s := []int{5, 1, 4}
+	Sort(s)
+	if want := []int{1, 4, 5}; !reflect.DeepEqual(s, want) {
+		t.Fatalf("Sort = %v, want %v", s, want)
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	type rec struct {
+		name string
+		n    int
+	}
+	s := []rec{{"b", 1}, {"a", 2}, {"c", 0}}
+	SortBy(s, func(r rec) string { return r.name })
+	if s[0].name != "a" || s[1].name != "b" || s[2].name != "c" {
+		t.Fatalf("SortBy = %v", s)
+	}
+	// Stability: equal keys keep input order.
+	s = []rec{{"x", 1}, {"x", 2}, {"a", 3}}
+	SortBy(s, func(r rec) string { return r.name })
+	if s[1].n != 1 || s[2].n != 2 {
+		t.Fatalf("SortBy not stable: %v", s)
+	}
+}
+
+func TestSortBy2(t *testing.T) {
+	type id struct {
+		host string
+		pid  int
+	}
+	s := []id{{"b", 1}, {"a", 9}, {"a", 2}, {"b", 0}}
+	SortBy2(s,
+		func(i id) string { return i.host },
+		func(i id) int { return i.pid })
+	want := []id{{"a", 2}, {"a", 9}, {"b", 0}, {"b", 1}}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("SortBy2 = %v, want %v", s, want)
+	}
+}

@@ -9,10 +9,10 @@ package history
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
+	"ppm/internal/detord"
 	"ppm/internal/proc"
 )
 
@@ -230,12 +230,7 @@ func (r Reduction) Format() string {
 	if r.Total > 0 {
 		fmt.Fprintf(&b, "window: %v .. %v\n", r.FirstAt, r.LastAt)
 	}
-	kinds := make([]proc.EventKind, 0, len(r.ByKind))
-	for k := range r.ByKind {
-		kinds = append(kinds, k)
-	}
-	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
-	for _, k := range kinds {
+	for _, k := range detord.Keys(r.ByKind) {
 		fmt.Fprintf(&b, "  %-8s %d\n", k, r.ByKind[k])
 	}
 	return b.String()

@@ -14,10 +14,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"ppm/internal/calib"
+	"ppm/internal/detord"
 	"ppm/internal/metrics"
 	"ppm/internal/proc"
 	"ppm/internal/sim"
@@ -95,11 +95,7 @@ func (p *Process) growRSS(kb int64) {
 // OpenFDs returns the process's open descriptors as "fd:path" strings,
 // sorted by descriptor number.
 func (p *Process) OpenFDs() []string {
-	fds := make([]int, 0, len(p.fds))
-	for fd := range p.fds {
-		fds = append(fds, fd)
-	}
-	sort.Ints(fds)
+	fds := detord.Keys(p.fds)
 	out := make([]string, 0, len(fds))
 	for _, fd := range fds {
 		out = append(out, fmt.Sprintf("%d:%s", fd, p.fds[fd]))
@@ -698,7 +694,7 @@ func (h *Host) ProcessesOf(user string) []proc.Info {
 		}
 		out = append(out, h.infoOf(p))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID.PID < out[j].ID.PID })
+	detord.SortBy(out, func(i proc.Info) proc.PID { return i.ID.PID })
 	return out
 }
 

@@ -2,10 +2,10 @@ package lpm
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
+	"ppm/internal/detord"
 	"ppm/internal/proc"
 	"ppm/internal/sim"
 	"ppm/internal/trace"
@@ -174,7 +174,7 @@ func (l *LPM) runFlood(ctx trace.Context, st *floodState, bc wire.Broadcast, inn
 	}
 	// Fan out in host order: l.siblings is a map, and the order the
 	// requests hit the circuits decides queueing delays downstream.
-	sort.Slice(children, func(i, j int) bool { return children[i].host < children[j].host })
+	detord.SortBy(children, func(sb *sibling) string { return sb.host })
 	st.awaiting = len(children)
 	var local wire.FloodResult
 	var cost time.Duration
@@ -357,12 +357,7 @@ func (l *LPM) uncovered(res wire.FloodResult) []string {
 	if len(missing) == 0 {
 		return nil
 	}
-	out := make([]string, 0, len(missing))
-	for h := range missing {
-		out = append(out, h)
-	}
-	sort.Strings(out)
-	return out
+	return detord.Keys(missing)
 }
 
 // expireSeenAt is exposed for tests of the dedup window.

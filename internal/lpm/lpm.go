@@ -18,12 +18,12 @@ package lpm
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"ppm/internal/auth"
 	"ppm/internal/calib"
 	"ppm/internal/daemon"
+	"ppm/internal/detord"
 	"ppm/internal/history"
 	"ppm/internal/kernel"
 	"ppm/internal/metrics"
@@ -256,12 +256,11 @@ func (l *LPM) History() *history.Store { return l.store }
 // SiblingHosts returns the hosts with an authenticated circuit.
 func (l *LPM) SiblingHosts() []string {
 	var out []string
-	for h, sb := range l.siblings {
-		if sb.authed && sb.conn.Open() {
+	for _, h := range detord.Keys(l.siblings) {
+		if sb := l.siblings[h]; sb.authed && sb.conn.Open() {
 			out = append(out, h)
 		}
 	}
-	sort.Strings(out)
 	return out
 }
 
@@ -342,20 +341,12 @@ func (l *LPM) Exit() {
 	}
 	// Tear down in deterministic order: siblings by host, pending
 	// requests by id, own processes by pid — each step schedules events.
-	hosts := make([]string, 0, len(l.siblings))
-	for h := range l.siblings {
-		hosts = append(hosts, h)
-	}
-	sort.Strings(hosts)
+	hosts := detord.Keys(l.siblings)
 	for _, h := range hosts {
 		l.siblings[h].conn.Close()
 	}
 	l.siblings = make(map[string]*sibling)
-	ids := make([]uint64, 0, len(l.pending))
-	for id := range l.pending {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := detord.Keys(l.pending)
 	for _, id := range ids {
 		pr := l.pending[id]
 		if pr.timer != nil {
@@ -366,11 +357,7 @@ func (l *LPM) Exit() {
 		delete(l.pending, id)
 		cb(wire.Envelope{}, ErrExited)
 	}
-	pids := make([]proc.PID, 0, len(l.myPids))
-	for pid := range l.myPids {
-		pids = append(pids, pid)
-	}
-	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	pids := detord.Keys(l.myPids)
 	for _, pid := range pids {
 		if p, err := l.kern.Lookup(pid); err == nil &&
 			(p.State == proc.Running || p.State == proc.Stopped) {

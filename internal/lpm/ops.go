@@ -2,10 +2,10 @@ package lpm
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"ppm/internal/calib"
+	"ppm/internal/detord"
 	"ppm/internal/history"
 	"ppm/internal/kernel"
 	"ppm/internal/proc"
@@ -287,15 +287,14 @@ func (l *LPM) localInfos() []proc.Info {
 	}
 	// Records the kernel no longer holds (reaped) but the LPM retained,
 	// in pid order so the encoded fragment is byte-stable.
-	reaped := make([]proc.PID, 0, len(l.records))
-	for pid := range l.records {
+	var reaped []proc.PID
+	for _, pid := range detord.Keys(l.records) {
 		if !seen[pid] && !l.myPids[pid] {
 			if _, err := l.kern.Lookup(pid); err != nil {
 				reaped = append(reaped, pid)
 			}
 		}
 	}
-	sort.Slice(reaped, func(i, j int) bool { return reaped[i] < reaped[j] })
 	for _, pid := range reaped {
 		out = append(out, l.records[pid])
 	}

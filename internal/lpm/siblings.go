@@ -2,12 +2,12 @@ package lpm
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"ppm/internal/auth"
 	"ppm/internal/calib"
 	"ppm/internal/daemon"
+	"ppm/internal/detord"
 	"ppm/internal/proc"
 	"ppm/internal/recovery"
 	"ppm/internal/simnet"
@@ -128,12 +128,11 @@ func (l *LPM) onSiblingClosed(sb *sibling, err error) {
 	// Fail outstanding requests to that host, oldest first (map order
 	// would let error callbacks race each other across identical runs).
 	var ids []uint64
-	for id, pr := range l.pending {
-		if pr.host == sb.host {
+	for _, id := range detord.Keys(l.pending) {
+		if l.pending[id].host == sb.host {
 			ids = append(ids, id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		pr := l.pending[id]
 		if pr.timer != nil {

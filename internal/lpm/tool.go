@@ -3,11 +3,11 @@ package lpm
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"ppm/internal/auth"
 	"ppm/internal/daemon"
+	"ppm/internal/detord"
 	"ppm/internal/history"
 	"ppm/internal/metrics"
 	"ppm/internal/proc"
@@ -114,11 +114,7 @@ func (t *ToolClient) onClosed(err error) {
 	if err == nil {
 		err = ErrToolClosed
 	}
-	ids := make([]uint64, 0, len(t.pending))
-	for id := range t.pending {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := detord.Keys(t.pending)
 	for _, id := range ids {
 		cb := t.pending[id]
 		delete(t.pending, id)

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"ppm/internal/detord"
 )
 
 // Registry holds every metric of one simulated installation. Create one
@@ -270,15 +272,18 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		return f
 	}
-	for name, c := range r.counters {
+	// Iterate every metric map in sorted-name order so each family's
+	// point slices are born sorted and families append in name order.
+	for _, name := range detord.Keys(r.counters) {
 		f := family(name)
-		f.Counters = append(f.Counters, CounterPoint{Name: name, Value: c.v})
+		f.Counters = append(f.Counters, CounterPoint{Name: name, Value: r.counters[name].v})
 	}
-	for name, g := range r.gauges {
+	for _, name := range detord.Keys(r.gauges) {
 		f := family(name)
-		f.Gauges = append(f.Gauges, GaugePoint{Name: name, Value: g.v})
+		f.Gauges = append(f.Gauges, GaugePoint{Name: name, Value: r.gauges[name].v})
 	}
-	for name, h := range r.histograms {
+	for _, name := range detord.Keys(r.histograms) {
+		h := r.histograms[name]
 		hp := HistogramPoint{
 			Name: name, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
 		}
@@ -292,13 +297,9 @@ func (r *Registry) Snapshot() Snapshot {
 		f := family(name)
 		f.Histograms = append(f.Histograms, hp)
 	}
-	for _, f := range fams {
-		sort.Slice(f.Counters, func(i, j int) bool { return f.Counters[i].Name < f.Counters[j].Name })
-		sort.Slice(f.Gauges, func(i, j int) bool { return f.Gauges[i].Name < f.Gauges[j].Name })
-		sort.Slice(f.Histograms, func(i, j int) bool { return f.Histograms[i].Name < f.Histograms[j].Name })
-		s.Families = append(s.Families, *f)
+	for _, fn := range detord.Keys(fams) {
+		s.Families = append(s.Families, *fams[fn])
 	}
-	sort.Slice(s.Families, func(i, j int) bool { return s.Families[i].Name < s.Families[j].Name })
 	return s
 }
 

@@ -6,10 +6,11 @@ package proc
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"ppm/internal/detord"
 )
 
 // PID is a per-host process identifier.
@@ -203,14 +204,11 @@ type Snapshot struct {
 	Partial []string `json:"partial,omitempty"`
 }
 
-// byID sorts Infos deterministically.
+// sortInfos sorts Infos deterministically by host then pid.
 func sortInfos(infos []Info) {
-	sort.Slice(infos, func(i, j int) bool {
-		if infos[i].ID.Host != infos[j].ID.Host {
-			return infos[i].ID.Host < infos[j].ID.Host
-		}
-		return infos[i].ID.PID < infos[j].ID.PID
-	})
+	detord.SortBy2(infos,
+		func(i Info) string { return i.ID.Host },
+		func(i Info) PID { return i.ID.PID })
 }
 
 // Merge combines per-host snapshot fragments into one snapshot.
@@ -269,12 +267,7 @@ func (s Snapshot) Hosts() []string {
 	for _, p := range s.Procs {
 		set[p.ID.Host] = true
 	}
-	hosts := make([]string, 0, len(set))
-	for h := range set {
-		hosts = append(hosts, h)
-	}
-	sort.Strings(hosts)
-	return hosts
+	return detord.Keys(set)
 }
 
 // IsForest reports whether the snapshot's genealogy has more than one

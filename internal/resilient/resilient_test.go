@@ -52,6 +52,7 @@ func (f *fakeEnv) Snapshot(cb func(proc.Snapshot, error)) {
 			return
 		}
 		var infos []proc.Info
+		//ppmlint:allow maporder — proc.Merge sorts infos before use
 		for _, p := range f.procs {
 			infos = append(infos, p)
 		}

@@ -15,10 +15,10 @@ package simnet
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"ppm/internal/calib"
+	"ppm/internal/detord"
 	"ppm/internal/metrics"
 	"ppm/internal/sim"
 	"ppm/internal/trace"
@@ -189,12 +189,7 @@ func (n *Network) AddSegment(segment string, hostNames ...string) error {
 
 // Hosts returns the sorted host names.
 func (n *Network) Hosts() []string {
-	out := make([]string, 0, len(n.hosts))
-	for h := range n.hosts {
-		out = append(out, h)
-	}
-	sort.Strings(out)
-	return out
+	return detord.Keys(n.hosts)
 }
 
 // computeRoutes runs BFS over the host/segment bipartite graph and
@@ -407,7 +402,7 @@ func (nd *node) sortedConns() []*Conn {
 	for c := range nd.conns {
 		out = append(out, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	detord.SortBy(out, func(c *Conn) uint64 { return c.seq })
 	return out
 }
 

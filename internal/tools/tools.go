@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"ppm/internal/detord"
 	"ppm/internal/proc"
 )
 
@@ -105,9 +106,7 @@ func AnalyzeIPC(events []proc.Event) []IPCStat {
 		st.Events++
 		st.Last = ev.At
 	}
-	sort.Slice(order, func(i, j int) bool {
-		return order[i].String() < order[j].String()
-	})
+	detord.SortBy(order, proc.GPID.String)
 	out := make([]IPCStat, 0, len(order))
 	for _, id := range order {
 		out = append(out, *byProc[id])

@@ -25,9 +25,10 @@ package trace
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
+
+	"ppm/internal/detord"
 )
 
 // Context names a position in a trace: the trace it belongs to and the
@@ -299,12 +300,9 @@ func (t *Tracer) Report(traceID uint64) string {
 		}
 	}
 	byStartID := func(ss []SpanData) {
-		sort.Slice(ss, func(i, j int) bool {
-			if ss[i].Start != ss[j].Start {
-				return ss[i].Start < ss[j].Start
-			}
-			return ss[i].ID < ss[j].ID
-		})
+		detord.SortBy2(ss,
+			func(s SpanData) time.Duration { return s.Start },
+			func(s SpanData) uint64 { return s.ID })
 	}
 	byStartID(roots)
 	for _, ss := range children {
@@ -346,7 +344,7 @@ func (t *Tracer) ReportAll() string {
 			ids = append(ids, s.Trace)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	detord.Sort(ids)
 	var b strings.Builder
 	for _, id := range ids {
 		b.WriteString(t.Report(id))

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ppm"
+	"ppm/internal/detord"
 )
 
 // traceScenario is the twin of metricsScenario with causal tracing
@@ -155,7 +156,7 @@ func TestTraceDistance2Stop(t *testing.T) {
 		"net.hop.c",           // second hop, forwarded by the gateway
 	} {
 		if !names[want] {
-			t.Errorf("trace missing span %q (got: %v)", want, sortedKeys(names))
+			t.Errorf("trace missing span %q (got: %v)", want, detord.Keys(names))
 		}
 	}
 	rep := c.TraceReport(id)
@@ -199,17 +200,4 @@ func TestUntracedRunsRecordNothing(t *testing.T) {
 	if rep := c.TraceReportAll(); !strings.Contains(rep, "no traces recorded") {
 		t.Fatalf("unexpected trace report:\n%s", rep)
 	}
-}
-
-func sortedKeys(m map[string]bool) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
 }

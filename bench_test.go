@@ -431,3 +431,53 @@ func TestMessageBudgets(t *testing.T) {
 		t.Errorf("recovery cost %d wire bytes, budget is 1000", rec.Bytes)
 	}
 }
+
+// BenchmarkJournalOverhead measures the real (wall-clock) cost the
+// flight recorder adds to a representative two-host scenario: the same
+// script run with the journal on (the default) and off (NoJournal), so
+// the delta between the sub-benchmarks is the append overhead.
+func BenchmarkJournalOverhead(b *testing.B) {
+	scenario := func(noJournal bool) error {
+		c, err := NewCluster(ClusterConfig{
+			Hosts:     []HostSpec{{Name: "a"}, {Name: "b"}},
+			NoJournal: noJournal,
+		})
+		if err != nil {
+			return err
+		}
+		c.AddUser("u")
+		sess, err := c.Attach("u", "a")
+		if err != nil {
+			return err
+		}
+		root, err := sess.Run("a", "root")
+		if err != nil {
+			return err
+		}
+		w, err := sess.RunChild("b", "w", root)
+		if err != nil {
+			return err
+		}
+		if _, err := sess.Snapshot(); err != nil {
+			return err
+		}
+		if err := sess.Stop(w); err != nil {
+			return err
+		}
+		return c.Advance(time.Second)
+	}
+	b.Run("journal=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := scenario(false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("journal=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := scenario(true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"ppm/internal/auth"
 	"ppm/internal/calib"
 	"ppm/internal/daemon"
+	"ppm/internal/journal"
 	"ppm/internal/kernel"
 	"ppm/internal/lpm"
 	"ppm/internal/metrics"
@@ -71,6 +72,14 @@ type ClusterConfig struct {
 	// MaxSteps bounds each synchronous operation's event budget
 	// (default 10 million).
 	MaxSteps uint64
+	// NoJournal disables the flight recorder entirely: no journal is
+	// created and every instrumentation point degrades to a no-op (the
+	// overhead-benchmark baseline).
+	NoJournal bool
+	// JournalCapacity bounds the journal ring (0 = the journal
+	// package's default). Soak tests raise it so the retained stream
+	// stays complete and all audit checks apply.
+	JournalCapacity int
 }
 
 // Cluster is a simulated networked installation: hosts, kernels,
@@ -89,6 +98,7 @@ type Cluster struct {
 	port  uint16
 	reg   *metrics.Registry
 	tr    *trace.Tracer
+	jr    *journal.Journal
 }
 
 // nameServer is the administrative CCS registry of the paper's §5
@@ -143,6 +153,21 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	// trace context on the wire.
 	c.tr = trace.New(func() time.Duration { return c.sched.Now().Duration() })
 	c.net.SetTracer(c.tr)
+	// One flight recorder per cluster, again on the virtual clock:
+	// append order is scheduler order, so identical seeds produce
+	// byte-identical journals. Records stamp themselves with the
+	// tracer's active span, cross-linking the journal to trace trees.
+	if !cfg.NoJournal {
+		c.jr = journal.New(func() time.Duration { return c.sched.Now().Duration() })
+		if cfg.JournalCapacity > 0 {
+			c.jr.SetCapacity(cfg.JournalCapacity)
+		}
+		c.jr.SetSpanSource(func() (uint64, uint64) {
+			a := c.tr.Active()
+			return a.Trace, a.Span
+		})
+		c.net.SetJournal(c.jr)
+	}
 	if cfg.CCSNameServer {
 		c.ns = &nameServer{ccs: make(map[string]string)}
 	}
@@ -154,6 +179,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		k := kernel.NewHost(c.sched, hs.Name, calib.Model(hs.Type))
 		k.SetMetrics(c.reg)
 		k.SetTracer(c.tr)
+		k.SetJournal(c.jr)
 		c.kerns[hs.Name] = k
 		names = append(names, hs.Name)
 	}
@@ -272,6 +298,28 @@ func (c *Cluster) MetricsSnapshot() metrics.Snapshot { return c.reg.Snapshot() }
 // MetricsReport renders the metrics as the operator-facing text block
 // (the `ppmtrace --metrics` section).
 func (c *Cluster) MetricsReport() string { return c.reg.Report() }
+
+// JournalFilter selects journal records for JournalReport: by kind
+// (prefix match, so e.g. "net" takes the whole family), host, and
+// virtual-time window.
+type JournalFilter = journal.Filter
+
+// JournalKind names one category of journal record.
+type JournalKind = journal.Kind
+
+// Journal exposes the cluster's flight recorder: the bounded,
+// deterministic stream of structured events every layer appends as the
+// simulation runs. Nil when the cluster was built with NoJournal.
+func (c *Cluster) Journal() *journal.Journal { return c.jr }
+
+// JournalReport renders the retained journal records matching f as the
+// operator-facing text block (the `ppmtrace --journal` section).
+func (c *Cluster) JournalReport(f JournalFilter) string { return c.jr.Report(f) }
+
+// JournalAudit replays the journal and checks the cross-layer protocol
+// invariants (genealogy vs. snapshots, circuit lifecycle, flood dedup
+// and coverage); it returns nil when the journal is clean or disabled.
+func (c *Cluster) JournalAudit() []journal.Violation { return journal.Audit(c.jr) }
 
 // TraceNetwork installs a bounded network trace collector (limit 0
 // means 4096 events) and returns it; use it to assess message routing,

@@ -8,52 +8,138 @@
 // tracing and the assembled cross-host span waterfall is printed.
 // With --metrics it additionally prints the installation-wide metrics
 // report: what the simulated network, wire protocol, kernels, daemons
-// and LPMs counted while the scenario ran. -hosts N (2..5) widens the
+// and LPMs counted while the scenario ran. With --journal it instead
+// prints the flight-recorder journal: the ordered stream of structured
+// events every layer appended while the scenario ran, filterable by
+// kind, host and virtual-time window. -hosts N (2..5) widens the
 // scenario to N hosts with one worker per extra host.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"ppm"
+	"ppm/internal/journal"
 	"ppm/internal/tools"
 )
 
-func usage() {
-	fmt.Fprintf(flag.CommandLine.Output(),
-		"usage: ppmtrace [-hosts N] [-spans] [-metrics]\n")
-	flag.PrintDefaults()
+func usage(w io.Writer) {
+	fmt.Fprintf(w, "usage: ppmtrace [-hosts N] [-spans] [-metrics] [-journal"+
+		" [-journal-kinds K,...] [-journal-host H] [-journal-since D] [-journal-until D]]\n")
+	fmt.Fprintf(w, "journal record kinds: %s\n", kindList())
+}
+
+func kindList() string {
+	var names []string
+	for _, k := range journal.Kinds() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, " ")
+}
+
+// options is the validated command line.
+type options struct {
+	hosts        int
+	showSpans    bool
+	showMetrics  bool
+	showJournal  bool
+	journalKinds []journal.Kind
+	journalHost  string
+	journalSince time.Duration
+	journalUntil time.Duration
+}
+
+// parseArgs parses and strictly validates the command line: positional
+// arguments are rejected, -journal excludes the other report flags, the
+// journal filter flags require -journal, and every requested kind must
+// name a known record kind (or a dotted prefix of one, e.g. "net").
+func parseArgs(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("ppmtrace", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.IntVar(&o.hosts, "hosts", 2, "number of hosts in the scenario (2..5)")
+	fs.BoolVar(&o.showSpans, "spans", false,
+		"trace the remote stop and print the causal span waterfall")
+	fs.BoolVar(&o.showMetrics, "metrics", false,
+		"print the cluster metrics report after the trace output")
+	fs.BoolVar(&o.showJournal, "journal", false,
+		"print the flight-recorder journal after the trace output")
+	kinds := fs.String("journal-kinds", "",
+		"comma-separated record kinds (or kind prefixes) to show")
+	fs.StringVar(&o.journalHost, "journal-host", "",
+		"only journal records attributed to this host")
+	fs.DurationVar(&o.journalSince, "journal-since", 0,
+		"only journal records at or after this virtual time")
+	fs.DurationVar(&o.journalUntil, "journal-until", 0,
+		"only journal records at or before this virtual time")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if o.hosts < 2 || o.hosts > 5 {
+		return o, fmt.Errorf("-hosts must be between 2 and 5, got %d", o.hosts)
+	}
+	if o.showJournal && (o.showSpans || o.showMetrics) {
+		return o, errors.New("-journal is mutually exclusive with -spans and -metrics")
+	}
+	if !o.showJournal && (*kinds != "" || o.journalHost != "" ||
+		o.journalSince != 0 || o.journalUntil != 0) {
+		return o, errors.New("-journal-kinds, -journal-host, -journal-since and -journal-until require -journal")
+	}
+	if *kinds != "" {
+		for _, s := range strings.Split(*kinds, ",") {
+			k := journal.Kind(strings.TrimSpace(s))
+			if !validKindOrPrefix(k) {
+				return o, fmt.Errorf("unknown journal kind %q", k)
+			}
+			o.journalKinds = append(o.journalKinds, k)
+		}
+	}
+	return o, nil
+}
+
+// validKindOrPrefix accepts exact record kinds and dotted prefixes that
+// select a whole family ("net", "lpm.sibling", ...), matching the
+// filter's prefix semantics.
+func validKindOrPrefix(k journal.Kind) bool {
+	if journal.ValidKind(k) {
+		return true
+	}
+	for _, known := range journal.Kinds() {
+		if strings.HasPrefix(string(known), string(k)+".") {
+			return true
+		}
+	}
+	return false
 }
 
 func main() {
-	flag.Usage = usage
-	hosts := flag.Int("hosts", 2, "number of hosts in the scenario (2..5)")
-	showSpans := flag.Bool("spans", false,
-		"trace the remote stop and print the causal span waterfall")
-	showMetrics := flag.Bool("metrics", false,
-		"print the cluster metrics report after the trace output")
-	flag.Parse()
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "ppmtrace: unexpected argument %q\n", flag.Arg(0))
-		usage()
+	o, err := parseArgs(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			usage(os.Stdout)
+			return
+		}
+		fmt.Fprintln(os.Stderr, "ppmtrace:", err)
+		usage(os.Stderr)
 		os.Exit(2)
 	}
-	if *hosts < 2 || *hosts > 5 {
-		fmt.Fprintf(os.Stderr, "ppmtrace: -hosts must be between 2 and 5, got %d\n", *hosts)
-		usage()
-		os.Exit(2)
-	}
-	if err := run(*hosts, *showSpans, *showMetrics); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "ppmtrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(hosts int, showSpans, showMetrics bool) error {
-	specs := make([]ppm.HostSpec, hosts)
+func run(o options) error {
+	specs := make([]ppm.HostSpec, o.hosts)
 	for i := range specs {
 		specs[i] = ppm.HostSpec{Name: fmt.Sprintf("vax%d", i+1)}
 	}
@@ -79,7 +165,7 @@ func run(hosts int, showSpans, showMetrics bool) error {
 	if err != nil {
 		return err
 	}
-	for i := 3; i <= hosts; i++ {
+	for i := 3; i <= o.hosts; i++ {
 		h := fmt.Sprintf("vax%d", i)
 		if _, err := sess.RunChild(h, "worker"+h[3:], root); err != nil {
 			return err
@@ -111,7 +197,7 @@ func run(hosts int, showSpans, showMetrics bool) error {
 		}
 	}
 	var stopTrace uint64
-	if showSpans {
+	if o.showSpans {
 		stopTrace, err = cluster.Trace(func() error { return sess.Stop(worker) })
 	} else {
 		err = sess.Stop(worker)
@@ -153,13 +239,22 @@ func run(hosts int, showSpans, showMetrics bool) error {
 	fmt.Println("\n=== exited worker record ===")
 	fmt.Print(tools.FormatStats(info))
 
-	if showSpans {
+	if o.showSpans {
 		fmt.Println()
 		fmt.Print(cluster.TraceReport(stopTrace))
 	}
-	if showMetrics {
+	if o.showMetrics {
 		fmt.Println()
 		fmt.Print(cluster.MetricsReport())
+	}
+	if o.showJournal {
+		fmt.Println()
+		fmt.Print(cluster.JournalReport(ppm.JournalFilter{
+			Kinds: o.journalKinds,
+			Host:  o.journalHost,
+			Since: o.journalSince,
+			Until: o.journalUntil,
+		}))
 	}
 	return nil
 }

@@ -1,21 +1,94 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ppm/internal/journal"
+)
 
 func TestTraceDemoRuns(t *testing.T) {
-	if err := run(2, false, false); err != nil {
+	if err := run(options{hosts: 2}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestTraceDemoWithMetrics(t *testing.T) {
-	if err := run(2, false, true); err != nil {
+	if err := run(options{hosts: 2, showMetrics: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestTraceDemoWithSpansAndMoreHosts(t *testing.T) {
-	if err := run(5, true, false); err != nil {
+	if err := run(options{hosts: 5, showSpans: true}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTraceDemoWithJournal(t *testing.T) {
+	err := run(options{hosts: 2, showJournal: true,
+		journalKinds: []journal.Kind{"lpm.sibling", "net.circuit.open"},
+		journalHost:  "vax1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseArgsJournalFlags(t *testing.T) {
+	o, err := parseArgs([]string{"-hosts", "3", "-journal",
+		"-journal-kinds", "net,kernel.spawn", "-journal-host", "vax2",
+		"-journal-since", "1s", "-journal-until", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.hosts != 3 || !o.showJournal {
+		t.Fatalf("parsed %+v", o)
+	}
+	if len(o.journalKinds) != 2 || o.journalKinds[0] != "net" || o.journalKinds[1] != "kernel.spawn" {
+		t.Fatalf("kinds = %v", o.journalKinds)
+	}
+	if o.journalHost != "vax2" || o.journalSince != time.Second || o.journalUntil != 5*time.Second {
+		t.Fatalf("filter = %+v", o)
+	}
+}
+
+func TestParseArgsRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"positional", []string{"extra"}, "unexpected argument"},
+		{"hosts range", []string{"-hosts", "9"}, "-hosts must be between"},
+		{"journal vs spans", []string{"-journal", "-spans"}, "mutually exclusive"},
+		{"journal vs metrics", []string{"-journal", "-metrics"}, "mutually exclusive"},
+		{"kinds without journal", []string{"-journal-kinds", "net"}, "require -journal"},
+		{"host without journal", []string{"-journal-host", "vax1"}, "require -journal"},
+		{"since without journal", []string{"-journal-since", "1s"}, "require -journal"},
+		{"unknown kind", []string{"-journal", "-journal-kinds", "bogus.kind"}, "unknown journal kind"},
+		{"unknown flag", []string{"-frobnicate"}, "not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := parseArgs(tc.args); err == nil {
+				t.Fatalf("parseArgs(%v) accepted, want error containing %q", tc.args, tc.want)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("parseArgs(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseArgsKindPrefixes(t *testing.T) {
+	for _, ok := range []string{"net", "lpm.sibling", "wire.encode", "snapshot", "lpm.flood"} {
+		if _, err := parseArgs([]string{"-journal", "-journal-kinds", ok}); err != nil {
+			t.Errorf("kind %q rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"net.", "lpm.siblings", "kernelspawn", "net,,kernel.spawn"} {
+		if _, err := parseArgs([]string{"-journal", "-journal-kinds", bad}); err == nil {
+			t.Errorf("kind %q accepted, want rejection", bad)
+		}
 	}
 }

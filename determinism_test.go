@@ -2,11 +2,13 @@ package ppm_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"ppm"
+	"ppm/internal/journal"
 	"ppm/internal/proc"
 )
 
@@ -159,5 +161,82 @@ func TestPropertySnapshotAgreesWithKernels(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// journalRun executes the scripted scenario with the flight recorder
+// retained in full and returns the cluster for journal inspection.
+func journalRun(t *testing.T, seed int64) *ppm.Cluster {
+	t.Helper()
+	c, err := ppm.NewCluster(ppm.ClusterConfig{
+		Seed:            seed,
+		Hosts:           []ppm.HostSpec{{Name: "a"}, {Name: "b", Type: ppm.SunII}},
+		JournalCapacity: 1 << 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddUser("u")
+	if err := c.SpawnBackgroundLoad("b", "u", 3, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.Attach("u", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := sess.Run("a", "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sess.RunChild("b", "worker", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Advance(10 * time.Second)
+	if err := sess.Stop(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestJournalDeterministicReplay: the flight recorder observes every
+// instrumented path in scheduler order, so two same-seed runs must
+// produce byte-identical journals. The first-divergence differ is the
+// failure message: if this ever breaks, the test names the exact record
+// where the runs parted.
+func TestJournalDeterministicReplay(t *testing.T) {
+	a := journalRun(t, 42)
+	b := journalRun(t, 42)
+	if d := journal.Diff(a.Journal(), b.Journal()); d != nil {
+		t.Fatalf("same seed diverged:\n%s", d.Format())
+	}
+	ra, rb := a.Journal().Render(), b.Journal().Render()
+	if ra != rb {
+		t.Fatal("journal renders differ although Diff found no divergence")
+	}
+	if a.Journal().Len() == 0 {
+		t.Fatal("scenario produced an empty journal")
+	}
+}
+
+// TestJournalDiffNamesFirstDivergence: different seeds shift workload
+// phases, so the journals differ — and the differ must name the first
+// divergent record rather than just reporting inequality.
+func TestJournalDiffNamesFirstDivergence(t *testing.T) {
+	a := journalRun(t, 1)
+	b := journalRun(t, 99)
+	d := journal.Diff(a.Journal(), b.Journal())
+	if d == nil {
+		t.Fatal("different seeds produced identical journals")
+	}
+	out := d.Format()
+	if !strings.Contains(out, "first divergence at record index") {
+		t.Fatalf("Diff.Format does not name the divergence:\n%s", out)
+	}
+	if d.A == nil && d.B == nil {
+		t.Fatal("divergence carries neither side's record")
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"ppm/internal/auth"
 	"ppm/internal/calib"
+	"ppm/internal/journal"
 	"ppm/internal/kernel"
 	"ppm/internal/proc"
 	"ppm/internal/simnet"
@@ -119,7 +120,7 @@ func (d *Daemons) Running() bool { return d.running }
 // 1 arrives here; step 2 is the internal handoff to pmd).
 func (d *Daemons) accept(conn *simnet.Conn) {
 	conn.SetHandler(func(b []byte) {
-		env, err := wire.DecodeEnvelope(b)
+		env, err := wire.DecodeEnvelopeLogged(b, d.net.Journal(), d.hostName)
 		if err != nil {
 			conn.Close()
 			return
@@ -154,14 +155,20 @@ func (d *Daemons) handleQuery(conn *simnet.Conn, reqID uint64, fromHost string,
 	}
 	d.Queries++
 	d.net.Metrics().Counter("daemon.queries").Inc()
+	d.net.Journal().AppendCtx(journal.DaemonQuery, d.hostName,
+		fmt.Sprintf("user=%s from=%s", q.User, fromHost), ctx.Trace, ctx.Span)
 	if err := d.authenticate(fromHost, q); err != nil {
 		d.net.Metrics().Counter("daemon.auth_failures").Inc()
+		d.net.Journal().AppendCtx(journal.DaemonAuthFail, d.hostName,
+			fmt.Sprintf("user=%s from=%s", q.User, fromHost), ctx.Trace, ctx.Span)
 		d.reply(conn, reqID, wire.LPMQueryResp{OK: false, Reason: err.Error()}, ctx, sp)
 		return
 	}
 	// An existing LPM's address is returned directly.
 	if addr, ok := d.lpms[q.User]; ok {
 		d.net.Metrics().Counter("daemon.lpm.found").Inc()
+		d.net.Journal().AppendCtx(journal.DaemonLPMFound, d.hostName,
+			"user="+q.User, ctx.Trace, ctx.Span)
 		d.reply(conn, reqID, wire.LPMQueryResp{
 			OK: true, AcceptHost: addr.Host, AcceptPort: addr.Port,
 		}, ctx, sp)
@@ -178,6 +185,8 @@ func (d *Daemons) handleQuery(conn *simnet.Conn, reqID uint64, fromHost string,
 		}
 		d.register(q.User, addr)
 		d.net.Metrics().Counter("daemon.lpm.created").Inc()
+		d.net.Journal().AppendCtx(journal.DaemonLPMCreated, d.hostName,
+			"user="+q.User, ctx.Trace, ctx.Span)
 		// Step 4: the accept address is returned.
 		d.reply(conn, reqID, wire.LPMQueryResp{
 			OK: true, AcceptHost: addr.Host, AcceptPort: addr.Port, Created: true,
@@ -205,7 +214,7 @@ func (d *Daemons) reply(conn *simnet.Conn, reqID uint64, resp wire.LPMQueryResp,
 	sp.End()
 	env := wire.Envelope{Type: wire.MsgLPMQueryResp, ReqID: reqID, Body: resp.Encode()}
 	env.SetTrace(ctx.Trace, ctx.Span)
-	_ = conn.SendCtx(env.EncodeCounted(d.net.Metrics()), ctx)
+	_ = conn.SendCtx(env.EncodeLogged(d.net.Metrics(), d.net.Journal(), d.hostName), ctx)
 }
 
 // register records an LPM, mirroring to stable storage when enabled.
@@ -288,7 +297,7 @@ func QueryLPMCtx(net *simnet.Network, fromHost string, targetHost string,
 			return
 		}
 		conn.SetHandler(func(b []byte) {
-			env, derr := wire.DecodeEnvelope(b)
+			env, derr := wire.DecodeEnvelopeLogged(b, net.Journal(), fromHost)
 			if derr != nil {
 				done(wire.LPMQueryResp{}, derr)
 				conn.Close()
@@ -310,6 +319,6 @@ func QueryLPMCtx(net *simnet.Network, fromHost string, targetHost string,
 		q := wire.LPMQuery{User: user.Name, Token: auth.MintToken(user, "pmd")}
 		env := wire.Envelope{Type: wire.MsgLPMQuery, ReqID: 1, Body: q.Encode()}
 		env.SetTrace(qctx.Trace, qctx.Span)
-		_ = conn.SendCtx(env.EncodeCounted(net.Metrics()), qctx)
+		_ = conn.SendCtx(env.EncodeLogged(net.Metrics(), net.Journal(), fromHost), qctx)
 	})
 }

@@ -1,0 +1,352 @@
+package journal
+
+import (
+	"fmt"
+	"strings"
+
+	"ppm/internal/detord"
+)
+
+// Violation is one invariant breach found by Audit.
+type Violation struct {
+	Seq   uint64 // journal sequence number of the offending record
+	Check string // which invariant: "genealogy", "circuit", "flood"
+	Msg   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] record #%d: %s", v.Check, v.Seq, v.Msg)
+}
+
+// maxViolations bounds the report: a systemic breach repeats on every
+// record and drowning the first causes in thousands of repeats helps
+// nobody.
+const maxViolations = 64
+
+// Audit replays the journal's record stream and checks the protocol
+// invariants the paper states but aggregate counters cannot verify:
+//
+//   - genealogy: the process tree reconstructed from kernel records
+//     (spawn/fork/setparent/exit) agrees with every snapshot taken
+//     during the run — each snapshotted process was created, its parent
+//     link matches, and an exited entry has an exit record;
+//   - circuit lifecycle: sibling channels go open → authenticated →
+//     close, with the Hello authentication happening exactly once per
+//     channel (the paper: authentication "need happen only once, at
+//     the time the circuit is created");
+//   - flood dedup: no broadcast is applied twice by the same host, every
+//     host a flood reports covering has an apply record, and — when the
+//     circuit graph was quiescent for the flood's whole window — every
+//     sibling transitively reachable at origin time was reached.
+//
+// Checks that need records outside the retained ring (creation before
+// snapshot, open before close) are skipped when the ring has evicted
+// records; the always-sound checks (double auth, double apply) run
+// regardless.
+func Audit(j *Journal) []Violation {
+	return AuditRecords(j.Records(), j.Dropped() == 0)
+}
+
+// AuditRecords is Audit over an extracted record slice; complete says
+// the slice is the full stream (no ring eviction).
+func AuditRecords(records []Record, complete bool) []Violation {
+	a := &auditor{
+		complete: complete,
+		procs:    make(map[string]*auditProc),
+		chans:    make(map[string]*auditChan),
+		edges:    make(map[string]map[string]*auditEdge),
+		floods:   make(map[string]*auditFlood),
+	}
+	for _, r := range records {
+		if len(a.out) >= maxViolations {
+			a.out = append(a.out, Violation{Seq: r.Seq, Check: "audit",
+				Msg: "too many violations; audit truncated"})
+			break
+		}
+		a.step(r)
+	}
+	return a.out
+}
+
+// AuditReport renders violations one per line ("" when clean).
+func AuditReport(vs []Violation) string {
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteString(v.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+type auditProc struct {
+	parent string // GPID string of the logical parent, "-" for roots
+	exited bool
+}
+
+type auditChan struct {
+	auths  int
+	opened map[string]bool // hosts that recorded an open on this channel
+	closed map[string]bool // hosts that recorded a close
+}
+
+// auditEdge is one sibling channel in the per-user circuit graph; it
+// carries traffic once both endpoints have registered (live == 2).
+type auditEdge struct {
+	a, b string
+	live int
+}
+
+type auditFlood struct {
+	origin  string
+	epoch   int
+	origind bool            // origin record seen
+	applies map[string]int  // host -> apply count
+	dups    map[string]bool // host -> dedup hit seen
+	reach   []string        // hosts reachable at origin time
+}
+
+type auditor struct {
+	complete bool
+	procs    map[string]*auditProc
+	chans    map[string]*auditChan
+	edges    map[string]map[string]*auditEdge // user -> chan -> edge
+	floods   map[string]*auditFlood           // stamp -> flood
+	epoch    int                              // bumped by any event that changes reachability
+	out      []Violation
+}
+
+func (a *auditor) fail(r Record, check, format string, args ...any) {
+	a.out = append(a.out, Violation{Seq: r.Seq, Check: check,
+		Msg: fmt.Sprintf(format, args...)})
+}
+
+func (a *auditor) step(r Record) {
+	switch r.Kind {
+	case KernelSpawn:
+		// PIDs are never reused per host (the counter survives crashes),
+		// so a spawn always introduces a new identity.
+		a.procs[gpid(r.Host, Field(r.Detail, "pid"))] = &auditProc{parent: "-"}
+	case KernelFork:
+		a.procs[gpid(r.Host, Field(r.Detail, "child"))] =
+			&auditProc{parent: gpid(r.Host, Field(r.Detail, "parent"))}
+	case KernelSetParent:
+		if p, ok := a.procs[gpid(r.Host, Field(r.Detail, "pid"))]; ok {
+			p.parent = Field(r.Detail, "parent")
+		}
+	case KernelExit:
+		key := gpid(r.Host, Field(r.Detail, "pid"))
+		if p, ok := a.procs[key]; ok {
+			p.exited = true
+		} else if a.complete {
+			a.fail(r, "genealogy", "exit of %s which was never created", key)
+		}
+	case NetHostCrash:
+		a.hostDown(r.Host)
+	case NetHostRestart, NetPartition, NetHeal, NetCircuitBreak:
+		a.epoch++
+	case SnapshotTaken:
+		a.checkSnapshot(r)
+	case LPMSiblingAuth:
+		ch := a.chanState(Field(r.Detail, "chan"))
+		ch.auths++
+		if ch.auths > 1 {
+			a.fail(r, "circuit", "channel %s authenticated %d times (want exactly once)",
+				Field(r.Detail, "chan"), ch.auths)
+		}
+	case LPMSiblingOpen:
+		a.siblingOpen(r)
+	case LPMSiblingClose:
+		a.siblingClose(r)
+	case LPMFloodOrigin:
+		a.floodOrigin(r)
+	case LPMFloodApply:
+		fl := a.floodState(Field(r.Detail, "stamp"))
+		fl.applies[r.Host]++
+		if fl.applies[r.Host] > 1 {
+			a.fail(r, "flood", "flood %s applied %d times on %s (dedup failed)",
+				Field(r.Detail, "stamp"), fl.applies[r.Host], r.Host)
+		}
+		if a.complete && !fl.origind {
+			a.fail(r, "flood", "apply of flood %s with no origin record",
+				Field(r.Detail, "stamp"))
+		}
+	case LPMFloodDup:
+		a.floodState(Field(r.Detail, "stamp")).dups[r.Host] = true
+	case LPMFloodDone:
+		a.floodDone(r)
+	}
+}
+
+func gpid(host, pid string) string { return "<" + host + "," + pid + ">" }
+
+func (a *auditor) chanState(key string) *auditChan {
+	ch, ok := a.chans[key]
+	if !ok {
+		ch = &auditChan{opened: make(map[string]bool), closed: make(map[string]bool)}
+		a.chans[key] = ch
+	}
+	return ch
+}
+
+func (a *auditor) floodState(stamp string) *auditFlood {
+	fl, ok := a.floods[stamp]
+	if !ok {
+		fl = &auditFlood{applies: make(map[string]int), dups: make(map[string]bool)}
+		a.floods[stamp] = fl
+	}
+	return fl
+}
+
+// hostDown removes a crashed host from the circuit graph: its channel
+// endpoints die silently (no close records will arrive from it).
+func (a *auditor) hostDown(host string) {
+	a.epoch++
+	for _, user := range detord.Keys(a.edges) {
+		for _, ck := range detord.Keys(a.edges[user]) {
+			e := a.edges[user][ck]
+			if e.a == host || e.b == host {
+				delete(a.edges[user], ck)
+			}
+		}
+	}
+	for _, ck := range detord.Keys(a.chans) {
+		ch := a.chans[ck]
+		if ch.opened[host] {
+			ch.closed[host] = true // crash closes implicitly
+		}
+	}
+}
+
+func (a *auditor) siblingOpen(r Record) {
+	a.epoch++
+	key, user, peer := Field(r.Detail, "chan"), Field(r.Detail, "user"), Field(r.Detail, "peer")
+	ch := a.chanState(key)
+	if ch.opened[r.Host] {
+		a.fail(r, "circuit", "channel %s opened twice by %s", key, r.Host)
+	}
+	ch.opened[r.Host] = true
+	if a.complete && Field(r.Detail, "role") == "server" && ch.auths == 0 {
+		a.fail(r, "circuit", "channel %s opened by %s before authentication", key, r.Host)
+	}
+	if a.edges[user] == nil {
+		a.edges[user] = make(map[string]*auditEdge)
+	}
+	e, ok := a.edges[user][key]
+	if !ok {
+		e = &auditEdge{a: r.Host, b: peer}
+		a.edges[user][key] = e
+	}
+	e.live++
+}
+
+func (a *auditor) siblingClose(r Record) {
+	a.epoch++
+	key, user := Field(r.Detail, "chan"), Field(r.Detail, "user")
+	ch := a.chanState(key)
+	if a.complete && !ch.opened[r.Host] {
+		a.fail(r, "circuit", "channel %s closed by %s without an open record", key, r.Host)
+	}
+	if ch.closed[r.Host] {
+		a.fail(r, "circuit", "channel %s closed twice by %s", key, r.Host)
+	}
+	ch.closed[r.Host] = true
+	if e, ok := a.edges[user][key]; ok {
+		e.live--
+		if e.live <= 0 {
+			delete(a.edges[user], key)
+		}
+	}
+}
+
+func (a *auditor) floodOrigin(r Record) {
+	stamp, user := Field(r.Detail, "stamp"), Field(r.Detail, "user")
+	fl := a.floodState(stamp)
+	if fl.origind {
+		a.fail(r, "flood", "flood %s originated twice", stamp)
+	}
+	fl.origind = true
+	fl.origin = r.Host
+	fl.epoch = a.epoch
+	fl.reach = a.reachable(user, r.Host)
+}
+
+// reachable computes the hosts transitively connected to origin over
+// fully-established sibling channels of the user, origin included.
+func (a *auditor) reachable(user, origin string) []string {
+	seen := map[string]bool{origin: true}
+	for changed := true; changed; {
+		changed = false
+		for _, ck := range detord.Keys(a.edges[user]) {
+			e := a.edges[user][ck]
+			if e.live == 2 && seen[e.a] != seen[e.b] {
+				seen[e.a], seen[e.b] = true, true
+				changed = true
+			}
+		}
+	}
+	return detord.Keys(seen)
+}
+
+func (a *auditor) floodDone(r Record) {
+	stamp := Field(r.Detail, "stamp")
+	fl, ok := a.floods[stamp]
+	if !ok || !fl.origind {
+		if a.complete {
+			a.fail(r, "flood", "flood %s completed with no origin record", stamp)
+		}
+		return
+	}
+	if a.complete {
+		// Every host the flood reports covering must have applied it.
+		if hosts := Field(r.Detail, "hosts"); hosts != "" {
+			for _, h := range strings.Split(hosts, ",") {
+				if fl.applies[h] == 0 {
+					a.fail(r, "flood", "flood %s reports host %s but no apply record", stamp, h)
+				}
+			}
+		}
+		// When nothing disturbed the circuit graph during the flood's
+		// window, every sibling reachable at origin time must have been
+		// reached (applied or recognized the duplicate).
+		if fl.epoch == a.epoch {
+			for _, h := range fl.reach {
+				if fl.applies[h] == 0 && !fl.dups[h] {
+					a.fail(r, "flood", "flood %s never reached live sibling %s", stamp, h)
+				}
+			}
+		}
+	}
+}
+
+// checkSnapshot verifies one snapshot record against the genealogy
+// reconstructed from the kernel records so far. Entries are encoded as
+// "gpid|parent|state" joined by ";" ("-" for root parents; GPIDs
+// contain commas, so the list separators avoid them).
+func (a *auditor) checkSnapshot(r Record) {
+	if !a.complete {
+		return // creation records may have been evicted
+	}
+	procs := Field(r.Detail, "procs")
+	if procs == "" {
+		return
+	}
+	for _, ent := range strings.Split(procs, ";") {
+		id, rest, ok := strings.Cut(ent, "|")
+		if !ok {
+			continue
+		}
+		parent, state, _ := strings.Cut(rest, "|")
+		p, known := a.procs[id]
+		if !known {
+			a.fail(r, "genealogy", "snapshot lists %s which was never created", id)
+			continue
+		}
+		if p.parent != parent {
+			a.fail(r, "genealogy", "snapshot parent of %s is %s, journal says %s",
+				id, parent, p.parent)
+		}
+		if state == "exited" && !p.exited {
+			a.fail(r, "genealogy", "snapshot reports %s exited but journal has no exit record", id)
+		}
+	}
+}

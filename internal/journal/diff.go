@@ -1,0 +1,100 @@
+package journal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiffContext is how many records of surrounding context a Divergence
+// carries on each side of the first differing record.
+const DiffContext = 3
+
+// Divergence describes the earliest point at which two journals differ.
+type Divergence struct {
+	// Index is the position (into the retained sequences, oldest first)
+	// of the first differing record.
+	Index int
+	// A and B are the differing records; one side is nil when that
+	// journal ended before the other.
+	A, B *Record
+	// ContextA and ContextB are the up-to-DiffContext records preceding
+	// the divergence on each side (they agree unless the journals
+	// retained different windows).
+	ContextA, ContextB []Record
+}
+
+// Diff compares two journals record by record and returns the first
+// divergence, or nil if the retained streams are identical. Two
+// same-seed runs must produce a nil diff; on a determinism failure the
+// divergence names the causal event rather than leaving a byte-level
+// output diff to stare at.
+func Diff(a, b *Journal) *Divergence {
+	return DiffRecords(a.Records(), b.Records())
+}
+
+// DiffRecords is Diff over already-extracted record slices.
+func DiffRecords(a, b []Record) *Divergence {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return divergenceAt(a, b, i)
+		}
+	}
+	if len(a) != len(b) {
+		return divergenceAt(a, b, n)
+	}
+	return nil
+}
+
+func divergenceAt(a, b []Record, i int) *Divergence {
+	d := &Divergence{Index: i}
+	if i < len(a) {
+		r := a[i]
+		d.A = &r
+	}
+	if i < len(b) {
+		r := b[i]
+		d.B = &r
+	}
+	lo := i - DiffContext
+	if lo < 0 {
+		lo = 0
+	}
+	d.ContextA = append([]Record(nil), a[lo:min(i, len(a))]...)
+	d.ContextB = append([]Record(nil), b[lo:min(i, len(b))]...)
+	return d
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Format renders the divergence for a test failure or report: the first
+// differing record on each side with its preceding context.
+func (d *Divergence) Format() string {
+	if d == nil {
+		return "journals identical\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "first divergence at record index %d:\n", d.Index)
+	side := func(name string, ctx []Record, r *Record) {
+		fmt.Fprintf(&sb, "  run %s:\n", name)
+		for _, c := range ctx {
+			fmt.Fprintf(&sb, "      %s\n", c.String())
+		}
+		if r != nil {
+			fmt.Fprintf(&sb, "    > %s\n", r.String())
+		} else {
+			fmt.Fprintf(&sb, "    > (journal ends)\n")
+		}
+	}
+	side("A", d.ContextA, d.A)
+	side("B", d.ContextB, d.B)
+	return sb.String()
+}

@@ -1,0 +1,361 @@
+// Package journal implements the installation's flight recorder: one
+// deterministic, bounded stream of typed records appended by every
+// layer of the PPM at its existing instrumentation points. Where the
+// metrics registry answers "how many" and the tracer answers "how long",
+// the journal answers "what happened, in what order": kernel process
+// events, pmd lookups, sibling-circuit handshakes, flood broadcasts and
+// network-level sends all land in a single creation-ordered record
+// stream stamped with virtual time, host, and the active trace span.
+//
+// Because the simulation is single-threaded and virtual-timed, two runs
+// with the same seed produce byte-identical journals; the first record
+// at which two journals differ (Diff) therefore names the causal event
+// of a determinism failure, and replaying the stream (Audit) checks
+// protocol invariants the aggregate counters cannot express.
+package journal
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Kind identifies the type of a journal record. Kinds are dotted names
+// grouped by the layer that appends them.
+type Kind string
+
+// The record kinds, one per instrumentation point.
+const (
+	// simnet: message motion and failure injection.
+	NetSend         Kind = "net.send"
+	NetDeliver      Kind = "net.deliver"
+	NetDrop         Kind = "net.drop"
+	NetCircuitOpen  Kind = "net.circuit.open"
+	NetCircuitClose Kind = "net.circuit.close"
+	NetCircuitBreak Kind = "net.circuit.break"
+	NetHostCrash    Kind = "net.host.crash"
+	NetHostRestart  Kind = "net.host.restart"
+	NetPartition    Kind = "net.partition"
+	NetHeal         Kind = "net.heal"
+
+	// wire: envelope serialization, tagged with the envelope kind.
+	WireEncode Kind = "wire.encode"
+	WireDecode Kind = "wire.decode"
+
+	// kernel: process lifecycle and trace-event delivery.
+	KernelSpawn     Kind = "kernel.spawn"
+	KernelFork      Kind = "kernel.fork"
+	KernelExit      Kind = "kernel.exit"
+	KernelSetParent Kind = "kernel.setparent"
+	KernelEvent     Kind = "kernel.event"
+
+	// daemon: pmd lookups and LPM creation.
+	DaemonQuery      Kind = "daemon.query"
+	DaemonAuthFail   Kind = "daemon.auth.fail"
+	DaemonLPMFound   Kind = "daemon.lpm.found"
+	DaemonLPMCreated Kind = "daemon.lpm.created"
+
+	// lpm: adoption, sibling circuits, floods, relays, control ops.
+	LPMAdopt         Kind = "lpm.adopt"
+	LPMControl       Kind = "lpm.control"
+	LPMSiblingAuth   Kind = "lpm.sibling.auth"
+	LPMSiblingOpen   Kind = "lpm.sibling.open"
+	LPMSiblingClose  Kind = "lpm.sibling.close"
+	LPMSiblingReject Kind = "lpm.sibling.reject"
+	LPMFloodOrigin   Kind = "lpm.flood.origin"
+	LPMFloodApply    Kind = "lpm.flood.apply"
+	LPMFloodDup      Kind = "lpm.flood.dup"
+	LPMFloodDone     Kind = "lpm.flood.done"
+	LPMRelayOrigin   Kind = "lpm.relay.origin"
+	LPMRelayForward  Kind = "lpm.relay.forward"
+
+	// snapshot: a completed distributed snapshot, with its merged
+	// process table encoded in the detail (audited against the
+	// genealogy reconstructed from the kernel records).
+	SnapshotTaken Kind = "snapshot"
+)
+
+// kinds is the canonical list, in layer order.
+var kinds = []Kind{
+	NetSend, NetDeliver, NetDrop,
+	NetCircuitOpen, NetCircuitClose, NetCircuitBreak,
+	NetHostCrash, NetHostRestart, NetPartition, NetHeal,
+	WireEncode, WireDecode,
+	KernelSpawn, KernelFork, KernelExit, KernelSetParent, KernelEvent,
+	DaemonQuery, DaemonAuthFail, DaemonLPMFound, DaemonLPMCreated,
+	LPMAdopt, LPMControl,
+	LPMSiblingAuth, LPMSiblingOpen, LPMSiblingClose, LPMSiblingReject,
+	LPMFloodOrigin, LPMFloodApply, LPMFloodDup, LPMFloodDone,
+	LPMRelayOrigin, LPMRelayForward,
+	SnapshotTaken,
+}
+
+// Kinds returns the canonical list of record kinds.
+func Kinds() []Kind {
+	return append([]Kind(nil), kinds...)
+}
+
+// ValidKind reports whether k names a known record kind.
+func ValidKind(k Kind) bool {
+	for _, known := range kinds {
+		if k == known {
+			return true
+		}
+	}
+	return false
+}
+
+// Record is one flight-recorder entry.
+type Record struct {
+	Seq    uint64        // creation order, 1-based, never reused
+	At     time.Duration // virtual time of the append
+	Kind   Kind          // what happened
+	Host   string        // where (empty for installation-wide events)
+	Trace  uint64        // cross-link to the causal trace tree (0 = none)
+	Span   uint64        // the active span at append time (0 = none)
+	Detail string        // space-separated key=value fields and tokens
+}
+
+// String renders the record as one canonical line. Two journals are
+// byte-identical iff their rendered lines are.
+func (r Record) String() string {
+	s := fmt.Sprintf("#%06d %-12s %-8s %-18s %s",
+		r.Seq, "T+"+r.At.String(), hostOrDash(r.Host), string(r.Kind), r.Detail)
+	s = strings.TrimRight(s, " ")
+	if r.Trace != 0 {
+		s += fmt.Sprintf(" [t=%d s=%d]", r.Trace, r.Span)
+	}
+	return s
+}
+
+func hostOrDash(h string) string {
+	if h == "" {
+		return "-"
+	}
+	return h
+}
+
+// Field extracts the value of a key=value token from a record detail
+// string ("" if absent). Details are written by the instrumentation
+// sites in a fixed token order, so extraction is deterministic.
+func Field(detail, key string) string {
+	for _, tok := range strings.Fields(detail) {
+		if v, ok := strings.CutPrefix(tok, key+"="); ok {
+			return v
+		}
+	}
+	return ""
+}
+
+// DefaultCapacity bounds the number of retained records. The ring keeps
+// roughly the last ~64k events; the total number ever appended is still
+// available through Seq/Dropped so consumers can tell when the window
+// slid.
+const DefaultCapacity = 1 << 16
+
+// Journal is the bounded record stream. The zero of *Journal (nil) is a
+// disabled journal: every method no-ops, so instrumented code never
+// branches on whether the flight recorder is wired.
+//
+// The ring-buffer layout follows history.Store: start indexes the
+// oldest retained record, eviction at capacity overwrites that slot in
+// O(1).
+type Journal struct {
+	now      func() time.Duration
+	span     func() (trace, span uint64)
+	capacity int
+	ring     []Record
+	start    int
+	count    int
+	seq      uint64 // records ever appended; Seq of the newest record
+}
+
+// New creates a journal reading virtual time from now.
+func New(now func() time.Duration) *Journal {
+	return &Journal{now: now, capacity: DefaultCapacity}
+}
+
+// SetSpanSource installs the tracer cross-link: fn returns the active
+// (trace, span) pair, stamped onto records appended without an explicit
+// context so journal entries and trace trees reference each other.
+func (j *Journal) SetSpanSource(fn func() (trace, span uint64)) {
+	if j == nil {
+		return
+	}
+	j.span = fn
+}
+
+// SetCapacity resizes the ring bound (only before the first append; 0
+// keeps the current capacity).
+func (j *Journal) SetCapacity(n int) {
+	if j == nil || n <= 0 || j.seq != 0 {
+		return
+	}
+	j.capacity = n
+}
+
+// Append records an event, stamping virtual time and the currently
+// active trace span.
+func (j *Journal) Append(kind Kind, host, detail string) {
+	if j == nil {
+		return
+	}
+	var tr, sp uint64
+	if j.span != nil {
+		tr, sp = j.span()
+	}
+	j.push(kind, host, detail, tr, sp)
+}
+
+// AppendCtx records an event under an explicit trace context (the
+// envelope's own trailer IDs, or a dial/flood context); zero IDs mean
+// the event is causally unattributed.
+func (j *Journal) AppendCtx(kind Kind, host, detail string, trace, span uint64) {
+	if j == nil {
+		return
+	}
+	j.push(kind, host, detail, trace, span)
+}
+
+func (j *Journal) push(kind Kind, host, detail string, trace, span uint64) {
+	j.seq++
+	r := Record{
+		Seq: j.seq, At: j.now(), Kind: kind, Host: host,
+		Trace: trace, Span: span, Detail: detail,
+	}
+	if j.count == j.capacity {
+		j.ring[j.start] = r
+		j.start = (j.start + 1) % j.capacity
+		return
+	}
+	// Until the ring first fills, start stays 0 and the records occupy
+	// ring[0:count], so the backing array can grow amortized instead of
+	// committing capacity slots up front (short runs stay cheap even
+	// with a large bound).
+	idx := (j.start + j.count) % j.capacity
+	if idx < len(j.ring) {
+		j.ring[idx] = r
+	} else {
+		j.ring = append(j.ring, r)
+	}
+	j.count++
+}
+
+// at returns the i-th retained record, oldest first.
+func (j *Journal) at(i int) Record {
+	return j.ring[(j.start+i)%j.capacity]
+}
+
+// Len returns the number of retained records.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	return j.count
+}
+
+// Dropped returns how many records have been evicted from the ring.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.seq - uint64(j.count)
+}
+
+// Records returns the retained records, oldest first.
+func (j *Journal) Records() []Record {
+	if j == nil {
+		return nil
+	}
+	out := make([]Record, j.count)
+	for i := range out {
+		out[i] = j.at(i)
+	}
+	return out
+}
+
+// Reset discards all retained records (the sequence counter keeps
+// counting, so records from before and after a reset never alias).
+func (j *Journal) Reset() {
+	if j == nil {
+		return
+	}
+	j.start, j.count = 0, 0
+}
+
+// Filter selects records for Select and Report. Zero-valued fields
+// match everything; Until of 0 means no upper bound.
+type Filter struct {
+	Kinds []Kind        // match any of these kinds (empty = all)
+	Host  string        // match this host ("" = all)
+	Since time.Duration // records at or after this instant
+	Until time.Duration // records at or before this instant (0 = unbounded)
+}
+
+func (f Filter) match(r Record) bool {
+	if len(f.Kinds) > 0 {
+		ok := false
+		for _, k := range f.Kinds {
+			if r.Kind == k || strings.HasPrefix(string(r.Kind), string(k)+".") {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if f.Host != "" && r.Host != f.Host {
+		return false
+	}
+	if r.At < f.Since {
+		return false
+	}
+	if f.Until != 0 && r.At > f.Until {
+		return false
+	}
+	return true
+}
+
+// Select returns the retained records matching the filter, oldest
+// first.
+func (j *Journal) Select(f Filter) []Record {
+	if j == nil {
+		return nil
+	}
+	var out []Record
+	for i := 0; i < j.count; i++ {
+		if r := j.at(i); f.match(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Render returns the canonical full-journal text: one line per retained
+// record. Byte-identical across same-seed runs.
+func (j *Journal) Render() string {
+	var b strings.Builder
+	for i := 0; i < j.Len(); i++ {
+		b.WriteString(j.at(i).String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Report renders the records matching the filter under a summary
+// header.
+func (j *Journal) Report(f Filter) string {
+	if j == nil {
+		return "=== journal === (disabled)\n"
+	}
+	sel := j.Select(f)
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== journal === (%d shown / %d retained, %d dropped)\n",
+		len(sel), j.Len(), j.Dropped())
+	for _, r := range sel {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,391 @@
+package journal
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testJournal(capacity int) (*Journal, *time.Duration) {
+	now := new(time.Duration)
+	j := New(func() time.Duration { return *now })
+	j.SetCapacity(capacity)
+	return j, now
+}
+
+func TestRingEviction(t *testing.T) {
+	j, now := testJournal(4)
+	for i := 1; i <= 10; i++ {
+		*now = time.Duration(i) * time.Second
+		j.Append(NetSend, "a", "n=x")
+	}
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", j.Len())
+	}
+	if j.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", j.Dropped())
+	}
+	recs := j.Records()
+	for i, r := range recs {
+		if want := uint64(7 + i); r.Seq != want {
+			t.Fatalf("record %d Seq = %d, want %d", i, r.Seq, want)
+		}
+	}
+	if recs[0].At != 7*time.Second {
+		t.Fatalf("oldest At = %v, want 7s", recs[0].At)
+	}
+	j.Reset()
+	if j.Len() != 0 || j.Dropped() != 10 {
+		t.Fatalf("after Reset: Len=%d Dropped=%d", j.Len(), j.Dropped())
+	}
+	j.Append(NetSend, "a", "")
+	if got := j.Records()[0].Seq; got != 11 {
+		t.Fatalf("Seq after reset = %d, want 11 (never reused)", got)
+	}
+}
+
+func TestNilJournalNoOps(t *testing.T) {
+	var j *Journal
+	j.Append(NetSend, "a", "x")
+	j.AppendCtx(NetSend, "a", "x", 1, 2)
+	j.SetSpanSource(func() (uint64, uint64) { return 0, 0 })
+	j.SetCapacity(10)
+	j.Reset()
+	if j.Len() != 0 || j.Dropped() != 0 || j.Records() != nil || j.Select(Filter{}) != nil {
+		t.Fatal("nil journal must be empty")
+	}
+	if got := j.Report(Filter{}); !strings.Contains(got, "disabled") {
+		t.Fatalf("nil Report = %q", got)
+	}
+	if d := Diff(j, j); d != nil {
+		t.Fatalf("Diff(nil, nil) = %v", d)
+	}
+	if vs := Audit(j); vs != nil {
+		t.Fatalf("Audit(nil) = %v", vs)
+	}
+}
+
+func TestSpanSource(t *testing.T) {
+	j, _ := testJournal(8)
+	j.SetSpanSource(func() (uint64, uint64) { return 7, 9 })
+	j.Append(KernelSpawn, "a", "pid=1")
+	j.AppendCtx(WireEncode, "a", "Hello 10B", 3, 4)
+	recs := j.Records()
+	if recs[0].Trace != 7 || recs[0].Span != 9 {
+		t.Fatalf("Append stamped %d/%d, want 7/9", recs[0].Trace, recs[0].Span)
+	}
+	if recs[1].Trace != 3 || recs[1].Span != 4 {
+		t.Fatalf("AppendCtx stamped %d/%d, want 3/4", recs[1].Trace, recs[1].Span)
+	}
+	if s := recs[0].String(); !strings.Contains(s, "[t=7 s=9]") {
+		t.Fatalf("String() = %q, want trace suffix", s)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	j, now := testJournal(32)
+	*now = 1 * time.Second
+	j.Append(NetSend, "a", "")
+	j.Append(LPMSiblingOpen, "a", "")
+	*now = 2 * time.Second
+	j.Append(LPMSiblingClose, "b", "")
+	j.Append(SnapshotTaken, "b", "")
+	if got := len(j.Select(Filter{Kinds: []Kind{"lpm.sibling"}})); got != 2 {
+		t.Fatalf("prefix kind matched %d, want 2", got)
+	}
+	if got := len(j.Select(Filter{Kinds: []Kind{LPMSiblingOpen}})); got != 1 {
+		t.Fatalf("exact kind matched %d, want 1", got)
+	}
+	if got := len(j.Select(Filter{Host: "b"})); got != 2 {
+		t.Fatalf("host matched %d, want 2", got)
+	}
+	if got := len(j.Select(Filter{Since: 2 * time.Second})); got != 2 {
+		t.Fatalf("since matched %d, want 2", got)
+	}
+	if got := len(j.Select(Filter{Until: 1 * time.Second})); got != 2 {
+		t.Fatalf("until matched %d, want 2", got)
+	}
+	// "snapshot" must not prefix-match "snapshot.something" absent kinds,
+	// but must match itself exactly.
+	if got := len(j.Select(Filter{Kinds: []Kind{SnapshotTaken}})); got != 1 {
+		t.Fatalf("snapshot matched %d, want 1", got)
+	}
+}
+
+func TestField(t *testing.T) {
+	d := "user=alice chan=a:10->b:111 from=a note"
+	if got := Field(d, "user"); got != "alice" {
+		t.Fatalf("user = %q", got)
+	}
+	if got := Field(d, "chan"); got != "a:10->b:111" {
+		t.Fatalf("chan = %q", got)
+	}
+	if got := Field(d, "missing"); got != "" {
+		t.Fatalf("missing = %q", got)
+	}
+	// A key must not match as a substring of another key.
+	if got := Field("xuser=bob user=eve", "user"); got != "eve" {
+		t.Fatalf("user = %q, want eve", got)
+	}
+}
+
+func TestValidKind(t *testing.T) {
+	for _, k := range Kinds() {
+		if !ValidKind(k) {
+			t.Errorf("canonical kind %q not valid", k)
+		}
+	}
+	if ValidKind("net") || ValidKind("bogus") {
+		t.Fatal("prefixes and unknowns must not be exact kinds")
+	}
+}
+
+func TestDiffIdenticalAndDivergent(t *testing.T) {
+	a, anow := testJournal(16)
+	b, bnow := testJournal(16)
+	for i := 0; i < 5; i++ {
+		*anow = time.Duration(i) * time.Millisecond
+		*bnow = *anow
+		a.Append(NetSend, "h", "n=1")
+		b.Append(NetSend, "h", "n=1")
+	}
+	if d := Diff(a, b); d != nil {
+		t.Fatalf("identical journals diverged: %s", d.Format())
+	}
+	*anow, *bnow = time.Second, time.Second
+	a.Append(KernelExit, "h", "pid=3 code=0")
+	b.Append(KernelExit, "h", "pid=4 code=0")
+	d := Diff(a, b)
+	if d == nil {
+		t.Fatal("divergent journals reported identical")
+	}
+	if d.Index != 5 {
+		t.Fatalf("Index = %d, want 5", d.Index)
+	}
+	if d.A == nil || d.B == nil || d.A.Detail == d.B.Detail {
+		t.Fatalf("divergence records %v / %v", d.A, d.B)
+	}
+	if len(d.ContextA) != DiffContext {
+		t.Fatalf("context length %d, want %d", len(d.ContextA), DiffContext)
+	}
+	out := d.Format()
+	if !strings.Contains(out, "first divergence at record index 5") ||
+		!strings.Contains(out, "pid=3") || !strings.Contains(out, "pid=4") {
+		t.Fatalf("Format:\n%s", out)
+	}
+}
+
+func TestDiffLengthMismatch(t *testing.T) {
+	a, _ := testJournal(16)
+	b, _ := testJournal(16)
+	a.Append(NetSend, "h", "")
+	a.Append(NetDeliver, "h", "")
+	b.Append(NetSend, "h", "")
+	d := Diff(a, b)
+	if d == nil || d.Index != 1 || d.A == nil || d.B != nil {
+		t.Fatalf("divergence = %+v", d)
+	}
+	if !strings.Contains(d.Format(), "(journal ends)") {
+		t.Fatalf("Format:\n%s", d.Format())
+	}
+}
+
+// --- audit ---
+
+func rec(kind Kind, host, detail string) Record {
+	return Record{Kind: kind, Host: host, Detail: detail}
+}
+
+func seqed(rs []Record) []Record {
+	for i := range rs {
+		rs[i].Seq = uint64(i + 1)
+	}
+	return rs
+}
+
+func TestAuditCleanRun(t *testing.T) {
+	stream := seqed([]Record{
+		rec(KernelSpawn, "a", "pid=1 name=lpm user=u"),
+		rec(KernelFork, "a", "parent=1 child=2 name=worker"),
+		rec(KernelSetParent, "a", "pid=2 parent=<a,1>"),
+		rec(LPMSiblingAuth, "b", "user=u chan=a:10->b:111 from=a"),
+		rec(LPMSiblingOpen, "b", "user=u peer=a chan=a:10->b:111 role=server"),
+		rec(LPMSiblingOpen, "a", "user=u peer=b chan=a:10->b:111 role=client"),
+		rec(LPMFloodOrigin, "a", "user=u stamp=a@1s#1 inner=SnapshotReq"),
+		rec(LPMFloodApply, "a", "user=u stamp=a@1s#1"),
+		rec(LPMFloodApply, "b", "user=u stamp=a@1s#1"),
+		rec(LPMFloodDone, "a", "user=u stamp=a@1s#1 hosts=a,b partial="),
+		rec(KernelExit, "a", "pid=2 code=0"),
+		rec(SnapshotTaken, "a", "user=u procs=<a,2>|<a,1>|exited partial="),
+		rec(LPMSiblingClose, "a", "user=u peer=b chan=a:10->b:111"),
+		rec(LPMSiblingClose, "b", "user=u peer=a chan=a:10->b:111"),
+	})
+	if vs := AuditRecords(stream, true); len(vs) != 0 {
+		t.Fatalf("clean run flagged:\n%s", AuditReport(vs))
+	}
+}
+
+func TestAuditDoubleAuth(t *testing.T) {
+	stream := seqed([]Record{
+		rec(LPMSiblingAuth, "b", "user=u chan=c1 from=a"),
+		rec(LPMSiblingAuth, "b", "user=u chan=c1 from=a"),
+	})
+	vs := AuditRecords(stream, true)
+	if len(vs) != 1 || vs[0].Check != "circuit" ||
+		!strings.Contains(vs[0].Msg, "authenticated 2 times") {
+		t.Fatalf("violations: %s", AuditReport(vs))
+	}
+}
+
+func TestAuditOpenBeforeAuth(t *testing.T) {
+	stream := seqed([]Record{
+		rec(LPMSiblingOpen, "b", "user=u peer=a chan=c1 role=server"),
+	})
+	vs := AuditRecords(stream, true)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "before authentication") {
+		t.Fatalf("violations: %s", AuditReport(vs))
+	}
+	// A client-side open carries no auth (the server authenticates).
+	stream = seqed([]Record{
+		rec(LPMSiblingOpen, "a", "user=u peer=b chan=c1 role=client"),
+	})
+	if vs := AuditRecords(stream, true); len(vs) != 0 {
+		t.Fatalf("client open flagged: %s", AuditReport(vs))
+	}
+	// Incomplete streams skip the check: the auth may be evicted.
+	stream = seqed([]Record{
+		rec(LPMSiblingOpen, "b", "user=u peer=a chan=c1 role=server"),
+	})
+	if vs := AuditRecords(stream, false); len(vs) != 0 {
+		t.Fatalf("incomplete stream flagged: %s", AuditReport(vs))
+	}
+}
+
+func TestAuditDoubleApply(t *testing.T) {
+	stream := seqed([]Record{
+		rec(LPMFloodOrigin, "a", "user=u stamp=s1"),
+		rec(LPMFloodApply, "b", "user=u stamp=s1"),
+		rec(LPMFloodApply, "b", "user=u stamp=s1"),
+	})
+	vs := AuditRecords(stream, true)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "dedup failed") {
+		t.Fatalf("violations: %s", AuditReport(vs))
+	}
+	// Double apply is always-sound: it fires even on incomplete streams.
+	if vs := AuditRecords(stream, false); len(vs) != 1 {
+		t.Fatalf("incomplete stream: %s", AuditReport(vs))
+	}
+}
+
+func TestAuditFloodCoverage(t *testing.T) {
+	// a—b circuit fully open, but the flood from a never reaches b.
+	stream := seqed([]Record{
+		rec(LPMSiblingAuth, "b", "user=u chan=c1 from=a"),
+		rec(LPMSiblingOpen, "b", "user=u peer=a chan=c1 role=server"),
+		rec(LPMSiblingOpen, "a", "user=u peer=b chan=c1 role=client"),
+		rec(LPMFloodOrigin, "a", "user=u stamp=s1"),
+		rec(LPMFloodApply, "a", "user=u stamp=s1"),
+		rec(LPMFloodDone, "a", "user=u stamp=s1 hosts=a partial="),
+	})
+	vs := AuditRecords(stream, true)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "never reached live sibling b") {
+		t.Fatalf("violations: %s", AuditReport(vs))
+	}
+	// A dedup hit on b counts as reached.
+	stream = seqed([]Record{
+		rec(LPMSiblingAuth, "b", "user=u chan=c1 from=a"),
+		rec(LPMSiblingOpen, "b", "user=u peer=a chan=c1 role=server"),
+		rec(LPMSiblingOpen, "a", "user=u peer=b chan=c1 role=client"),
+		rec(LPMFloodOrigin, "a", "user=u stamp=s1"),
+		rec(LPMFloodApply, "a", "user=u stamp=s1"),
+		rec(LPMFloodDup, "b", "user=u stamp=s1"),
+		rec(LPMFloodDone, "a", "user=u stamp=s1 hosts=a partial="),
+	})
+	if vs := AuditRecords(stream, true); len(vs) != 0 {
+		t.Fatalf("dup-covered flood flagged: %s", AuditReport(vs))
+	}
+	// A crash between origin and done changes the epoch: coverage is
+	// then unprovable from the journal and the check stands down.
+	stream = seqed([]Record{
+		rec(LPMSiblingAuth, "b", "user=u chan=c1 from=a"),
+		rec(LPMSiblingOpen, "b", "user=u peer=a chan=c1 role=server"),
+		rec(LPMSiblingOpen, "a", "user=u peer=b chan=c1 role=client"),
+		rec(LPMFloodOrigin, "a", "user=u stamp=s1"),
+		rec(LPMFloodApply, "a", "user=u stamp=s1"),
+		rec(NetHostCrash, "b", ""),
+		rec(LPMFloodDone, "a", "user=u stamp=s1 hosts=a partial="),
+	})
+	if vs := AuditRecords(stream, true); len(vs) != 0 {
+		t.Fatalf("quiescence-violated flood flagged: %s", AuditReport(vs))
+	}
+}
+
+func TestAuditSnapshotGenealogy(t *testing.T) {
+	base := []Record{
+		rec(KernelSpawn, "a", "pid=1 name=lpm user=u"),
+		rec(KernelFork, "a", "parent=1 child=2 name=w"),
+	}
+	// Unknown process.
+	stream := seqed(append(append([]Record(nil), base...),
+		rec(SnapshotTaken, "a", "user=u procs=<a,9>|<a,1>|running partial=")))
+	vs := AuditRecords(stream, true)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "never created") {
+		t.Fatalf("violations: %s", AuditReport(vs))
+	}
+	// Wrong parent.
+	stream = seqed(append(append([]Record(nil), base...),
+		rec(SnapshotTaken, "a", "user=u procs=<a,2>|<a,7>|running partial=")))
+	vs = AuditRecords(stream, true)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "journal says <a,1>") {
+		t.Fatalf("violations: %s", AuditReport(vs))
+	}
+	// Exited without an exit record.
+	stream = seqed(append(append([]Record(nil), base...),
+		rec(SnapshotTaken, "a", "user=u procs=<a,2>|<a,1>|exited partial=")))
+	vs = AuditRecords(stream, true)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "no exit record") {
+		t.Fatalf("violations: %s", AuditReport(vs))
+	}
+	// SetParent overrides the fork parent.
+	stream = seqed(append(append([]Record(nil), base...),
+		rec(KernelSetParent, "a", "pid=2 parent=<b,5>"),
+		rec(SnapshotTaken, "a", "user=u procs=<a,2>|<b,5>|running partial=")))
+	if vs := AuditRecords(stream, true); len(vs) != 0 {
+		t.Fatalf("setparent snapshot flagged: %s", AuditReport(vs))
+	}
+}
+
+func TestAuditTruncation(t *testing.T) {
+	var stream []Record
+	for i := 0; i < maxViolations+10; i++ {
+		stream = append(stream, rec(LPMFloodApply, "b", "user=u stamp=s1"),
+			rec(LPMFloodApply, "b", "user=u stamp=s1"))
+	}
+	vs := AuditRecords(seqed(stream), false)
+	if len(vs) != maxViolations+1 {
+		t.Fatalf("got %d violations, want %d + truncation marker", len(vs), maxViolations)
+	}
+	if last := vs[len(vs)-1]; last.Check != "audit" ||
+		!strings.Contains(last.Msg, "truncated") {
+		t.Fatalf("last violation = %v", last)
+	}
+}
+
+func TestRenderByteIdentity(t *testing.T) {
+	build := func() *Journal {
+		j, now := testJournal(8)
+		j.SetSpanSource(func() (uint64, uint64) { return 1, 2 })
+		*now = 5 * time.Millisecond
+		j.Append(NetSend, "a", "datagram a:1->b:2 10B")
+		*now = 6 * time.Millisecond
+		j.AppendCtx(WireDecode, "b", "Hello 10B", 0, 0)
+		return j
+	}
+	a, b := build().Render(), build().Render()
+	if a != b {
+		t.Fatalf("renders differ:\n%s\n---\n%s", a, b)
+	}
+	if !strings.Contains(a, "net.send") || !strings.Contains(a, "T+5ms") {
+		t.Fatalf("render:\n%s", a)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"ppm/internal/calib"
 	"ppm/internal/detord"
+	"ppm/internal/journal"
 	"ppm/internal/metrics"
 	"ppm/internal/proc"
 	"ppm/internal/sim"
@@ -136,6 +137,9 @@ type Host struct {
 
 	// Cluster-wide causal tracer (nil unless SetTracer ran).
 	tracer *trace.Tracer
+
+	// Cluster-wide flight recorder (nil unless SetJournal ran).
+	journal *journal.Journal
 }
 
 // loadTau is the smoothing constant of the load-average estimator (the
@@ -171,6 +175,11 @@ func (h *Host) SetMetrics(reg *metrics.Registry) { h.metrics = reg }
 // emission attaches delivery spans to whatever operation context is
 // active at emit time. A nil tracer disables tracing.
 func (h *Host) SetTracer(t *trace.Tracer) { h.tracer = t }
+
+// SetJournal installs the cluster's flight recorder: process lifecycle
+// (spawn/fork/exit) and delivered trace events land in it. A nil
+// journal disables recording.
+func (h *Host) SetJournal(j *journal.Journal) { h.journal = j }
 
 // Model returns the host's CPU model.
 func (h *Host) Model() calib.CPUModel { return h.model }
@@ -268,6 +277,8 @@ func (h *Host) Spawn(name, user string) (*Process, error) {
 	h.nextPID++
 	h.procs[p.PID] = p
 	h.metrics.Counter("kernel.spawns").Inc()
+	h.journal.Append(journal.KernelSpawn, h.name,
+		fmt.Sprintf("pid=%d name=%s user=%s", p.PID, name, user))
 	return p, nil
 }
 
@@ -306,6 +317,8 @@ func (h *Host) Fork(parentPID proc.PID, name string) (*Process, error) {
 	h.nextPID++
 	h.procs[child.PID] = child
 	h.metrics.Counter("kernel.forks").Inc()
+	h.journal.Append(journal.KernelFork, h.name,
+		fmt.Sprintf("parent=%d child=%d name=%s", parent.PID, child.PID, name))
 	parent.Rusage.Syscalls++
 	h.emit(parent, proc.Event{
 		Kind:  proc.EvFork,
@@ -323,6 +336,14 @@ func (h *Host) SetLogicalParent(pid proc.PID, parent proc.GPID) error {
 		return err
 	}
 	p.Parent = parent
+	// A zero parent detaches the process into a root; record it the way
+	// snapshots render root parents so the audit can compare directly.
+	ps := "-"
+	if !parent.IsZero() {
+		ps = parent.String()
+	}
+	h.journal.Append(journal.KernelSetParent, h.name,
+		fmt.Sprintf("pid=%d parent=%s", pid, ps))
 	return nil
 }
 
@@ -362,6 +383,8 @@ func (h *Host) Exit(pid proc.PID, code int) error {
 	p.ExitCode = code
 	p.ExitedAt = h.sched.Now()
 	h.metrics.Counter("kernel.exits").Inc()
+	h.journal.Append(journal.KernelExit, h.name,
+		fmt.Sprintf("pid=%d code=%d", pid, code))
 	h.setRunnable(p, false)
 	h.emit(p, proc.Event{
 		Kind:   proc.EvExit,
@@ -416,6 +439,8 @@ func (h *Host) Signal(pid proc.PID, sig proc.Signal) error {
 		p.ExitCode = 128 + int(sig)
 		p.ExitedAt = h.sched.Now()
 		h.metrics.Counter("kernel.exits").Inc()
+		h.journal.Append(journal.KernelExit, h.name,
+			fmt.Sprintf("pid=%d code=%d sig=%v", pid, p.ExitCode, sig))
 		h.setRunnable(p, false)
 		h.emit(p, proc.Event{
 			Kind: proc.EvExit, Proc: proc.GPID{Host: h.name, PID: pid},
@@ -657,6 +682,8 @@ func (h *Host) emit(p *Process, ev proc.Event, class TraceMask) {
 	ev.At = h.sched.Now().Duration()
 	h.KernelMsgs++
 	h.metrics.Counter("kernel.events." + ev.Kind.String()).Inc()
+	h.journal.Append(journal.KernelEvent, h.name,
+		fmt.Sprintf("%s proc=%s", ev.Kind, ev.Proc))
 	delay := h.model.KernelMsgDelivery(h.LoadAvg())
 	h.metrics.Histogram("kernel.delivery").Observe(delay)
 	// Attribute the 112-byte message's delivery window to the operation
@@ -738,7 +765,10 @@ func (h *Host) LiveCount(user string) int {
 // that host").
 func (h *Host) KillAll(user string) int {
 	n := 0
-	for pid, p := range h.procs {
+	// Iterate in pid order: each kill emits events and journal records,
+	// so the walk must be deterministic.
+	for _, pid := range detord.Keys(h.procs) {
+		p := h.procs[pid]
 		if p.User == user && (p.State == proc.Running || p.State == proc.Stopped) {
 			_ = h.Signal(pid, proc.SIGKILL)
 			n++

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ppm/internal/detord"
+	"ppm/internal/journal"
 	"ppm/internal/proc"
 	"ppm/internal/sim"
 	"ppm/internal/trace"
@@ -94,6 +95,9 @@ func (l *LPM) startFlood(ctx trace.Context, inner wire.Envelope, cb func(wire.Fl
 	l.floodSeq++
 	stamp := wire.NewStamp(l.user.Key(), l.Host(), l.sched.Now().Duration(), l.floodSeq)
 	l.markSeen(stamp)
+	l.journal.AppendCtx(journal.LPMFloodOrigin, l.Host(),
+		fmt.Sprintf("user=%s stamp=%s inner=%v", l.user.Name, stampID(stamp), inner.Type),
+		ctx.Trace, ctx.Span)
 	bc := wire.Broadcast{
 		Stamp: stamp,
 		Seq:   l.floodSeq,
@@ -102,6 +106,14 @@ func (l *LPM) startFlood(ctx trace.Context, inner wire.Envelope, cb func(wire.Fl
 	}
 	st := &floodState{key: stamp.Key(), finish: func(res wire.FloodResult) {
 		l.learnRoutes(res)
+		hosts := append([]string(nil), res.Hosts...)
+		detord.Sort(hosts)
+		partial := append([]string(nil), res.Partial...)
+		detord.Sort(partial)
+		l.journal.AppendCtx(journal.LPMFloodDone, l.Host(),
+			fmt.Sprintf("user=%s stamp=%s hosts=%s partial=%s", l.user.Name, stampID(stamp),
+				strings.Join(hosts, ","), strings.Join(partial, ",")),
+			ctx.Trace, ctx.Span)
 		cb(res)
 	}}
 	l.runFlood(ctx, st, bc, inner, "")
@@ -127,6 +139,9 @@ func (l *LPM) handleFlood(sb *sibling, env wire.Envelope) {
 		// An old broadcast request: answer but do not retransmit.
 		l.Stats.FloodDuplicates++
 		l.metrics.Counter("lpm.flood.dedup_hits").Inc()
+		l.journal.AppendCtx(journal.LPMFloodDup, l.Host(),
+			fmt.Sprintf("user=%s stamp=%s", l.user.Name, stampID(bc.Stamp)),
+			ctx.Trace, ctx.Span)
 		l.sendReply(ctx, sb, env.ReqID, wire.MsgBroadcastResp,
 			wire.BroadcastResp{
 				Seq: bc.Seq, From: l.Host(), Route: bc.Route,
@@ -136,7 +151,7 @@ func (l *LPM) handleFlood(sb *sibling, env wire.Envelope) {
 	}
 	l.Stats.FloodsForwarded++
 	l.metrics.Counter("lpm.flood.forwarded").Inc()
-	inner, err := wire.DecodeEnvelope(bc.Inner)
+	inner, err := wire.DecodeEnvelopeLogged(bc.Inner, l.journal, l.Host())
 	if err != nil {
 		l.sendReply(ctx, sb, env.ReqID, wire.MsgBroadcastResp,
 			wire.BroadcastResp{Inner: wire.FloodResult{OK: false}.Encode()}.Encode())
@@ -213,6 +228,9 @@ func (l *LPM) runFlood(ctx trace.Context, st *floodState, bc wire.Broadcast, inn
 		})
 	}
 	l.kern.ExecCPU(cost, func() {
+		l.journal.AppendCtx(journal.LPMFloodApply, l.Host(),
+			fmt.Sprintf("user=%s stamp=%s", l.user.Name, stampID(bc.Stamp)),
+			ctx.Trace, ctx.Span)
 		st.result.OK = true
 		st.result.Count += local.Count
 		st.result.Procs = append(st.result.Procs, local.Procs...)
@@ -250,10 +268,32 @@ func (l *LPM) Snapshot(cb func(proc.Snapshot, error)) {
 			done(func() {
 				snap := proc.Merge(l.sched.Now().Duration(), res.Procs)
 				snap.Partial = l.uncovered(res)
+				l.journal.AppendCtx(journal.SnapshotTaken, l.Host(),
+					snapshotDetail(l.user.Name, snap), ctx.Trace, ctx.Span)
 				cb(snap, nil)
 			})
 		})
 	})
+}
+
+// snapshotDetail encodes a merged snapshot for the journal in the
+// audit's "gpid|parent|state" form, ";"-joined (GPID strings contain
+// commas, so the entry separators avoid them).
+func snapshotDetail(user string, snap proc.Snapshot) string {
+	var sb strings.Builder
+	sb.WriteString("user=" + user + " procs=")
+	for i, p := range snap.Procs {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		parent := "-"
+		if !p.Parent.IsZero() {
+			parent = p.Parent.String()
+		}
+		sb.WriteString(p.ID.String() + "|" + parent + "|" + p.State.String())
+	}
+	sb.WriteString(" partial=" + strings.Join(snap.Partial, ","))
+	return sb.String()
 }
 
 // ControlAll applies a control operation (typically a software

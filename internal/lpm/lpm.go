@@ -25,6 +25,7 @@ import (
 	"ppm/internal/daemon"
 	"ppm/internal/detord"
 	"ppm/internal/history"
+	"ppm/internal/journal"
 	"ppm/internal/kernel"
 	"ppm/internal/metrics"
 	"ppm/internal/proc"
@@ -180,6 +181,9 @@ type LPM struct {
 	// the network (nil or disabled on untraced runs: every span call
 	// below degrades to a no-op).
 	tracer *trace.Tracer
+	// journal is the installation-wide flight recorder, also taken from
+	// the network (nil when journaling is off: appends no-op).
+	journal *journal.Journal
 
 	// Stats is exported for tests, benchmarks and ablations.
 	Stats Stats
@@ -210,6 +214,7 @@ func New(kern *kernel.Host, net *simnet.Network, dir *auth.Directory,
 		seen:       make(map[string]sim.Time),
 		metrics:    net.Metrics(),
 		tracer:     net.Tracer(),
+		journal:    net.Journal(),
 	}
 	p, err := kern.Spawn("lpm", user.Name)
 	if err != nil {
@@ -266,6 +271,25 @@ func (l *LPM) SiblingHosts() []string {
 
 // touch records activity for the TTL logic.
 func (l *LPM) touch() { l.lastActivity = l.sched.Now() }
+
+// chanKey names a sibling circuit "dialer->acceptor" so both endpoints
+// journal the same channel identity: the acceptor's end of the circuit
+// is its accept address, so whichever side this is, orienting the pair
+// away from the accept address yields the dialer-first form.
+func (l *LPM) chanKey(conn *simnet.Conn) string {
+	local, remote := conn.LocalAddr(), conn.RemoteAddr()
+	if local == l.accept {
+		local, remote = remote, local
+	}
+	return fmt.Sprintf("%s:%d->%s:%d", local.Host, local.Port, remote.Host, remote.Port)
+}
+
+// stampID renders a broadcast stamp for journal details. The stamp's
+// binary Key() is unprintable; origin, mint time and sequence identify
+// it just as uniquely.
+func stampID(s wire.Stamp) string {
+	return fmt.Sprintf("%s@%v#%d", s.Origin, s.At, s.Seq)
+}
 
 // withTraceCtx runs fn with ctx installed as the tracer's active
 // context, so kernel events emitted synchronously inside fn (signals,

@@ -7,6 +7,7 @@ import (
 	"ppm/internal/calib"
 	"ppm/internal/detord"
 	"ppm/internal/history"
+	"ppm/internal/journal"
 	"ppm/internal/kernel"
 	"ppm/internal/proc"
 	"ppm/internal/trace"
@@ -55,6 +56,8 @@ func (l *LPM) Adopt(pid proc.PID, cb func(error)) {
 			l.withTraceCtx(ctx, func() { err = l.kern.Adopt(pid, l.user.Name) })
 			if err == nil {
 				l.metrics.Counter("lpm.adoptions").Inc()
+				l.journal.AppendCtx(journal.LPMAdopt, l.Host(),
+					fmt.Sprintf("user=%s pid=%d", l.user.Name, pid), ctx.Trace, ctx.Span)
 				if info, ierr := l.kern.Info(pid); ierr == nil {
 					l.records[pid] = info
 				}
@@ -113,6 +116,8 @@ func (l *LPM) createLocal(ctx trace.Context, req wire.CreateProc, cb func(wire.C
 						return
 					}
 					l.metrics.Counter("lpm.adoptions").Inc()
+					l.journal.AppendCtx(journal.LPMAdopt, l.Host(),
+						fmt.Sprintf("user=%s pid=%d", l.user.Name, p.PID), ctx.Trace, ctx.Span)
 					if info, ierr := l.kern.Info(p.PID); ierr == nil {
 						l.records[p.PID] = info
 					}
@@ -146,6 +151,8 @@ func (l *LPM) createForRemote(ctx trace.Context, req wire.CreateProc, ack func(w
 				return
 			}
 			l.metrics.Counter("lpm.adoptions").Inc()
+			l.journal.AppendCtx(journal.LPMAdopt, l.Host(),
+				fmt.Sprintf("user=%s pid=%d", l.user.Name, p.PID), ctx.Trace, ctx.Span)
 			if info, ierr := l.kern.Info(p.PID); ierr == nil {
 				l.records[p.PID] = info
 			}
@@ -224,8 +231,12 @@ func (l *LPM) applyControl(target proc.PID, op wire.ControlOp, sig proc.Signal) 
 		err = fmt.Errorf("%w: op %v", ErrBadRequest, op)
 	}
 	if err != nil {
+		l.journal.Append(journal.LPMControl, l.Host(),
+			fmt.Sprintf("op=%v pid=%d ok=false", op, target))
 		return wire.ControlResp{OK: false, Reason: err.Error()}
 	}
+	l.journal.Append(journal.LPMControl, l.Host(),
+		fmt.Sprintf("op=%v pid=%d ok=true", op, target))
 	info, ierr := l.kern.Info(target)
 	if ierr == nil {
 		l.records[target] = info
@@ -610,7 +621,7 @@ func (l *LPM) handleRelay(sb *sibling, env wire.Envelope) {
 		return
 	}
 	if rel.Dest == l.Host() {
-		inner, derr := wire.DecodeEnvelope(rel.Inner)
+		inner, derr := wire.DecodeEnvelopeLogged(rel.Inner, l.journal, l.Host())
 		if derr != nil || inner.Type == wire.MsgRelay || inner.Type == wire.MsgBroadcast {
 			fail("bad relayed payload")
 			return
@@ -635,6 +646,8 @@ func (l *LPM) handleRelay(sb *sibling, env wire.Envelope) {
 	}
 	l.Stats.RelaysForwarded++
 	l.metrics.Counter("lpm.relay.forwarded").Inc()
+	l.journal.AppendCtx(journal.LPMRelayForward, l.Host(),
+		fmt.Sprintf("user=%s dest=%s next=%s", rel.User, rel.Dest, next), ctx.Trace, ctx.Span)
 	fwd := wire.Relay{User: rel.User, Dest: rel.Dest, Path: rel.Path[1:], Inner: rel.Inner}
 	l.sendRequest(ctx, nsb, wire.MsgRelay, fwd.Encode(), func(resp wire.Envelope, err error) {
 		if err != nil {
@@ -661,6 +674,9 @@ func (l *LPM) remoteCall(ctx trace.Context, host string, t wire.MsgType, body []
 			if fsb, ok := l.siblings[first]; ok && fsb.authed && fsb.conn.Open() {
 				l.Stats.RelaysOriginated++
 				l.metrics.Counter("lpm.relay.originated").Inc()
+				l.journal.AppendCtx(journal.LPMRelayOrigin, l.Host(),
+					fmt.Sprintf("user=%s dest=%s via=%s", l.user.Name, host, first),
+					ctx.Trace, ctx.Span)
 				inner := wire.Envelope{Type: t, Body: body}
 				inner.SetTrace(ctx.Trace, ctx.Span)
 				rel := wire.Relay{User: l.user.Name, Dest: host, Path: path[1:], Inner: inner.Encode()}
@@ -678,7 +694,7 @@ func (l *LPM) remoteCall(ctx trace.Context, host string, t wire.MsgType, body []
 						cb(wire.Envelope{}, fmt.Errorf("%w: %s", ErrRemote, resp.Reason))
 						return
 					}
-					innerResp, derr := wire.DecodeEnvelope(resp.Inner)
+					innerResp, derr := wire.DecodeEnvelopeLogged(resp.Inner, l.journal, l.Host())
 					if derr != nil {
 						cb(wire.Envelope{}, derr)
 						return

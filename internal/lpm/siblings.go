@@ -8,6 +8,7 @@ import (
 	"ppm/internal/calib"
 	"ppm/internal/daemon"
 	"ppm/internal/detord"
+	"ppm/internal/journal"
 	"ppm/internal/proc"
 	"ppm/internal/recovery"
 	"ppm/internal/simnet"
@@ -33,7 +34,7 @@ func (l *LPM) acceptConn(conn *simnet.Conn) {
 }
 
 func (l *LPM) onFirstMsg(conn *simnet.Conn, b []byte) {
-	env, err := wire.DecodeEnvelope(b)
+	env, err := wire.DecodeEnvelopeLogged(b, l.journal, l.Host())
 	if err != nil || env.Type != wire.MsgHello {
 		conn.Close()
 		return
@@ -54,10 +55,12 @@ func (l *LPM) onFirstMsg(conn *simnet.Conn, b []byte) {
 func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx trace.Context) {
 	reject := func(reason string) {
 		l.metrics.Counter("lpm.siblings.rejected").Inc()
+		l.journal.AppendCtx(journal.LPMSiblingReject, l.Host(),
+			"from="+hello.FromHost+" reason="+reason, ctx.Trace, ctx.Span)
 		body := wire.HelloResp{OK: false, Reason: reason}.Encode()
 		env := wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}
 		env.SetTrace(ctx.Trace, ctx.Span)
-		_ = conn.SendCtx(env.EncodeCounted(l.metrics), ctx)
+		_ = conn.SendCtx(env.EncodeLogged(l.metrics, l.journal, l.Host()), ctx)
 		l.sched.After(0, conn.Close)
 	}
 	if l.exited {
@@ -86,6 +89,11 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx
 		reject("origin mismatch")
 		return
 	}
+	// Authentication happens exactly once, here, at channel creation;
+	// the audit invariant holds the journal to that.
+	l.journal.AppendCtx(journal.LPMSiblingAuth, l.Host(),
+		fmt.Sprintf("user=%s chan=%s from=%s", hello.User, l.chanKey(conn), hello.FromHost),
+		ctx.Trace, ctx.Span)
 	body := wire.HelloResp{OK: true}.Encode()
 	respEnv := wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}
 	respEnv.SetTrace(ctx.Trace, ctx.Span)
@@ -94,14 +102,14 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx
 		// sockets), not a sibling.
 		conn.SetHandler(func(b []byte) { l.onToolMsg(conn, b) })
 		conn.SetCloseHandler(func(error) {})
-		_ = conn.SendCtx(respEnv.EncodeCounted(l.metrics), ctx)
+		_ = conn.SendCtx(respEnv.EncodeLogged(l.metrics, l.journal, l.Host()), ctx)
 		return
 	}
 	l.registerSibling(hello.FromHost, conn)
 	if hello.CCSHost != "" {
 		l.rec.OnContact(hello.CCSHost)
 	}
-	_ = conn.SendCtx(respEnv.EncodeCounted(l.metrics), ctx)
+	_ = conn.SendCtx(respEnv.EncodeLogged(l.metrics, l.journal, l.Host()), ctx)
 }
 
 // registerSibling installs an authenticated circuit.
@@ -114,6 +122,12 @@ func (l *LPM) registerSibling(host string, conn *simnet.Conn) {
 	l.knownHosts[host] = true
 	l.metrics.Counter("lpm.siblings.opened").Inc()
 	l.metrics.Gauge("lpm.siblings.open").Add(1)
+	role := "client"
+	if conn.LocalAddr() == l.accept {
+		role = "server"
+	}
+	l.journal.Append(journal.LPMSiblingOpen, l.Host(),
+		fmt.Sprintf("user=%s peer=%s chan=%s role=%s", l.user.Name, host, l.chanKey(conn), role))
 	conn.SetHandler(func(b []byte) { l.onSiblingMsg(sb, b) })
 	conn.SetCloseHandler(func(err error) { l.onSiblingClosed(sb, err) })
 	l.touch()
@@ -124,6 +138,8 @@ func (l *LPM) onSiblingClosed(sb *sibling, err error) {
 		delete(l.siblings, sb.host)
 		l.metrics.Counter("lpm.siblings.closed").Inc()
 		l.metrics.Gauge("lpm.siblings.open").Add(-1)
+		l.journal.Append(journal.LPMSiblingClose, l.Host(),
+			fmt.Sprintf("user=%s peer=%s chan=%s", l.user.Name, sb.host, l.chanKey(sb.conn)))
 	}
 	// Fail outstanding requests to that host, oldest first (map order
 	// would let error callbacks race each other across identical runs).
@@ -228,7 +244,7 @@ func (l *LPM) helloTo(ctx trace.Context, host string, conn *simnet.Conn, finish 
 			return
 		}
 		answered = true
-		env, err := wire.DecodeEnvelope(b)
+		env, err := wire.DecodeEnvelopeLogged(b, l.journal, l.Host())
 		if err != nil || env.Type != wire.MsgHelloResp {
 			conn.Close()
 			finish(nil, fmt.Errorf("%w: bad hello reply from %s", ErrNoSibling, host))
@@ -258,7 +274,7 @@ func (l *LPM) helloTo(ctx trace.Context, host string, conn *simnet.Conn, finish 
 		esp.End()
 		env := wire.Envelope{Type: wire.MsgHello, ReqID: 0, Body: hello.Encode()}
 		env.SetTrace(ctx.Trace, ctx.Span)
-		_ = conn.SendCtx(env.EncodeCounted(l.metrics), ctx)
+		_ = conn.SendCtx(env.EncodeLogged(l.metrics, l.journal, l.Host()), ctx)
 	})
 }
 
@@ -292,7 +308,7 @@ func (l *LPM) onSiblingMsg(sb *sibling, b []byte) {
 	if l.exited {
 		return
 	}
-	env, err := wire.DecodeEnvelope(b)
+	env, err := wire.DecodeEnvelopeLogged(b, l.journal, l.Host())
 	if err != nil {
 		return
 	}
@@ -379,7 +395,7 @@ func (l *LPM) sendRequest(ctx trace.Context, sb *sibling, t wire.MsgType, body [
 			}
 			env := wire.Envelope{Type: t, ReqID: id, Body: body}
 			env.SetTrace(rctx.Trace, rctx.Span)
-			_ = sb.conn.SendCtx(env.EncodeCounted(l.metrics), rctx)
+			_ = sb.conn.SendCtx(env.EncodeLogged(l.metrics, l.journal, l.Host()), rctx)
 			l.kern.AccountIPC(l.pid, 1, 0, t.String())
 		})
 	})
@@ -394,7 +410,7 @@ func (l *LPM) sendReply(ctx trace.Context, sb *sibling, reqID uint64, t wire.Msg
 		if sb.conn.Open() {
 			env := wire.Envelope{Type: t, ReqID: reqID, Body: body}
 			env.SetTrace(ctx.Trace, ctx.Span)
-			_ = sb.conn.SendCtx(env.EncodeCounted(l.metrics), ctx)
+			_ = sb.conn.SendCtx(env.EncodeLogged(l.metrics, l.journal, l.Host()), ctx)
 			l.kern.AccountIPC(l.pid, 1, 0, t.String())
 		}
 	})
@@ -406,7 +422,7 @@ func (l *LPM) sendOneWay(sb *sibling, t wire.MsgType, body []byte) {
 	l.kern.ExecCPU(endpointCost(t), func() {
 		if sb.conn.Open() {
 			env := wire.Envelope{Type: t, ReqID: 0, Body: body}
-			_ = sb.conn.Send(env.EncodeCounted(l.metrics))
+			_ = sb.conn.Send(env.EncodeLogged(l.metrics, l.journal, l.Host()))
 		}
 	})
 }

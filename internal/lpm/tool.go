@@ -9,6 +9,7 @@ import (
 	"ppm/internal/daemon"
 	"ppm/internal/detord"
 	"ppm/internal/history"
+	"ppm/internal/journal"
 	"ppm/internal/metrics"
 	"ppm/internal/proc"
 	"ppm/internal/sim"
@@ -35,6 +36,7 @@ type ToolClient struct {
 	host    string
 	sched   *sim.Scheduler
 	metrics *metrics.Registry
+	journal *journal.Journal
 	conn    *simnet.Conn
 	reqSeq  uint64
 	pending map[uint64]func(wire.Envelope, error)
@@ -68,6 +70,7 @@ func ConnectTool(net *simnet.Network, user *auth.User, host string,
 				host:    host,
 				sched:   net.Scheduler(),
 				metrics: net.Metrics(),
+				journal: net.Journal(),
 				conn:    conn,
 				pending: make(map[uint64]func(wire.Envelope, error)),
 			}
@@ -84,7 +87,7 @@ func (t *ToolClient) hello(cb func(*ToolClient, error)) {
 			return
 		}
 		answered = true
-		env, err := wire.DecodeEnvelope(b)
+		env, err := wire.DecodeEnvelopeLogged(b, t.journal, t.host)
 		if err != nil || env.Type != wire.MsgHelloResp {
 			t.conn.Close()
 			cb(nil, errors.New("lpm: tool hello: bad reply"))
@@ -106,7 +109,7 @@ func (t *ToolClient) hello(cb func(*ToolClient, error)) {
 		Token:    auth.MintToken(t.user, "sibling"),
 		Stamp:    wire.NewStamp(t.user.Key(), t.host, t.sched.Now().Duration(), 1),
 	}
-	_ = t.conn.Send(wire.Envelope{Type: wire.MsgHello, Body: hello.Encode()}.EncodeCounted(t.metrics))
+	_ = t.conn.Send(wire.Envelope{Type: wire.MsgHello, Body: hello.Encode()}.EncodeLogged(t.metrics, t.journal, t.host))
 }
 
 func (t *ToolClient) onClosed(err error) {
@@ -123,7 +126,7 @@ func (t *ToolClient) onClosed(err error) {
 }
 
 func (t *ToolClient) onMsg(b []byte) {
-	env, err := wire.DecodeEnvelope(b)
+	env, err := wire.DecodeEnvelopeLogged(b, t.journal, t.host)
 	if err != nil {
 		return
 	}
@@ -152,7 +155,7 @@ func (t *ToolClient) call(mt wire.MsgType, body []byte, cb func(wire.Envelope, e
 	t.reqSeq++
 	id := t.reqSeq
 	t.pending[id] = cb
-	_ = t.conn.Send(wire.Envelope{Type: mt, ReqID: id, Body: body}.EncodeCounted(t.metrics))
+	_ = t.conn.Send(wire.Envelope{Type: mt, ReqID: id, Body: body}.EncodeLogged(t.metrics, t.journal, t.host))
 }
 
 // Control performs a process-control operation through the wire
@@ -265,7 +268,7 @@ func (l *LPM) onToolMsg(conn *simnet.Conn, b []byte) {
 	if l.exited {
 		return
 	}
-	env, err := wire.DecodeEnvelope(b)
+	env, err := wire.DecodeEnvelopeLogged(b, l.journal, l.Host())
 	if err != nil {
 		return
 	}
@@ -277,7 +280,7 @@ func (l *LPM) onToolMsg(conn *simnet.Conn, b []byte) {
 			if conn.Open() {
 				renv := wire.Envelope{Type: mt, ReqID: env.ReqID, Body: body}
 				renv.SetTrace(ctx.Trace, ctx.Span)
-				_ = conn.SendCtx(renv.EncodeCounted(l.metrics), ctx)
+				_ = conn.SendCtx(renv.EncodeLogged(l.metrics, l.journal, l.Host()), ctx)
 			}
 		})
 	}

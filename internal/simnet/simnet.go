@@ -15,10 +15,12 @@ package simnet
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"ppm/internal/calib"
 	"ppm/internal/detord"
+	"ppm/internal/journal"
 	"ppm/internal/metrics"
 	"ppm/internal/sim"
 	"ppm/internal/trace"
@@ -103,6 +105,7 @@ type Network struct {
 	stats    Stats
 	metrics  *metrics.Registry
 	tracer   *trace.Tracer
+	journal  *journal.Journal
 	tap      func(TapEvent)
 }
 
@@ -143,6 +146,32 @@ func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
 // Tracer returns the tracer installed with SetTracer (possibly nil;
 // all tracer methods tolerate that).
 func (n *Network) Tracer() *trace.Tracer { return n.tracer }
+
+// SetJournal installs the cluster's flight recorder. Like the metrics
+// registry, the network both feeds it (message motion and failure
+// injection) and carries it for the layers above, which reach it
+// through their *Network. A nil journal (the default) disables it.
+func (n *Network) SetJournal(j *journal.Journal) { n.journal = j }
+
+// Journal returns the journal installed with SetJournal (possibly nil;
+// all journal methods tolerate that).
+func (n *Network) Journal() *journal.Journal { return n.journal }
+
+// logMsg appends one message-motion record on host (the sender for
+// sends, the receiver for deliveries): kind is the record kind
+// (send/deliver/drop), transport "datagram" or "circuit", and note an
+// optional drop reason.
+func (n *Network) logMsg(kind journal.Kind, host, transport string, from, to Addr,
+	size int, note string, ctx trace.Context) {
+	if n.journal == nil {
+		return
+	}
+	detail := fmt.Sprintf("%s %s->%s %dB", transport, from, to, size)
+	if note != "" {
+		detail += " " + note
+	}
+	n.journal.AppendCtx(kind, host, detail, ctx.Trace, ctx.Span)
+}
 
 // ResetStats zeroes the activity counters.
 func (n *Network) ResetStats() { n.stats = Stats{} }
@@ -381,6 +410,7 @@ func (n *Network) Crash(host string) error {
 		return nil
 	}
 	n.metrics.Counter("simnet.host.crashes").Inc()
+	n.journal.Append(journal.NetHostCrash, host, "")
 	nd.up = false
 	nd.listeners = make(map[uint16]func(*Conn))
 	nd.dgram = make(map[uint16]func(Addr, []byte))
@@ -415,6 +445,7 @@ func (n *Network) Restart(host string) error {
 	}
 	if !nd.up {
 		n.metrics.Counter("simnet.host.restarts").Inc()
+		n.journal.Append(journal.NetHostRestart, host, "")
 	}
 	nd.up = true
 	return nil
@@ -437,6 +468,13 @@ func (n *Network) Partition(groups ...[]string) error {
 		}
 	}
 	n.metrics.Counter("simnet.partition.events").Inc()
+	if n.journal != nil {
+		parts := make([]string, len(groups))
+		for i, g := range groups {
+			parts[i] = strings.Join(g, ",")
+		}
+		n.journal.Append(journal.NetPartition, "", "groups="+strings.Join(parts, "|"))
+	}
 	n.updatePartitionGauge()
 	n.breakSeveredConns()
 	return nil
@@ -448,6 +486,7 @@ func (n *Network) Heal() {
 		nd.group = 0
 	}
 	n.metrics.Counter("simnet.partition.heals").Inc()
+	n.journal.Append(journal.NetHeal, "", "")
 	n.updatePartitionGauge()
 }
 
@@ -489,6 +528,7 @@ func (n *Network) breakRemote(c *Conn) {
 	n.stats.ConnsBroken++
 	n.metrics.Counter("simnet.circuit.broken").Inc()
 	n.emitTap(TapEvent{Kind: TapConnBreak, From: c.local, To: c.remote, Circuit: true})
+	n.logMsg(journal.NetCircuitBreak, c.local.Host, "circuit", c.local, c.remote, 0, "", trace.Context{})
 }
 
 // --- datagrams ---
@@ -530,10 +570,12 @@ func (n *Network) SendDatagramCtx(from, to Addr, payload []byte, ctx trace.Conte
 	n.stats.BytesSent += int64(len(payload))
 	n.countSend("simnet.datagram", from.Host, to.Host, len(payload))
 	n.emitTap(TapEvent{Kind: TapSend, From: from, To: to, Size: len(payload)})
+	n.logMsg(journal.NetSend, from.Host, "datagram", from, to, len(payload), "", ctx)
 	if !n.Reachable(from.Host, to.Host) {
 		n.stats.MsgsDropped++
 		n.metrics.Counter("simnet.datagram.dropped").Inc()
 		n.emitTap(TapEvent{Kind: TapDrop, From: from, To: to, Size: len(payload)})
+		n.logMsg(journal.NetDrop, from.Host, "datagram", from, to, len(payload), "unreachable", ctx)
 		return
 	}
 	n.traceTransit(ctx, from.Host, to.Host, len(payload))
@@ -546,6 +588,7 @@ func (n *Network) SendDatagramCtx(from, to Addr, payload []byte, ctx trace.Conte
 			n.stats.MsgsDropped++
 			n.metrics.Counter("simnet.datagram.dropped").Inc()
 			n.emitTap(TapEvent{Kind: TapDrop, From: from, To: to, Size: len(body)})
+			n.logMsg(journal.NetDrop, to.Host, "datagram", from, to, len(body), "lost", ctx)
 			return
 		}
 		h, ok := nd.dgram[to.Port]
@@ -553,9 +596,11 @@ func (n *Network) SendDatagramCtx(from, to Addr, payload []byte, ctx trace.Conte
 			n.stats.MsgsDropped++
 			n.metrics.Counter("simnet.datagram.dropped").Inc()
 			n.emitTap(TapEvent{Kind: TapDrop, From: from, To: to, Size: len(body)})
+			n.logMsg(journal.NetDrop, to.Host, "datagram", from, to, len(body), "no-handler", ctx)
 			return
 		}
 		n.emitTap(TapEvent{Kind: TapDeliver, From: from, To: to, Size: len(body)})
+		n.logMsg(journal.NetDeliver, to.Host, "datagram", from, to, len(body), "", ctx)
 		h(from, body)
 	})
 }
@@ -612,11 +657,13 @@ func (c *Conn) SendCtx(payload []byte, ctx trace.Context) error {
 	n.stats.BytesSent += int64(len(payload))
 	n.countSend("simnet.circuit", c.local.Host, c.remote.Host, len(payload))
 	n.emitTap(TapEvent{Kind: TapSend, From: c.local, To: c.remote, Size: len(payload), Circuit: true})
+	n.logMsg(journal.NetSend, c.local.Host, "circuit", c.local, c.remote, len(payload), "", ctx)
 	if !n.Reachable(c.local.Host, c.remote.Host) {
 		// TCP would retransmit and eventually time out; model that as
 		// an eventual break of both endpoints.
 		n.stats.MsgsDropped++
 		n.metrics.Counter("simnet.circuit.dropped").Inc()
+		n.logMsg(journal.NetDrop, c.local.Host, "circuit", c.local, c.remote, len(payload), "severed", ctx)
 		n.breakRemote(c)
 		n.breakRemote(c.peer)
 		return nil
@@ -636,17 +683,20 @@ func (c *Conn) SendCtx(payload []byte, ctx trace.Context) error {
 			n.stats.MsgsDropped++
 			n.metrics.Counter("simnet.circuit.dropped").Inc()
 			n.emitTap(TapEvent{Kind: TapDrop, From: c.local, To: c.remote, Size: len(body), Circuit: true})
+			n.logMsg(journal.NetDrop, c.remote.Host, "circuit", c.local, c.remote, len(body), "closed", ctx)
 			return
 		}
 		if !n.Reachable(c.local.Host, c.remote.Host) {
 			n.stats.MsgsDropped++
 			n.metrics.Counter("simnet.circuit.dropped").Inc()
 			n.emitTap(TapEvent{Kind: TapDrop, From: c.local, To: c.remote, Size: len(body), Circuit: true})
+			n.logMsg(journal.NetDrop, c.remote.Host, "circuit", c.local, c.remote, len(body), "severed", ctx)
 			n.breakRemote(c)
 			n.breakRemote(peer)
 			return
 		}
 		n.emitTap(TapEvent{Kind: TapDeliver, From: c.local, To: c.remote, Size: len(body), Circuit: true})
+		n.logMsg(journal.NetDeliver, c.remote.Host, "circuit", c.local, c.remote, len(body), "", ctx)
 		if peer.onMsg != nil {
 			peer.onMsg(body)
 		}
@@ -663,6 +713,7 @@ func (c *Conn) Close() {
 		return
 	}
 	c.net.metrics.Counter("simnet.circuit.closed").Inc()
+	c.net.logMsg(journal.NetCircuitClose, c.local.Host, "circuit", c.local, c.remote, 0, "", trace.Context{})
 	c.closeWith(nil)
 	peer := c.peer
 	if peer != nil && peer.open {
@@ -777,6 +828,7 @@ func (n *Network) DialCtx(fromHost string, to Addr, ctx trace.Context, cb func(*
 		n.stats.ConnsOpened++
 		n.metrics.Counter("simnet.circuit.opened").Inc()
 		n.emitTap(TapEvent{Kind: TapConnOpen, From: local, To: to, Circuit: true})
+		n.logMsg(journal.NetCircuitOpen, fromHost, "circuit", local, to, 0, "", ctx)
 		acceptFn(server)
 		n.traceTransit(ctx, to.Host, fromHost, 64) // SYN-ACK
 		n.sched.After(d, func() {                  // SYN-ACK back to the dialer

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ppm/internal/calib"
+	"ppm/internal/journal"
 	"ppm/internal/metrics"
 	"ppm/internal/proc"
 )
@@ -149,6 +150,17 @@ func (ev Envelope) EncodeCounted(reg *metrics.Registry) []byte {
 	return b
 }
 
+// EncodeLogged is EncodeCounted plus a flight-recorder record: the
+// frame lands in the journal under wire.encode, tagged with the
+// envelope kind, frame size and the envelope's own trace context, on
+// the host producing it. A nil journal makes it EncodeCounted.
+func (ev Envelope) EncodeLogged(reg *metrics.Registry, jr *journal.Journal, host string) []byte {
+	b := ev.EncodeCounted(reg)
+	jr.AppendCtx(journal.WireEncode, host,
+		fmt.Sprintf("%s %dB", ev.Type, len(b)), ev.TraceID, ev.SpanID)
+	return b
+}
+
 // DecodeEnvelope parses a framed message. A 17-byte trace trailer is
 // read when present; zero padding after the body (fixed-size frames)
 // decodes as "no trace".
@@ -166,6 +178,19 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 		return Envelope{}, err
 	}
 	return ev, nil
+}
+
+// DecodeEnvelopeLogged is DecodeEnvelope plus a flight-recorder record
+// on the receiving host: successfully parsed frames land in the journal
+// under wire.decode with the envelope kind and the decoded trace
+// context. A nil journal makes it DecodeEnvelope.
+func DecodeEnvelopeLogged(b []byte, jr *journal.Journal, host string) (Envelope, error) {
+	ev, err := DecodeEnvelope(b)
+	if err == nil {
+		jr.AppendCtx(journal.WireDecode, host,
+			fmt.Sprintf("%s %dB", ev.Type, len(b)), ev.TraceID, ev.SpanID)
+	}
+	return ev, err
 }
 
 // --- shared field helpers ---

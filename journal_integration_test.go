@@ -1,0 +1,266 @@
+package ppm_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ppm"
+	"ppm/internal/journal"
+)
+
+// journalScenario drives the same three-host computation the metrics
+// integration test uses — remote creation, sibling traffic, a snapshot
+// flood, a partition, and a crash — with a journal ring large enough to
+// retain every record, and returns the cluster for inspection.
+func journalScenario(t *testing.T, seed int64) *ppm.Cluster {
+	t.Helper()
+	c, err := ppm.NewCluster(ppm.ClusterConfig{
+		Seed: seed,
+		Hosts: []ppm.HostSpec{
+			{Name: "a"}, {Name: "b"}, {Name: "c", Type: ppm.SunII},
+		},
+		JournalCapacity: 1 << 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddUser("u")
+	c.SetRecoveryList("u", "a", "b", "c")
+	sess, err := c.Attach("u", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := sess.Run("a", "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := sess.RunChild("b", "wb", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunChild("c", "wc", root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Stop(wb); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Partition([]string{"a", "b"}, []string{"c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Heal()
+	if err := c.Advance(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// firstToken returns the first space-separated token of a record's
+// detail — the transport for net.send/deliver/drop, the message type
+// name for wire.encode/decode, the event kind for kernel.event.
+func firstToken(detail string) string {
+	if i := strings.IndexByte(detail, ' '); i >= 0 {
+		return detail[:i]
+	}
+	return detail
+}
+
+// TestJournalMetricsCrossCheck: the journal and the metrics registry
+// observe the same instrumentation points, so per-kind record counts
+// must equal the corresponding counters exactly. A mismatch means one
+// subsystem saw traffic the other missed.
+func TestJournalMetricsCrossCheck(t *testing.T) {
+	c := journalScenario(t, 7)
+	j := c.Journal()
+	if j.Dropped() != 0 {
+		t.Fatalf("journal dropped %d records; raise JournalCapacity", j.Dropped())
+	}
+	kindCount := make(map[journal.Kind]uint64)
+	tokCount := make(map[string]uint64) // "<kind>/<first detail token>"
+	for _, r := range j.Records() {
+		kindCount[r.Kind]++
+		tokCount[string(r.Kind)+"/"+firstToken(r.Detail)]++
+	}
+	snap := c.MetricsSnapshot()
+
+	checks := []struct {
+		counter string
+		records uint64
+	}{
+		{"simnet.datagram.sent", tokCount["net.send/datagram"]},
+		{"simnet.circuit.sent", tokCount["net.send/circuit"]},
+		{"simnet.datagram.dropped", tokCount["net.drop/datagram"]},
+		{"simnet.circuit.dropped", tokCount["net.drop/circuit"]},
+		{"simnet.circuit.opened", kindCount[journal.NetCircuitOpen]},
+		{"simnet.circuit.closed", kindCount[journal.NetCircuitClose]},
+		{"simnet.circuit.broken", kindCount[journal.NetCircuitBreak]},
+		{"simnet.host.crashes", kindCount[journal.NetHostCrash]},
+		{"simnet.host.restarts", kindCount[journal.NetHostRestart]},
+		{"simnet.partition.events", kindCount[journal.NetPartition]},
+		{"simnet.partition.heals", kindCount[journal.NetHeal]},
+		{"kernel.spawns", kindCount[journal.KernelSpawn]},
+		{"kernel.forks", kindCount[journal.KernelFork]},
+		{"kernel.exits", kindCount[journal.KernelExit]},
+		{"daemon.queries", kindCount[journal.DaemonQuery]},
+		{"daemon.auth_failures", kindCount[journal.DaemonAuthFail]},
+		{"daemon.lpm.found", kindCount[journal.DaemonLPMFound]},
+		{"daemon.lpm.created", kindCount[journal.DaemonLPMCreated]},
+		{"lpm.adoptions", kindCount[journal.LPMAdopt]},
+		{"lpm.siblings.opened", kindCount[journal.LPMSiblingOpen]},
+		{"lpm.siblings.closed", kindCount[journal.LPMSiblingClose]},
+		{"lpm.siblings.rejected", kindCount[journal.LPMSiblingReject]},
+		{"lpm.flood.originated", kindCount[journal.LPMFloodOrigin]},
+		{"lpm.flood.dedup_hits", kindCount[journal.LPMFloodDup]},
+		{"lpm.relay.originated", kindCount[journal.LPMRelayOrigin]},
+		{"lpm.relay.forwarded", kindCount[journal.LPMRelayForward]},
+	}
+	for _, ck := range checks {
+		if got := snap.Counter(ck.counter); got != ck.records {
+			t.Errorf("%s = %d but journal recorded %d", ck.counter, got, ck.records)
+		}
+	}
+
+	// The flood body runs once at the origin and once per forwarding
+	// host, so applies must equal originations plus forwards.
+	applies := kindCount[journal.LPMFloodApply]
+	want := snap.Counter("lpm.flood.originated") + snap.Counter("lpm.flood.forwarded")
+	if applies != want {
+		t.Errorf("lpm.flood.apply records = %d, want originated+forwarded = %d", applies, want)
+	}
+
+	// Every encoded wire message is both counted and journaled, broken
+	// down by message type: wire.msgs.<Name> must equal the number of
+	// wire.encode records whose detail leads with <Name>, for every
+	// message type either side saw.
+	wireFam, ok := snap.Family("wire")
+	if !ok {
+		t.Fatal("no wire metrics family")
+	}
+	seen := make(map[string]bool)
+	for _, cp := range wireFam.Counters {
+		name, found := strings.CutPrefix(cp.Name, "wire.msgs.")
+		if !found {
+			continue
+		}
+		seen[name] = true
+		if got := tokCount["wire.encode/"+name]; got != cp.Value {
+			t.Errorf("wire.msgs.%s = %d but journal recorded %d encodes", name, cp.Value, got)
+		}
+	}
+	for key, n := range tokCount {
+		name, found := strings.CutPrefix(key, "wire.encode/")
+		if !found {
+			continue
+		}
+		if !seen[name] {
+			t.Errorf("journal recorded %d encodes of %s but no wire.msgs.%s counter exists", n, name, name)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no wire.msgs counters recorded")
+	}
+
+	// Sanity: the scenario exercised every instrumented layer.
+	for _, k := range []journal.Kind{
+		journal.NetSend, journal.WireEncode, journal.WireDecode,
+		journal.KernelSpawn, journal.DaemonQuery, journal.LPMAdopt,
+		journal.LPMSiblingAuth, journal.LPMFloodOrigin, journal.SnapshotTaken,
+	} {
+		if kindCount[k] == 0 {
+			t.Errorf("scenario produced no %s records", k)
+		}
+	}
+}
+
+// TestJournalAuditOnScenario: the flight recorder's invariant auditor
+// must pass over the full chaos scenario — partition, heal, crash and
+// all.
+func TestJournalAuditOnScenario(t *testing.T) {
+	c := journalScenario(t, 7)
+	if vs := c.JournalAudit(); len(vs) != 0 {
+		t.Fatalf("audit violations:\n%s", journal.AuditReport(vs))
+	}
+}
+
+// TestJournalDisabled: NoJournal must leave every journal surface inert
+// but safe.
+func TestJournalDisabled(t *testing.T) {
+	c, err := ppm.NewCluster(ppm.ClusterConfig{
+		Hosts:     []ppm.HostSpec{{Name: "a"}, {Name: "b"}},
+		NoJournal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddUser("u")
+	sess, err := c.Attach("u", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := sess.Run("a", "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunChild("b", "w", root); err != nil {
+		t.Fatal(err)
+	}
+	if c.Journal() != nil {
+		t.Fatal("NoJournal cluster still has a journal")
+	}
+	if got := c.JournalReport(ppm.JournalFilter{}); !strings.Contains(got, "disabled") {
+		t.Fatalf("JournalReport = %q", got)
+	}
+	if vs := c.JournalAudit(); vs != nil {
+		t.Fatalf("JournalAudit on disabled journal = %v", vs)
+	}
+}
+
+// TestJournalTraceCrossLink: records appended inside traced operations
+// must carry the operation's trace ID, tying each journal line to its
+// span in the causal trace tree.
+func TestJournalTraceCrossLink(t *testing.T) {
+	c, err := ppm.NewCluster(ppm.ClusterConfig{
+		Hosts: []ppm.HostSpec{{Name: "a"}, {Name: "b"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddUser("u")
+	sess, err := c.Attach("u", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := sess.Run("a", "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sess.RunChild("b", "w", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Trace(func() error { return sess.Stop(w) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var linked int
+	for _, r := range c.Journal().Records() {
+		if r.Trace == id {
+			linked++
+		}
+	}
+	if linked == 0 {
+		t.Fatal("no journal records carry the traced operation's trace ID")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ppm"
+	"ppm/internal/journal"
 	"ppm/internal/proc"
 )
 
@@ -20,6 +21,16 @@ func twoHostCluster(t *testing.T) *ppm.Cluster {
 	}
 	c.AddUser("felipe")
 	return c
+}
+
+// auditClean asserts the flight recorder's invariant audit finds
+// nothing; the failure-injection tests run it after recovering so a
+// protocol breach hidden by an otherwise-happy outcome still fails.
+func auditClean(t *testing.T, c *ppm.Cluster) {
+	t.Helper()
+	if vs := c.JournalAudit(); len(vs) != 0 {
+		t.Fatalf("journal audit violations:\n%s", journal.AuditReport(vs))
+	}
 }
 
 func TestAttachCreatesLPMOnDemand(t *testing.T) {
@@ -274,6 +285,7 @@ func TestCrashAndPartialSnapshot(t *testing.T) {
 	if !strings.Contains(snap.Render(), "partial") {
 		t.Fatal("render should note the partial snapshot")
 	}
+	auditClean(t, c)
 }
 
 func TestRestartAfterCrash(t *testing.T) {
@@ -297,6 +309,7 @@ func TestRestartAfterCrash(t *testing.T) {
 	if id.Host != "vax2" {
 		t.Fatal("create on restarted host failed")
 	}
+	auditClean(t, c)
 }
 
 func TestRecoveryListFailover(t *testing.T) {
@@ -327,6 +340,7 @@ func TestRecoveryListFailover(t *testing.T) {
 	if !lb.Recovery().IsCCS() {
 		t.Fatalf("b should be CCS after a's crash (ccs=%q)", lb.Recovery().CCS())
 	}
+	auditClean(t, c)
 }
 
 func TestMixedHostTypes(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ppm"
+	"ppm/internal/journal"
 	"ppm/internal/lpm"
 	"ppm/internal/recovery"
 )
@@ -26,7 +27,8 @@ func TestSoakChaos(t *testing.T) {
 		names = append(names, name)
 	}
 	cfg := ppm.ClusterConfig{
-		Hosts: hosts,
+		Hosts:           hosts,
+		JournalCapacity: 1 << 19, // retain the whole run for the final audit
 		LPM: lpm.Config{
 			TTL: time.Hour,
 			Recovery: recovery.Config{
@@ -186,4 +188,12 @@ func TestSoakChaos(t *testing.T) {
 	}
 	t.Logf("soak: %d ok, %d failed-clean, %d procs created, final snapshot %d procs (partial=%v)",
 		opsOK, opsFailed, len(procs), len(snap.Procs), snap.Partial)
+
+	// The flight recorder watched every one of those ~thousands of
+	// events; its invariant auditor must find nothing to complain about.
+	if vs := c.JournalAudit(); len(vs) != 0 {
+		t.Fatalf("journal audit after chaos soak:\n%s", journal.AuditReport(vs))
+	}
+	t.Logf("soak journal: %d records retained, %d dropped, audit clean",
+		c.Journal().Len(), c.Journal().Dropped())
 }

@@ -37,6 +37,12 @@ const (
 	SunII  = calib.SunII
 )
 
+// RetryPolicy re-exports the sibling-RPC retry knobs
+// (lpm.RetryPolicy): set ClusterConfig.LPM.Retry to tune how many
+// times a failed sibling request is retransmitted (MaxAttempts) and
+// the capped exponential backoff between attempts (BaseBackoff, Cap).
+type RetryPolicy = lpm.RetryPolicy
+
 // HostSpec declares one host of the installation.
 type HostSpec struct {
 	Name string
@@ -420,6 +426,13 @@ func (c *Cluster) Partition(groups ...[]string) error {
 
 // Heal removes all partitions.
 func (c *Cluster) Heal() { c.net.Heal() }
+
+// InjectLoss arranges for every Nth inter-host message to be lost
+// (deterministically): datagrams vanish silently, circuit messages
+// sever their circuit. The reliability layer's retry/redial machinery
+// is exercised without any partition or crash. every <= 0 disables
+// injection.
+func (c *Cluster) InjectLoss(every int) { c.net.InjectLoss(every) }
 
 // --- load generation ---
 

@@ -12,7 +12,10 @@
 // prints the flight-recorder journal: the ordered stream of structured
 // events every layer appended while the scenario ran, filterable by
 // kind, host and virtual-time window. -hosts N (2..5) widens the
-// scenario to N hosts with one worker per extra host.
+// scenario to N hosts with one worker per extra host. -drops N loses
+// every Nth inter-host message once the computation is up, so the run
+// exercises the sibling-RPC retry/redial layer — deterministically:
+// same flags, same journal, losses included.
 package main
 
 import (
@@ -30,7 +33,7 @@ import (
 )
 
 func usage(w io.Writer) {
-	fmt.Fprintf(w, "usage: ppmtrace [-hosts N] [-spans] [-metrics] [-journal"+
+	fmt.Fprintf(w, "usage: ppmtrace [-hosts N] [-drops N] [-spans] [-metrics] [-journal"+
 		" [-journal-kinds K,...] [-journal-host H] [-journal-since D] [-journal-until D]]\n")
 	fmt.Fprintf(w, "journal record kinds: %s\n", kindList())
 }
@@ -46,6 +49,7 @@ func kindList() string {
 // options is the validated command line.
 type options struct {
 	hosts        int
+	drops        int
 	showSpans    bool
 	showMetrics  bool
 	showJournal  bool
@@ -64,6 +68,8 @@ func parseArgs(args []string) (options, error) {
 	fs := flag.NewFlagSet("ppmtrace", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	fs.IntVar(&o.hosts, "hosts", 2, "number of hosts in the scenario (2..5)")
+	fs.IntVar(&o.drops, "drops", 0,
+		"lose every Nth inter-host message once the computation is up (0 = lossless)")
 	fs.BoolVar(&o.showSpans, "spans", false,
 		"trace the remote stop and print the causal span waterfall")
 	fs.BoolVar(&o.showMetrics, "metrics", false,
@@ -86,6 +92,9 @@ func parseArgs(args []string) (options, error) {
 	}
 	if o.hosts < 2 || o.hosts > 5 {
 		return o, fmt.Errorf("-hosts must be between 2 and 5, got %d", o.hosts)
+	}
+	if o.drops < 0 {
+		return o, fmt.Errorf("-drops must be >= 0, got %d", o.drops)
 	}
 	if o.showJournal && (o.showSpans || o.showMetrics) {
 		return o, errors.New("-journal is mutually exclusive with -spans and -metrics")
@@ -143,7 +152,13 @@ func run(o options) error {
 	for i := range specs {
 		specs[i] = ppm.HostSpec{Name: fmt.Sprintf("vax%d", i+1)}
 	}
-	cluster, err := ppm.NewCluster(ppm.ClusterConfig{Hosts: specs})
+	cc := ppm.ClusterConfig{Hosts: specs}
+	if o.drops > 0 {
+		// Losses sever circuits; give the retry engine headroom so the
+		// scenario's control traffic still lands exactly once.
+		cc.LPM.Retry = ppm.RetryPolicy{MaxAttempts: 6}
+	}
+	cluster, err := ppm.NewCluster(cc)
 	if err != nil {
 		return err
 	}
@@ -174,6 +189,10 @@ func run(o options) error {
 	if err := cluster.Advance(time.Second); err != nil {
 		return err
 	}
+	// With -drops, the computation is built lossless and then the rest
+	// of the scenario — control, history floods, the traced stop — runs
+	// over a lossy network, riding the reliability layer.
+	cluster.InjectLoss(o.drops)
 
 	// Generate activity: syscalls, files, IPC, control.
 	k1, err := cluster.Kernel("vax1")

@@ -10,7 +10,7 @@ import (
 // Violation is one invariant breach found by Audit.
 type Violation struct {
 	Seq   uint64 // journal sequence number of the offending record
-	Check string // which invariant: "genealogy", "circuit", "flood"
+	Check string // which invariant: "genealogy", "circuit", "flood", "dedup"
 	Msg   string
 }
 
@@ -37,7 +37,11 @@ const maxViolations = 64
 //   - flood dedup: no broadcast is applied twice by the same host, every
 //     host a flood reports covering has an apply record, and — when the
 //     circuit graph was quiescent for the flood's whole window — every
-//     sibling transitively reachable at origin time was reached.
+//     sibling transitively reachable at origin time was reached;
+//   - no double execution: an at-most-once operation (stable OpID
+//     across retransmits) is executed at most once across the whole
+//     installation, and a cached-reply replay refers to an operation
+//     that was in fact executed.
 //
 // Checks that need records outside the retained ring (creation before
 // snapshot, open before close) are skipped when the ring has evicted
@@ -56,6 +60,7 @@ func AuditRecords(records []Record, complete bool) []Violation {
 		chans:    make(map[string]*auditChan),
 		edges:    make(map[string]map[string]*auditEdge),
 		floods:   make(map[string]*auditFlood),
+		execs:    make(map[string]string),
 	}
 	for _, r := range records {
 		if len(a.out) >= maxViolations {
@@ -111,6 +116,7 @@ type auditor struct {
 	chans    map[string]*auditChan
 	edges    map[string]map[string]*auditEdge // user -> chan -> edge
 	floods   map[string]*auditFlood           // stamp -> flood
+	execs    map[string]string                // op key -> executing host
 	epoch    int                              // bumped by any event that changes reachability
 	out      []Violation
 }
@@ -174,6 +180,18 @@ func (a *auditor) step(r Record) {
 		a.floodState(Field(r.Detail, "stamp")).dups[r.Host] = true
 	case LPMFloodDone:
 		a.floodDone(r)
+	case LPMOpExec:
+		op := Field(r.Detail, "op")
+		if prev, ok := a.execs[op]; ok {
+			a.fail(r, "dedup", "op %s executed twice (first on %s, again on %s)",
+				op, prev, r.Host)
+		}
+		a.execs[op] = r.Host
+	case LPMOpReplay:
+		op := Field(r.Detail, "op")
+		if _, ok := a.execs[op]; !ok && a.complete {
+			a.fail(r, "dedup", "replay of op %s which was never executed", op)
+		}
 	}
 }
 

@@ -69,6 +69,17 @@ const (
 	LPMRelayOrigin   Kind = "lpm.relay.origin"
 	LPMRelayForward  Kind = "lpm.relay.forward"
 
+	// lpm reliability: the retry engine and at-most-once dedup.
+	// A retry names the operation being retransmitted and the attempt
+	// number; a redial records the engine (or recovery) re-establishing
+	// a circuit; op.exec marks the first execution of an at-most-once
+	// operation and op.replay a cached reply answering a retransmit —
+	// the audit holds each op to at most one exec.
+	LPMRetry    Kind = "lpm.request.retry"
+	LPMRedial   Kind = "lpm.sibling.redial"
+	LPMOpExec   Kind = "lpm.op.exec"
+	LPMOpReplay Kind = "lpm.op.replay"
+
 	// snapshot: a completed distributed snapshot, with its merged
 	// process table encoded in the detail (audited against the
 	// genealogy reconstructed from the kernel records).
@@ -87,6 +98,7 @@ var kinds = []Kind{
 	LPMSiblingAuth, LPMSiblingOpen, LPMSiblingClose, LPMSiblingReject,
 	LPMFloodOrigin, LPMFloodApply, LPMFloodDup, LPMFloodDone,
 	LPMRelayOrigin, LPMRelayForward,
+	LPMRetry, LPMRedial, LPMOpExec, LPMOpReplay,
 	SnapshotTaken,
 }
 

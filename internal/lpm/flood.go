@@ -31,27 +31,55 @@ type floodState struct {
 	finish    func(wire.FloodResult)
 }
 
+// seenEntry is one slot of the stamp-eviction queue.
+type seenEntry struct {
+	key string
+	exp sim.Time
+}
+
+// evictSeen drops expired stamps. The queue is ordered by insertion,
+// and the dedup window is a constant, so it is also ordered by expiry:
+// eviction inspects exactly the expired entries plus one, O(expired)
+// per call instead of a full-map scan per broadcast. A key can only
+// re-enter l.seen after its queue entry was popped, so a live map
+// entry is always the one its sole queue entry describes.
+func (l *LPM) evictSeen(now sim.Time) {
+	for l.seenHead < len(l.seenQ) {
+		e := l.seenQ[l.seenHead]
+		if !e.exp.Before(now) {
+			break
+		}
+		l.seenHead++
+		delete(l.seen, e.key)
+	}
+	// Reclaim the drained prefix once it dominates the slice.
+	if l.seenHead > len(l.seenQ)/2 {
+		l.seenQ = append([]seenEntry(nil), l.seenQ[l.seenHead:]...)
+		l.seenHead = 0
+	}
+}
+
 // markSeen records a stamp in the dedup window and reports whether it
 // was already present (a duplicate).
 func (l *LPM) markSeen(stamp wire.Stamp) bool {
 	now := l.sched.Now()
-	// Lazy eviction of expired stamps.
-	for k, exp := range l.seen {
-		if exp.Before(now) {
-			delete(l.seen, k)
-		}
-	}
+	l.evictSeen(now)
 	key := stamp.Key()
 	if _, ok := l.seen[key]; ok {
 		return true
 	}
-	l.seen[key] = now.Add(l.cfg.DedupWindow)
+	exp := now.Add(l.cfg.DedupWindow)
+	l.seen[key] = exp
+	l.seenQ = append(l.seenQ, seenEntry{key: key, exp: exp})
 	return false
 }
 
-// SeenStamps returns the number of retained broadcast stamps (for the
-// dedup-window ablation).
-func (l *LPM) SeenStamps() int { return len(l.seen) }
+// SeenStamps returns the number of live (unexpired) broadcast stamps
+// (for the dedup-window ablation).
+func (l *LPM) SeenStamps() int {
+	l.evictSeen(l.sched.Now())
+	return len(l.seen)
+}
 
 // localFloodWork performs the inner operation locally and returns the
 // fragment plus the CPU demand it costs.
@@ -119,19 +147,23 @@ func (l *LPM) startFlood(ctx trace.Context, inner wire.Envelope, cb func(wire.Fl
 	l.runFlood(ctx, st, bc, inner, "")
 }
 
-// handleFlood serves a broadcast arriving over a sibling circuit.
-func (l *LPM) handleFlood(sb *sibling, env wire.Envelope) {
+// handleFlood serves a broadcast arriving over a sibling circuit,
+// answering through reply. The at-most-once filter upstream makes the
+// per-hop echo retryable: a retransmitted leg replays this node's full
+// cached echo instead of being answered Dup (which would lose the
+// subtree's data).
+func (l *LPM) handleFlood(sb *sibling, env wire.Envelope, reply func(wire.MsgType, []byte)) {
 	ctx := trace.Context{Trace: env.TraceID, Span: env.SpanID}
 	bc, err := wire.DecodeBroadcast(env.Body)
 	if err != nil {
-		l.sendReply(ctx, sb, env.ReqID, wire.MsgBroadcastResp,
+		reply(wire.MsgBroadcastResp,
 			wire.BroadcastResp{Inner: wire.FloodResult{OK: false}.Encode()}.Encode())
 		return
 	}
 	// Verify the signed stamp: the origin's name appears in it and the
 	// signature binds it to the user's key.
 	if !bc.Stamp.Verify(l.user.Key()) {
-		l.sendReply(ctx, sb, env.ReqID, wire.MsgBroadcastResp,
+		reply(wire.MsgBroadcastResp,
 			wire.BroadcastResp{Inner: wire.FloodResult{OK: false}.Encode()}.Encode())
 		return
 	}
@@ -142,7 +174,7 @@ func (l *LPM) handleFlood(sb *sibling, env wire.Envelope) {
 		l.journal.AppendCtx(journal.LPMFloodDup, l.Host(),
 			fmt.Sprintf("user=%s stamp=%s", l.user.Name, stampID(bc.Stamp)),
 			ctx.Trace, ctx.Span)
-		l.sendReply(ctx, sb, env.ReqID, wire.MsgBroadcastResp,
+		reply(wire.MsgBroadcastResp,
 			wire.BroadcastResp{
 				Seq: bc.Seq, From: l.Host(), Route: bc.Route,
 				Inner: wire.FloodResult{OK: true, Dup: true}.Encode(),
@@ -153,14 +185,14 @@ func (l *LPM) handleFlood(sb *sibling, env wire.Envelope) {
 	l.metrics.Counter("lpm.flood.forwarded").Inc()
 	inner, err := wire.DecodeEnvelopeLogged(bc.Inner, l.journal, l.Host())
 	if err != nil {
-		l.sendReply(ctx, sb, env.ReqID, wire.MsgBroadcastResp,
+		reply(wire.MsgBroadcastResp,
 			wire.BroadcastResp{Inner: wire.FloodResult{OK: false}.Encode()}.Encode())
 		return
 	}
 	fwd := bc
 	fwd.Route = append(append([]string(nil), bc.Route...), l.Host())
 	st := &floodState{key: bc.Stamp.Key(), finish: func(res wire.FloodResult) {
-		l.sendReply(ctx, sb, env.ReqID, wire.MsgBroadcastResp, wire.BroadcastResp{
+		reply(wire.MsgBroadcastResp, wire.BroadcastResp{
 			Seq: bc.Seq, From: l.Host(), Route: fwd.Route, Inner: res.Encode(),
 		}.Encode())
 	}}
@@ -207,9 +239,14 @@ func (l *LPM) runFlood(ctx trace.Context, st *floodState, bc wire.Broadcast, inn
 		st.awaiting--
 		l.maybeFinishFlood(st)
 	}
+	// Each per-hop echo is its own at-most-once operation through the
+	// retry engine: a lost request or echo is retransmitted under a
+	// stable op id, and the child replays its full cached echo rather
+	// than answering Dup for an already-seen stamp.
 	for _, child := range children {
 		from := child.host
-		l.sendRequest(ctx, child, wire.MsgBroadcast, bc.Encode(), func(env wire.Envelope, err error) {
+		l.opSeq++
+		l.callWithRetry(ctx, from, wire.MsgBroadcast, bc.Encode(), l.opSeq, 1, func(env wire.Envelope, err error) {
 			if err != nil {
 				merge(wire.FloodResult{}, from, err)
 				return
@@ -332,7 +369,7 @@ func (l *LPM) Ping(host string, cb func(wire.Pong, error)) {
 				return
 			}
 			body := wire.Ping{FromHost: l.Host(), User: l.user.Name}.Encode()
-			l.sendRequest(ctx, sb, wire.MsgPing, body, func(env wire.Envelope, err error) {
+			l.sendRequest(ctx, sb, wire.MsgPing, body, 0, func(env wire.Envelope, err error) {
 				done(func() {
 					if err != nil {
 						cb(wire.Pong{}, err)

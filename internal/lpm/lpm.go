@@ -76,6 +76,8 @@ type Config struct {
 	// recorded on broadcast data "allow quick routing of messages
 	// affecting processes in topologically distant hosts").
 	UseRelay bool
+	// Retry tunes the sibling-RPC reliability layer.
+	Retry RetryPolicy
 	// Recovery configures the CCS machinery.
 	Recovery recovery.Config
 	// HistoryCapacity bounds the event store (0 = default).
@@ -98,7 +100,57 @@ func (c Config) withDefaults() Config {
 	if c.HandlerPool == 0 && !c.NoHandlerReuse {
 		c.HandlerPool = 2
 	}
+	c.Retry = c.Retry.withDefaults()
 	return c
+}
+
+// RetryPolicy tunes the sibling-RPC retry engine. A failed attempt
+// (timeout or unreachable sibling) is retransmitted after a capped
+// exponential backoff: the first retry waits BaseBackoff, each further
+// retry doubles the wait up to Cap. All delays run on the sim
+// scheduler, so the schedule is deterministic for a given seed.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total number of transmissions of one
+	// logical operation (1 = no retries). Negative disables retries
+	// explicitly; zero means the default of 3.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retransmission.
+	BaseBackoff time.Duration
+	// Cap bounds the exponential growth of the backoff.
+	Cap time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.MaxAttempts < 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff == 0 {
+		p.BaseBackoff = 200 * time.Millisecond
+	}
+	if p.Cap == 0 {
+		p.Cap = 5 * time.Second
+	}
+	return p
+}
+
+// backoff returns the delay to wait before transmission number attempt
+// (attempt 2 is the first retry): BaseBackoff doubled per further
+// attempt, capped at Cap.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseBackoff
+	for i := 2; i < attempt; i++ {
+		d *= 2
+		if d >= p.Cap {
+			return p.Cap
+		}
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	return d
 }
 
 // Stats counts LPM activity for tests, benchmarks and ablations.
@@ -160,6 +212,19 @@ type LPM struct {
 	reqSeq  uint64
 	pending map[uint64]*pendingReq
 
+	// opSeq assigns operation identities for the retry engine: the op id
+	// stays stable across retransmissions of one logical request, while
+	// reqSeq advances per transmission.
+	opSeq uint64
+	// replies caches the encoded reply of every executed at-most-once
+	// operation, keyed by wire.OpKey(origin, op), so a retransmit is
+	// answered from the cache instead of re-executing.
+	replies *wire.ReplyCache
+	// inflightOps marks at-most-once operations currently executing, so
+	// a retransmit arriving before the first execution finishes is
+	// dropped (the sender's next retry finds the cached reply).
+	inflightOps map[string]bool
+
 	idleHandlers []proc.PID
 
 	records map[proc.PID]proc.Info // last known info, incl. exited
@@ -169,6 +234,11 @@ type LPM struct {
 
 	floodSeq uint64
 	seen     map[string]sim.Time // stamp key -> expiry
+	// seenQ orders the stamp keys by expiry for O(expired) eviction: the
+	// dedup window is a constant, so insertion order is expiry order.
+	// seenQ[seenHead:] are the live entries.
+	seenQ    []seenEntry
+	seenHead int
 
 	lastActivity sim.Time
 	ttlTimer     *sim.Timer
@@ -195,26 +265,28 @@ func New(kern *kernel.Host, net *simnet.Network, dir *auth.Directory,
 	dmns *daemon.Daemons, user *auth.User, acceptPort uint16, cfg Config) (*LPM, error) {
 	cfg = cfg.withDefaults()
 	l := &LPM{
-		user:       user,
-		kern:       kern,
-		net:        net,
-		sched:      net.Scheduler(),
-		dir:        dir,
-		dmns:       dmns,
-		cfg:        cfg,
-		accept:     simnet.Addr{Host: kern.Name(), Port: acceptPort},
-		myPids:     make(map[proc.PID]bool),
-		siblings:   make(map[string]*sibling),
-		dialing:    make(map[string][]func(*sibling, error)),
-		knownHosts: make(map[string]bool),
-		routes:     make(map[string][]string),
-		pending:    make(map[uint64]*pendingReq),
-		records:    make(map[proc.PID]proc.Info),
-		store:      history.NewStore(cfg.HistoryCapacity),
-		seen:       make(map[string]sim.Time),
-		metrics:    net.Metrics(),
-		tracer:     net.Tracer(),
-		journal:    net.Journal(),
+		user:        user,
+		kern:        kern,
+		net:         net,
+		sched:       net.Scheduler(),
+		dir:         dir,
+		dmns:        dmns,
+		cfg:         cfg,
+		accept:      simnet.Addr{Host: kern.Name(), Port: acceptPort},
+		myPids:      make(map[proc.PID]bool),
+		siblings:    make(map[string]*sibling),
+		dialing:     make(map[string][]func(*sibling, error)),
+		knownHosts:  make(map[string]bool),
+		routes:      make(map[string][]string),
+		pending:     make(map[uint64]*pendingReq),
+		replies:     wire.NewReplyCache(0),
+		inflightOps: make(map[string]bool),
+		records:     make(map[proc.PID]proc.Info),
+		store:       history.NewStore(cfg.HistoryCapacity),
+		seen:        make(map[string]sim.Time),
+		metrics:     net.Metrics(),
+		tracer:      net.Tracer(),
+		journal:     net.Journal(),
 	}
 	p, err := kern.Spawn("lpm", user.Name)
 	if err != nil {
@@ -519,6 +591,24 @@ func (r *recEnv) AnnounceCCS(host string) {
 	for _, h := range l.SiblingHosts() {
 		l.sendOneWay(l.siblings[h], wire.MsgCCSUpdate, body)
 	}
+}
+
+func (r *recEnv) RedialSibling(host string, cb func(bool)) {
+	l := r.lpm()
+	if l.exited {
+		cb(false)
+		return
+	}
+	if sb, ok := l.siblings[host]; ok && sb.authed && sb.conn.Open() {
+		cb(true)
+		return
+	}
+	l.metrics.Counter("lpm.request.redials").Inc()
+	l.journal.Append(journal.LPMRedial, l.Host(),
+		fmt.Sprintf("user=%s peer=%s reason=recovery", l.user.Name, host))
+	l.ensureSibling(trace.Context{}, host, func(sb *sibling, err error) {
+		cb(err == nil && sb != nil)
+	})
 }
 
 func (r *recEnv) TerminateAll() {

@@ -467,28 +467,81 @@ func (l *LPM) HistoryOf(host string, q history.Query, cb func([]proc.Event, erro
 
 // handleRequest serves a request arriving over a sibling circuit. The
 // per-endpoint protocol cost has already been charged by onSiblingMsg.
+//
+// Requests carrying an operation id pass through the at-most-once
+// filter first: an already-executed operation is answered from the
+// reply cache without re-executing, and a duplicate of an operation
+// still in flight is dropped (the sender's next retry finds the cached
+// reply).
 func (l *LPM) handleRequest(sb *sibling, env wire.Envelope) {
 	l.Stats.RequestsServed++
 	l.metrics.Counter("lpm.requests_served").Inc()
 	ctx := trace.Context{Trace: env.TraceID, Span: env.SpanID}
-	switch env.Type {
-	case wire.MsgBroadcast:
-		l.handleFlood(sb, env)
 
-	case wire.MsgRelay:
-		l.handleRelay(sb, env)
-
-	case wire.MsgCCSUpdate:
+	if env.Type == wire.MsgCCSUpdate {
 		upd, err := wire.DecodeCCSUpdate(env.Body)
 		if err == nil && upd.CCSHost != "" {
 			l.rec.SetCCS(upd.CCSHost)
 		}
-		// One-way: no reply.
+		return // One-way: no reply.
+	}
+
+	reply := func(t wire.MsgType, body []byte) {
+		l.sendReply(ctx, sb, env.ReqID, t, body)
+	}
+	if env.OpID != 0 && dedupable(env.Type) {
+		key := wire.OpKey(sb.host, env.OpID)
+		if r, ok := l.replies.Get(key); ok {
+			// Replay: the operation already executed; answer the
+			// retransmit from the cache under the new ReqID.
+			l.metrics.Counter("lpm.dedup.replays").Inc()
+			l.journal.AppendCtx(journal.LPMOpReplay, l.Host(),
+				fmt.Sprintf("user=%s op=%s type=%v", l.user.Name, key, r.Type),
+				ctx.Trace, ctx.Span)
+			reply(r.Type, r.Body)
+			return
+		}
+		if l.inflightOps[key] {
+			l.metrics.Counter("lpm.dedup.inflight_drops").Inc()
+			return
+		}
+		l.inflightOps[key] = true
+		l.journal.AppendCtx(journal.LPMOpExec, l.Host(),
+			fmt.Sprintf("user=%s op=%s type=%v", l.user.Name, key, env.Type),
+			ctx.Trace, ctx.Span)
+		send := reply
+		reply = func(t wire.MsgType, body []byte) {
+			delete(l.inflightOps, key)
+			l.replies.Put(key, t, body)
+			send(t, body)
+		}
+	}
+
+	switch env.Type {
+	case wire.MsgBroadcast:
+		l.handleFlood(sb, env, reply)
+
+	case wire.MsgRelay:
+		l.handleRelay(sb, env, reply)
 
 	default:
-		l.serveRequest(ctx, env, func(t wire.MsgType, body []byte) {
-			l.sendReply(ctx, sb, env.ReqID, t, body)
-		})
+		l.serveRequest(ctx, env, reply)
+	}
+}
+
+// dedupable classifies the request types held to at-most-once
+// execution. Control operations, process creations, watch
+// installations and broadcast echoes are not idempotent: re-executing
+// a retransmit would signal twice, fork twice, install two watches, or
+// answer Dup for a subtree whose data the first echo already carried.
+// Snapshot, stats, FD, history and ping requests are read-only and may
+// re-execute freely.
+func dedupable(t wire.MsgType) bool {
+	switch t {
+	case wire.MsgControl, wire.MsgCreateProc, wire.MsgWatch, wire.MsgBroadcast:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -607,13 +660,15 @@ func (l *LPM) serveRequest(ctx trace.Context, env wire.Envelope, reply func(t wi
 }
 
 // handleRelay forwards a relayed request one hop (or serves it when
-// this host is the destination), sending the response back along the
-// same circuits.
-func (l *LPM) handleRelay(sb *sibling, env wire.Envelope) {
+// this host is the destination), sending the response back through
+// reply on the circuit it arrived on. The per-hop forward is a single
+// attempt: relayed operations carry no op id, so a hop cannot prove a
+// lost echo did not execute and must surface the error instead of
+// risking a duplicate (see DESIGN.md).
+func (l *LPM) handleRelay(sb *sibling, env wire.Envelope, reply func(wire.MsgType, []byte)) {
 	ctx := trace.Context{Trace: env.TraceID, Span: env.SpanID}
 	fail := func(reason string) {
-		l.sendReply(ctx, sb, env.ReqID, wire.MsgRelayResp,
-			wire.RelayResp{OK: false, Reason: reason}.Encode())
+		reply(wire.MsgRelayResp, wire.RelayResp{OK: false, Reason: reason}.Encode())
 	}
 	rel, err := wire.DecodeRelay(env.Body)
 	if err != nil || rel.User != l.user.Name {
@@ -628,8 +683,7 @@ func (l *LPM) handleRelay(sb *sibling, env wire.Envelope) {
 		}
 		l.serveRequest(ctx, inner, func(t wire.MsgType, body []byte) {
 			respEnv := wire.Envelope{Type: t, Body: body}
-			l.sendReply(ctx, sb, env.ReqID, wire.MsgRelayResp,
-				wire.RelayResp{OK: true, Inner: respEnv.Encode()}.Encode())
+			reply(wire.MsgRelayResp, wire.RelayResp{OK: true, Inner: respEnv.Encode()}.Encode())
 		})
 		return
 	}
@@ -649,68 +703,12 @@ func (l *LPM) handleRelay(sb *sibling, env wire.Envelope) {
 	l.journal.AppendCtx(journal.LPMRelayForward, l.Host(),
 		fmt.Sprintf("user=%s dest=%s next=%s", rel.User, rel.Dest, next), ctx.Trace, ctx.Span)
 	fwd := wire.Relay{User: rel.User, Dest: rel.Dest, Path: rel.Path[1:], Inner: rel.Inner}
-	l.sendRequest(ctx, nsb, wire.MsgRelay, fwd.Encode(), func(resp wire.Envelope, err error) {
+	l.sendRequest(ctx, nsb, wire.MsgRelay, fwd.Encode(), 0, func(resp wire.Envelope, err error) {
 		if err != nil {
 			fail(fmt.Sprintf("relay via %s: %v", next, err))
 			return
 		}
-		l.sendReply(ctx, sb, env.ReqID, wire.MsgRelayResp, resp.Body)
-	})
-}
-
-// remoteCall delivers a point-to-point request to the user's LPM on
-// host and returns the response envelope. With an open circuit (or
-// without UseRelay) the request travels directly; otherwise, if a relay
-// route through a live sibling is known, the request is relayed along
-// it instead of opening a new circuit.
-func (l *LPM) remoteCall(ctx trace.Context, host string, t wire.MsgType, body []byte, cb func(wire.Envelope, error)) {
-	if sb, ok := l.siblings[host]; ok && sb.authed && sb.conn.Open() {
-		l.sendRequest(ctx, sb, t, body, cb)
-		return
-	}
-	if l.cfg.UseRelay {
-		if path, ok := l.routes[host]; ok && len(path) > 1 {
-			first := path[0]
-			if fsb, ok := l.siblings[first]; ok && fsb.authed && fsb.conn.Open() {
-				l.Stats.RelaysOriginated++
-				l.metrics.Counter("lpm.relay.originated").Inc()
-				l.journal.AppendCtx(journal.LPMRelayOrigin, l.Host(),
-					fmt.Sprintf("user=%s dest=%s via=%s", l.user.Name, host, first),
-					ctx.Trace, ctx.Span)
-				inner := wire.Envelope{Type: t, Body: body}
-				inner.SetTrace(ctx.Trace, ctx.Span)
-				rel := wire.Relay{User: l.user.Name, Dest: host, Path: path[1:], Inner: inner.Encode()}
-				l.sendRequest(ctx, fsb, wire.MsgRelay, rel.Encode(), func(env wire.Envelope, err error) {
-					if err != nil {
-						cb(wire.Envelope{}, err)
-						return
-					}
-					resp, derr := wire.DecodeRelayResp(env.Body)
-					if derr != nil {
-						cb(wire.Envelope{}, derr)
-						return
-					}
-					if !resp.OK {
-						cb(wire.Envelope{}, fmt.Errorf("%w: %s", ErrRemote, resp.Reason))
-						return
-					}
-					innerResp, derr := wire.DecodeEnvelopeLogged(resp.Inner, l.journal, l.Host())
-					if derr != nil {
-						cb(wire.Envelope{}, derr)
-						return
-					}
-					cb(innerResp, nil)
-				})
-				return
-			}
-		}
-	}
-	l.ensureSibling(ctx, host, func(sb *sibling, err error) {
-		if err != nil {
-			cb(wire.Envelope{}, err)
-			return
-		}
-		l.sendRequest(ctx, sb, t, body, cb)
+		reply(wire.MsgRelayResp, resp.Body)
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"ppm/internal/journal"
 	"ppm/internal/proc"
 	"ppm/internal/recovery"
+	"ppm/internal/sim"
 	"ppm/internal/simnet"
 	"ppm/internal/trace"
 	"ppm/internal/wire"
@@ -130,6 +131,7 @@ func (l *LPM) registerSibling(host string, conn *simnet.Conn) {
 		fmt.Sprintf("user=%s peer=%s chan=%s role=%s", l.user.Name, host, l.chanKey(conn), role))
 	conn.SetHandler(func(b []byte) { l.onSiblingMsg(sb, b) })
 	conn.SetCloseHandler(func(err error) { l.onSiblingClosed(sb, err) })
+	l.rec.OnSiblingUp(host)
 	l.touch()
 }
 
@@ -239,11 +241,18 @@ func (l *LPM) helloTo(ctx trace.Context, host string, conn *simnet.Conn, finish 
 		CCSHost:  l.rec.CCS(),
 	}
 	answered := false
+	var helloTmr *sim.Timer
+	settle := func() {
+		answered = true
+		if helloTmr != nil {
+			helloTmr.Cancel()
+		}
+	}
 	conn.SetHandler(func(b []byte) {
 		if answered {
 			return
 		}
-		answered = true
+		settle()
 		env, err := wire.DecodeEnvelopeLogged(b, l.journal, l.Host())
 		if err != nil || env.Type != wire.MsgHelloResp {
 			conn.Close()
@@ -265,9 +274,22 @@ func (l *LPM) helloTo(ctx trace.Context, host string, conn *simnet.Conn, finish 
 	})
 	conn.SetCloseHandler(func(err error) {
 		if !answered {
-			answered = true
+			settle()
 			finish(nil, fmt.Errorf("%w: circuit to %s broke during hello", ErrNoSibling, host))
 		}
+	})
+	// Bound the handshake: a hello whose reply is lost would otherwise
+	// park the dial forever (the circuit stays open, so the close
+	// handler never fires). Timing out surfaces ErrNoSibling, which the
+	// retry engine treats as retryable.
+	helloTmr = l.sched.After(l.cfg.RequestTimeout, func() {
+		if answered {
+			return
+		}
+		answered = true
+		l.metrics.Counter("lpm.hello.timeouts").Inc()
+		conn.Close()
+		finish(nil, fmt.Errorf("%w: hello to %s timed out", ErrNoSibling, host))
 	})
 	esp := l.tracer.StartSpan(l.Host(), "dispatch.endpoint", ctx)
 	l.kern.ExecCPU(calib.SiblingEndpoint, func() {
@@ -357,7 +379,11 @@ func (l *LPM) handleResponse(env wire.Envelope) {
 // the whole exchange is covered by an "lpm.request" span (handler
 // occupancy), the trace context rides inside the envelope, and the
 // send-side protocol cost records a "dispatch.endpoint" span.
-func (l *LPM) sendRequest(ctx trace.Context, sb *sibling, t wire.MsgType, body []byte, cb func(wire.Envelope, error)) {
+//
+// A non-zero op rides in the envelope's OpID trailer: it names the
+// logical operation across retransmissions so the receiver can dedup
+// re-executions (zero disables at-most-once semantics).
+func (l *LPM) sendRequest(ctx trace.Context, sb *sibling, t wire.MsgType, body []byte, op uint64, cb func(wire.Envelope, error)) {
 	l.Stats.RemoteForwards++
 	l.withHandler(func(h proc.PID) {
 		if l.exited {
@@ -390,10 +416,22 @@ func (l *LPM) sendRequest(ctx trace.Context, sb *sibling, t wire.MsgType, body [
 		l.kern.ExecCPU(endpointCost(t), func() {
 			esp.End()
 			if !sb.conn.Open() {
-				// The close handler will fail the pending entry.
+				// The circuit died before the request went out. When it
+				// closed before the pending entry was registered, the
+				// close handler has already drained l.pending and will
+				// never see this entry — fail it now rather than parking
+				// the caller for the full timeout.
+				if cur, ok := l.pending[id]; ok && cur == pr {
+					delete(l.pending, id)
+					pr.timer.Cancel()
+					l.metrics.Counter("lpm.request.dead_circuit").Inc()
+					l.releaseHandler(pr.handler)
+					pr.span.End()
+					pr.cb(wire.Envelope{}, fmt.Errorf("%w: %s circuit closed", ErrNoSibling, sb.host))
+				}
 				return
 			}
-			env := wire.Envelope{Type: t, ReqID: id, Body: body}
+			env := wire.Envelope{Type: t, ReqID: id, Body: body, OpID: op}
 			env.SetTrace(rctx.Trace, rctx.Span)
 			_ = sb.conn.SendCtx(env.EncodeLogged(l.metrics, l.journal, l.Host()), rctx)
 			l.kern.AccountIPC(l.pid, 1, 0, t.String())

@@ -13,6 +13,7 @@ package recovery
 import (
 	"time"
 
+	"ppm/internal/detord"
 	"ppm/internal/sim"
 )
 
@@ -63,6 +64,10 @@ type Env interface {
 	// HaveSiblings reports whether any sibling circuit is up (the CCS
 	// time-to-live freeze condition).
 	HaveSiblings() bool
+	// RedialSibling re-establishes the sibling circuit to a previously
+	// lost host (after a partition heals), reporting whether a circuit
+	// is up afterwards.
+	RedialSibling(host string, cb func(ok bool))
 }
 
 // Locator asks a network name server for the user's current CCS — the
@@ -97,6 +102,10 @@ type Config struct {
 	// RetryEvery is how often an isolated LPM retries the recovery
 	// list.
 	RetryEvery time.Duration
+	// RedialEvery is how often lost sibling circuits are redialed, so a
+	// healed partition re-knits the circuit graph instead of only
+	// reseeking the CCS.
+	RedialEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryEvery == 0 {
 		c.RetryEvery = 15 * time.Second
+	}
+	if c.RedialEvery == 0 {
+		c.RedialEvery = 10 * time.Second
 	}
 	return c
 }
@@ -124,6 +136,11 @@ type Manager struct {
 	probeTmr *sim.Timer
 	retryTmr *sim.Timer
 	stopped  bool
+
+	// lost tracks hosts whose sibling circuit broke and has not come
+	// back; the redial loop walks them until each circuit is up again.
+	lost      map[string]bool
+	redialTmr *sim.Timer
 
 	// Terminated reports whether time-to-die fired.
 	Terminated bool
@@ -164,6 +181,10 @@ func (m *Manager) cancelTimers() {
 	if m.retryTmr != nil {
 		m.retryTmr.Cancel()
 		m.retryTmr = nil
+	}
+	if m.redialTmr != nil {
+		m.redialTmr.Cancel()
+		m.redialTmr = nil
 	}
 }
 
@@ -210,9 +231,19 @@ func (m *Manager) topOfList() bool {
 
 // OnSiblingLost is called when a sibling circuit breaks. Per the paper,
 // the LPM then tries to establish a connection with the known CCS; if
-// that fails it walks the recovery list.
+// that fails it walks the recovery list. Independently of the CCS
+// logic, the lost host enters the redial loop so the circuit comes
+// back once the failure (a crash, a partition) heals.
 func (m *Manager) OnSiblingLost(host string) {
-	if m.stopped || m.state != Normal {
+	if m.stopped {
+		return
+	}
+	if m.lost == nil {
+		m.lost = make(map[string]bool)
+	}
+	m.lost[host] = true
+	m.scheduleRedial()
+	if m.state != Normal {
 		return
 	}
 	if m.IsCCS() {
@@ -251,6 +282,62 @@ func (m *Manager) OnContact(theirCCS string) {
 	if m.ccs == "" {
 		m.SetCCS(theirCCS)
 	}
+}
+
+// OnSiblingUp clears the redial bookkeeping for a host whose circuit
+// is live again — redialed by us, or dialed afresh by the peer.
+func (m *Manager) OnSiblingUp(host string) {
+	delete(m.lost, host)
+}
+
+// LostSiblings returns the hosts currently in the redial loop, in
+// deterministic order (for tests).
+func (m *Manager) LostSiblings() []string {
+	return detord.Keys(m.lost)
+}
+
+// scheduleRedial arms the redial timer if it is not already running.
+func (m *Manager) scheduleRedial() {
+	if m.redialTmr != nil {
+		return
+	}
+	m.redialTmr = m.env.After(m.cfg.RedialEvery, m.redialTick)
+}
+
+func (m *Manager) redialTick() {
+	m.redialTmr = nil
+	if m.stopped || len(m.lost) == 0 {
+		return
+	}
+	m.redialWalk(detord.Keys(m.lost), 0)
+}
+
+// redialWalk tries each lost host in order, one at a time; hosts still
+// lost afterwards get another pass a RedialEvery later.
+func (m *Manager) redialWalk(hosts []string, i int) {
+	if m.stopped {
+		return
+	}
+	if i >= len(hosts) {
+		if len(m.lost) > 0 {
+			m.scheduleRedial()
+		}
+		return
+	}
+	h := hosts[i]
+	if !m.lost[h] {
+		m.redialWalk(hosts, i+1)
+		return
+	}
+	m.env.RedialSibling(h, func(ok bool) {
+		if m.stopped {
+			return
+		}
+		if ok {
+			delete(m.lost, h)
+		}
+		m.redialWalk(hosts, i+1)
+	})
 }
 
 // startSeek consults the name server (when configured), then walks the

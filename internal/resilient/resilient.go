@@ -225,13 +225,16 @@ func (s *Supervisor) reconcile(e *entry, snap proc.Snapshot, partial map[string]
 }
 
 // restart tries the spec's hosts in priority order, skipping hosts the
-// snapshot reported unreachable.
+// snapshot reported unreachable. Every restart cycle counts against the
+// budget whether or not a host accepts — otherwise a computation whose
+// hosts are all down would be retried forever instead of giving up.
 func (s *Supervisor) restart(e *entry, partial map[string]bool) {
 	if e.spec.MaxRestarts > 0 && e.restarts >= e.spec.MaxRestarts {
 		e.gaveUp = true
-		s.note("%s: gave up after %d restarts (%v)", e.spec.Name, e.restarts, ErrGaveUp)
+		s.note("%s: gave up after %d restart attempts (%v)", e.spec.Name, e.restarts, ErrGaveUp)
 		return
 	}
+	e.restarts++
 	hosts := e.spec.Hosts
 	if len(hosts) == 0 {
 		hosts = []string{e.current.Host}
@@ -259,7 +262,6 @@ func (s *Supervisor) tryHosts(e *entry, hosts []string, i int, partial map[strin
 			return
 		}
 		e.current = id
-		e.restarts++
 		s.Restarts++
 		s.note("%s restarted as %s (restart %d)", e.spec.Name, id, e.restarts)
 	})

@@ -288,3 +288,38 @@ func TestPolicyStrings(t *testing.T) {
 		t.Fatal("policy names wrong")
 	}
 }
+
+func TestAllHostsDownEventuallyGivesUp(t *testing.T) {
+	// Regression: the restart budget used to count only successful
+	// restarts, so a spec whose hosts all reject creation was retried
+	// forever. Attempts count now, and the supervisor reaches ErrGaveUp.
+	s, env, sup := setup(t)
+	id := env.addRunning("a")
+	sup.Supervise(Spec{Name: "w", Hosts: []string{"a", "b"}, Policy: Always, MaxRestarts: 3}, id)
+	sup.Start()
+	env.exit(id, 1)
+	env.downHosts["a"] = true
+	env.downHosts["b"] = true
+	run(t, s, time.Minute)
+	if !sup.GaveUp("w") {
+		t.Fatalf("supervisor never gave up: restarts=%d events=%v", sup.Restarts, sup.Events)
+	}
+	if sup.Restarts != 0 {
+		t.Fatalf("successful restarts = %d, want 0", sup.Restarts)
+	}
+	found := false
+	for _, e := range sup.Events {
+		if strings.Contains(e, ErrGaveUp.Error()) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ErrGaveUp never surfaced: %v", sup.Events)
+	}
+	// And it stays given up: no further creation attempts.
+	n := len(env.creates)
+	run(t, s, time.Minute)
+	if len(env.creates) != n {
+		t.Fatal("kept retrying after giving up")
+	}
+}

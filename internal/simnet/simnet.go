@@ -107,6 +107,7 @@ type Network struct {
 	tracer   *trace.Tracer
 	journal  *journal.Journal
 	tap      func(TapEvent)
+	loss     *lossPlan
 }
 
 // New creates an empty network on the given scheduler.
@@ -390,6 +391,40 @@ func (n *Network) traceTransit(ctx trace.Context, a, b string, size int) {
 	}
 }
 
+// --- failure injection: message loss ---
+
+// lossPlan drops every Nth inter-host transmission. The schedule is a
+// plain counter, not a random draw, so the casualties are the same on
+// every same-seed run.
+type lossPlan struct {
+	every   int
+	counter uint64
+}
+
+// InjectLoss arranges for every Nth inter-host message to be lost: a
+// doomed datagram vanishes silently (UDP), while a doomed circuit
+// message severs the circuit — TCP retransmits until the stack gives
+// up, so persistent loss surfaces as a broken connection, the visible
+// signal the reliability layer's redial path is driven by. Loopback
+// traffic is never dropped. every <= 0 disables injection.
+func (n *Network) InjectLoss(every int) {
+	if every <= 0 {
+		n.loss = nil
+		return
+	}
+	n.loss = &lossPlan{every: every}
+}
+
+// loseNow advances the loss schedule and reports whether this
+// transmission is the injected casualty.
+func (n *Network) loseNow(from, to string) bool {
+	if n.loss == nil || from == to {
+		return false
+	}
+	n.loss.counter++
+	return n.loss.counter%uint64(n.loss.every) == 0
+}
+
 // --- host lifecycle and failures ---
 
 // Up reports whether the host is running.
@@ -578,6 +613,14 @@ func (n *Network) SendDatagramCtx(from, to Addr, payload []byte, ctx trace.Conte
 		n.logMsg(journal.NetDrop, from.Host, "datagram", from, to, len(payload), "unreachable", ctx)
 		return
 	}
+	if n.loseNow(from.Host, to.Host) {
+		n.stats.MsgsDropped++
+		n.metrics.Counter("simnet.datagram.dropped").Inc()
+		n.metrics.Counter("simnet.injected.losses").Inc()
+		n.emitTap(TapEvent{Kind: TapDrop, From: from, To: to, Size: len(payload)})
+		n.logMsg(journal.NetDrop, from.Host, "datagram", from, to, len(payload), "injected", ctx)
+		return
+	}
 	n.traceTransit(ctx, from.Host, to.Host, len(payload))
 	delay := n.transit(from.Host, to.Host, len(payload))
 	n.metrics.Histogram("simnet.transit").Observe(delay)
@@ -664,6 +707,16 @@ func (c *Conn) SendCtx(payload []byte, ctx trace.Context) error {
 		n.stats.MsgsDropped++
 		n.metrics.Counter("simnet.circuit.dropped").Inc()
 		n.logMsg(journal.NetDrop, c.local.Host, "circuit", c.local, c.remote, len(payload), "severed", ctx)
+		n.breakRemote(c)
+		n.breakRemote(c.peer)
+		return nil
+	}
+	if n.loseNow(c.local.Host, c.remote.Host) {
+		n.stats.MsgsDropped++
+		n.metrics.Counter("simnet.circuit.dropped").Inc()
+		n.metrics.Counter("simnet.injected.losses").Inc()
+		n.emitTap(TapEvent{Kind: TapDrop, From: c.local, To: c.remote, Size: len(payload), Circuit: true})
+		n.logMsg(journal.NetDrop, c.local.Host, "circuit", c.local, c.remote, len(payload), "injected", ctx)
 		n.breakRemote(c)
 		n.breakRemote(c.peer)
 		return nil

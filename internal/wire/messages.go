@@ -98,6 +98,14 @@ type Envelope struct {
 	ReqID uint64
 	Body  []byte
 
+	// OpID is the operation identity for at-most-once delivery: it
+	// stays stable across retransmissions of the same logical request
+	// while ReqID changes per attempt, so the receiver can recognize a
+	// re-execution and replay its cached reply. Zero means the message
+	// carries no at-most-once semantics. Encoded as an optional trailer
+	// like the trace context.
+	OpID uint64
+
 	// Trace context trailer. Only encoded when TraceID != 0, so
 	// untraced traffic keeps its exact pre-tracing frame size.
 	TraceID uint64
@@ -110,15 +118,26 @@ func (ev *Envelope) SetTrace(traceID, spanID uint64) {
 	ev.TraceID, ev.SpanID = traceID, spanID
 }
 
-// traceFlag marks a trace-context trailer on an envelope frame.
-const traceFlag = 1
+// Trailer flags on an envelope frame. Trailers are optional typed
+// extensions after the body: a flag byte naming the trailer followed by
+// its fixed-size payload. Decoders that predate a trailer still parse
+// the frame because Finish permits trailing bytes.
+const (
+	// traceFlag marks a trace-context trailer (two u64s).
+	traceFlag = 1
+	// opFlag marks an operation-identity trailer (one u64).
+	opFlag = 2
+)
 
-// Encode serializes the envelope. A trace context, when present, is
-// appended as a 17-byte trailer (flag byte + two u64s); decoders that
-// predate the trailer still parse the frame because Finish permits
-// trailing bytes.
+// Encode serializes the envelope. The operation identity, when present,
+// is appended as a 9-byte trailer and the trace context as a 17-byte
+// trailer, in that fixed order so identical envelopes produce identical
+// frames.
 func (ev Envelope) Encode() []byte {
 	size := 14 + len(ev.Body)
+	if ev.OpID != 0 {
+		size += 9
+	}
 	if ev.TraceID != 0 {
 		size += 17
 	}
@@ -126,6 +145,10 @@ func (ev Envelope) Encode() []byte {
 	e.U16(uint16(ev.Type))
 	e.U64(ev.ReqID)
 	e.Bytes32(ev.Body)
+	if ev.OpID != 0 {
+		e.U8(opFlag)
+		e.U64(ev.OpID)
+	}
 	if ev.TraceID != 0 {
 		e.U8(traceFlag)
 		e.U64(ev.TraceID)
@@ -161,18 +184,29 @@ func (ev Envelope) EncodeLogged(reg *metrics.Registry, jr *journal.Journal, host
 	return b
 }
 
-// DecodeEnvelope parses a framed message. A 17-byte trace trailer is
-// read when present; zero padding after the body (fixed-size frames)
-// decodes as "no trace".
+// DecodeEnvelope parses a framed message. Trailers (operation identity,
+// trace context) are read when present; zero padding after the body
+// (fixed-size frames) stops the trailer scan and decodes as "none".
 func DecodeEnvelope(b []byte) (Envelope, error) {
 	d := NewDecoder(b)
 	var ev Envelope
 	ev.Type = MsgType(d.U16())
 	ev.ReqID = d.U64()
 	ev.Body = d.Bytes32()
-	if d.Remaining() >= 17 && d.U8() == traceFlag {
-		ev.TraceID = d.U64()
-		ev.SpanID = d.U64()
+trailers:
+	for d.Remaining() >= 9 {
+		switch d.U8() {
+		case opFlag:
+			ev.OpID = d.U64()
+		case traceFlag:
+			if d.Remaining() < 16 {
+				break trailers
+			}
+			ev.TraceID = d.U64()
+			ev.SpanID = d.U64()
+		default:
+			break trailers // padding, or a trailer from the future
+		}
 	}
 	if err := d.Finish(); err != nil {
 		return Envelope{}, err

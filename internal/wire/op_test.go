@@ -1,0 +1,112 @@
+package wire
+
+import "testing"
+
+// TestEnvelopeOpIDTrailerRoundTrip: the operation identity rides the
+// optional trailer and comes back on decode, alongside the trace
+// context when both are present.
+func TestEnvelopeOpIDTrailerRoundTrip(t *testing.T) {
+	ev := Envelope{Type: MsgControl, ReqID: 42, Body: []byte("body"), OpID: 99}
+	out, err := DecodeEnvelope(ev.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OpID != 99 {
+		t.Fatalf("op id lost: got %d, want 99", out.OpID)
+	}
+	if out.Type != ev.Type || out.ReqID != ev.ReqID || string(out.Body) != "body" {
+		t.Fatalf("payload corrupted by trailer: %+v", out)
+	}
+
+	ev.SetTrace(7, 13)
+	out, err = DecodeEnvelope(ev.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OpID != 99 || out.TraceID != 7 || out.SpanID != 13 {
+		t.Fatalf("combined trailers lost: %+v", out)
+	}
+}
+
+// TestEnvelopeWithoutOpIDUnchanged: without an operation identity the
+// frame is byte-identical to the pre-trailer format, and retransmitting
+// the same op under a new ReqID changes only the ReqID field.
+func TestEnvelopeWithoutOpIDUnchanged(t *testing.T) {
+	ev := Envelope{Type: MsgPing, ReqID: 9, Body: []byte("xyz")}
+	b := ev.Encode()
+	if want := 14 + len(ev.Body); len(b) != want {
+		t.Fatalf("op-less envelope is %d bytes, want %d", len(b), want)
+	}
+	out, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OpID != 0 {
+		t.Fatalf("op-less envelope decoded with op id %d", out.OpID)
+	}
+}
+
+// TestEnvelopeZeroPaddingIsNotAnOp: trailing zero bytes must not be
+// misread as an operation-identity trailer.
+func TestEnvelopeZeroPaddingIsNotAnOp(t *testing.T) {
+	ev := Envelope{Type: MsgPing, ReqID: 1, Body: []byte("p")}
+	b := append(ev.Encode(), make([]byte, 32)...)
+	out, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OpID != 0 {
+		t.Fatalf("zero padding decoded as op id %d", out.OpID)
+	}
+}
+
+// TestReplyCachePutGet: cached replies come back under their op key;
+// unknown keys miss.
+func TestReplyCachePutGet(t *testing.T) {
+	c := NewReplyCache(4)
+	key := OpKey("vax1", 7)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(key, MsgControlResp, []byte("resp"))
+	r, ok := c.Get(key)
+	if !ok || r.Type != MsgControlResp || string(r.Body) != "resp" {
+		t.Fatalf("get = %+v ok=%v", r, ok)
+	}
+	if _, ok := c.Get(OpKey("vax2", 7)); ok {
+		t.Fatal("same op from another origin must be a distinct key")
+	}
+}
+
+// TestReplyCacheEvictsOldestFirst: the cache is a FIFO bounded by its
+// capacity; re-putting an existing key overwrites in place.
+func TestReplyCacheEvictsOldestFirst(t *testing.T) {
+	c := NewReplyCache(2)
+	c.Put(OpKey("h", 1), MsgPong, []byte("1"))
+	c.Put(OpKey("h", 2), MsgPong, []byte("2"))
+	c.Put(OpKey("h", 1), MsgPong, []byte("1b")) // overwrite, no growth
+	if c.Len() != 2 {
+		t.Fatalf("len = %d after overwrite", c.Len())
+	}
+	c.Put(OpKey("h", 3), MsgPong, []byte("3")) // evicts op 1, the oldest
+	if _, ok := c.Get(OpKey("h", 1)); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for _, op := range []uint64{2, 3} {
+		if _, ok := c.Get(OpKey("h", op)); !ok {
+			t.Fatalf("op %d evicted out of order", op)
+		}
+	}
+}
+
+// TestReplyCacheDefaultCapacity: a non-positive capacity falls back to
+// the default and the cache stays bounded under churn.
+func TestReplyCacheDefaultCapacity(t *testing.T) {
+	c := NewReplyCache(0)
+	for op := uint64(1); op <= 3*DefaultReplyCacheCapacity; op++ {
+		c.Put(OpKey("h", op), MsgPong, nil)
+	}
+	if c.Len() != DefaultReplyCacheCapacity {
+		t.Fatalf("len = %d, want %d", c.Len(), DefaultReplyCacheCapacity)
+	}
+}

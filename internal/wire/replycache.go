@@ -1,0 +1,78 @@
+package wire
+
+import "fmt"
+
+// DefaultReplyCacheCapacity bounds a ReplyCache when the caller passes
+// no explicit capacity. Replies are small (control acks, broadcast
+// echoes), so a few hundred cover every plausible retransmit window.
+const DefaultReplyCacheCapacity = 256
+
+// CachedReply is one retained reply: the message type and encoded body
+// the first execution of an at-most-once operation produced.
+type CachedReply struct {
+	Type MsgType
+	Body []byte
+}
+
+// ReplyCache retains executed operations' replies keyed by their
+// operation identity, so a retransmitted request (same origin, same
+// OpID, a fresh ReqID) is answered from the cache instead of being
+// re-executed. Eviction is FIFO in insertion order, which under the
+// single-threaded simulation is also virtual-time order — the cache
+// behaves identically on every same-seed run.
+type ReplyCache struct {
+	capacity int
+	entries  map[string]CachedReply
+	order    []string // insertion order; order[head:] are live
+	head     int
+}
+
+// NewReplyCache creates a cache bounded to capacity entries (<= 0 means
+// DefaultReplyCacheCapacity).
+func NewReplyCache(capacity int) *ReplyCache {
+	if capacity <= 0 {
+		capacity = DefaultReplyCacheCapacity
+	}
+	return &ReplyCache{
+		capacity: capacity,
+		entries:  make(map[string]CachedReply),
+	}
+}
+
+// OpKey names one operation for caching and journaling: the origin host
+// plus the origin-assigned operation id.
+func OpKey(origin string, op uint64) string {
+	return fmt.Sprintf("%s#%d", origin, op)
+}
+
+// Get returns the cached reply for an operation key, if present.
+func (c *ReplyCache) Get(key string) (CachedReply, bool) {
+	r, ok := c.entries[key]
+	return r, ok
+}
+
+// Put stores a reply under an operation key, evicting the oldest entry
+// when the cache is full. Re-putting an existing key overwrites in
+// place without extending the order queue.
+func (c *ReplyCache) Put(key string, t MsgType, body []byte) {
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = CachedReply{Type: t, Body: body}
+		return
+	}
+	if len(c.entries) >= c.capacity {
+		oldest := c.order[c.head]
+		c.head++
+		delete(c.entries, oldest)
+		// Reclaim the drained prefix once it dominates the slice, so the
+		// queue's footprint stays proportional to the live entries.
+		if c.head > len(c.order)/2 {
+			c.order = append([]string(nil), c.order[c.head:]...)
+			c.head = 0
+		}
+	}
+	c.entries[key] = CachedReply{Type: t, Body: body}
+	c.order = append(c.order, key)
+}
+
+// Len returns the number of cached replies.
+func (c *ReplyCache) Len() int { return len(c.entries) }

@@ -181,18 +181,27 @@ func (a *auditor) step(r Record) {
 	case LPMFloodDone:
 		a.floodDone(r)
 	case LPMOpExec:
-		op := Field(r.Detail, "op")
+		op := opIdentity(r)
 		if prev, ok := a.execs[op]; ok {
 			a.fail(r, "dedup", "op %s executed twice (first on %s, again on %s)",
 				op, prev, r.Host)
 		}
 		a.execs[op] = r.Host
 	case LPMOpReplay:
-		op := Field(r.Detail, "op")
+		op := opIdentity(r)
 		if _, ok := a.execs[op]; !ok && a.complete {
 			a.fail(r, "dedup", "replay of op %s which was never executed", op)
 		}
 	}
+}
+
+// opIdentity keys an at-most-once operation for the dedup invariant.
+// The op field alone is not unique across users: every per-user LPM on
+// a host numbers its own operations independently, so the executing
+// user qualifies the key (user A's op host#inc#1 and user B's op
+// host#inc'#1 must not collide into a false double-execution).
+func opIdentity(r Record) string {
+	return Field(r.Detail, "user") + "/" + Field(r.Detail, "op")
 }
 
 func gpid(host, pid string) string { return "<" + host + "," + pid + ">" }

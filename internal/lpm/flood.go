@@ -356,28 +356,27 @@ func (l *LPM) ControlAll(op wire.ControlOp, sig proc.Signal, cb func(int, error)
 	})
 }
 
-// Ping probes the sibling LPM on host and reports its CCS view.
+// Ping probes the sibling LPM on host and reports its CCS view. Pings
+// ride the retry engine like every other point-to-point operation
+// (read-only, so no at-most-once entry is held for them): a ping that
+// lands in a transient outage recovers by redial instead of surfacing
+// a spurious failure.
 func (l *LPM) Ping(host string, cb func(wire.Pong, error)) {
 	if l.exited {
 		l.sched.Defer(func() { cb(wire.Pong{}, ErrExited) })
 		return
 	}
+	body := wire.Ping{FromHost: l.Host(), User: l.user.Name}.Encode()
 	l.toolCall("ping", func(ctx trace.Context, done func(func())) {
-		l.ensureSibling(ctx, host, func(sb *sibling, err error) {
-			if err != nil {
-				done(func() { cb(wire.Pong{}, err) })
-				return
-			}
-			body := wire.Ping{FromHost: l.Host(), User: l.user.Name}.Encode()
-			l.sendRequest(ctx, sb, wire.MsgPing, body, 0, func(env wire.Envelope, err error) {
-				done(func() {
-					if err != nil {
-						cb(wire.Pong{}, err)
-						return
-					}
-					pong, derr := wire.DecodePong(env.Body)
-					cb(pong, derr)
-				})
+		l.opSeq++
+		l.callWithRetry(ctx, host, wire.MsgPing, body, l.opSeq, 1, func(env wire.Envelope, err error) {
+			done(func() {
+				if err != nil {
+					cb(wire.Pong{}, err)
+					return
+				}
+				pong, derr := wire.DecodePong(env.Body)
+				cb(pong, derr)
 			})
 		})
 	})

@@ -104,6 +104,22 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// opWindow is how long the at-most-once dedup state (cached replies,
+// in-flight markers) must be retained: a retransmission of an
+// operation can only arrive while the sender's retry loop is alive,
+// which is bounded by MaxAttempts request timeouts plus a capped
+// backoff between each. Sizing retention to the window — instead of
+// bounding the cache by entry count — means no burst of concurrent
+// operations can evict an entry whose sender may still retransmit.
+// Must be called on a Config that already has its defaults.
+func (c Config) opWindow() time.Duration {
+	t := c.RequestTimeout
+	if c.FloodTimeout > t {
+		t = c.FloodTimeout
+	}
+	return time.Duration(c.Retry.MaxAttempts) * (t + c.Retry.Cap)
+}
+
 // RetryPolicy tunes the sibling-RPC retry engine. A failed attempt
 // (timeout or unreachable sibling) is retransmitted after a capped
 // exponential backoff: the first retry waits BaseBackoff, each further
@@ -172,6 +188,9 @@ type sibling struct {
 	host   string
 	conn   *simnet.Conn
 	authed bool
+	// inc is the peer LPM's incarnation id, exchanged in the Hello;
+	// it scopes the peer's operation identities to that LPM instance.
+	inc uint64
 }
 
 // pendingReq tracks an outstanding request to a sibling.
@@ -214,16 +233,32 @@ type LPM struct {
 
 	// opSeq assigns operation identities for the retry engine: the op id
 	// stays stable across retransmissions of one logical request, while
-	// reqSeq advances per transmission.
+	// reqSeq advances per transmission. It numbers operations within
+	// this LPM incarnation only; the incarnation id in the op key keeps
+	// instances apart.
 	opSeq uint64
 	// replies caches the encoded reply of every executed at-most-once
-	// operation, keyed by wire.OpKey(origin, op), so a retransmit is
-	// answered from the cache instead of re-executing.
+	// operation, keyed by wire.OpKey(origin, inc, op), so a retransmit
+	// is answered from the cache instead of re-executing. Entries are
+	// retained for opWindow of virtual time.
 	replies *wire.ReplyCache
-	// inflightOps marks at-most-once operations currently executing, so
-	// a retransmit arriving before the first execution finishes is
-	// dropped (the sender's next retry finds the cached reply).
-	inflightOps map[string]bool
+	// inflightOps marks at-most-once operations currently executing
+	// (op key -> registration time), so a retransmit arriving before
+	// the first execution finishes is dropped (the sender's next retry
+	// finds the cached reply). inflightQ orders the keys by
+	// registration for O(expired) eviction of entries whose retransmit
+	// window has passed; inflightQ[inflightHead:] are live.
+	inflightOps  map[string]time.Duration
+	inflightQ    []inflightEntry
+	inflightHead int
+	// peerIncs remembers the last incarnation seen from each peer host,
+	// so a Hello from a new incarnation (the peer LPM restarted) purges
+	// the dead incarnation's dedup state.
+	peerIncs map[string]uint64
+	// opWindow is how long at-most-once dedup state must be retained: a
+	// retransmission can only arrive while its sender's retry loop is
+	// alive (see Config.opWindow).
+	opWindow time.Duration
 
 	idleHandlers []proc.PID
 
@@ -279,8 +314,10 @@ func New(kern *kernel.Host, net *simnet.Network, dir *auth.Directory,
 		knownHosts:  make(map[string]bool),
 		routes:      make(map[string][]string),
 		pending:     make(map[uint64]*pendingReq),
-		replies:     wire.NewReplyCache(0),
-		inflightOps: make(map[string]bool),
+		replies:     wire.NewReplyCache(cfg.opWindow()),
+		inflightOps: make(map[string]time.Duration),
+		peerIncs:    make(map[string]uint64),
+		opWindow:    cfg.opWindow(),
 		records:     make(map[proc.PID]proc.Info),
 		store:       history.NewStore(cfg.HistoryCapacity),
 		seen:        make(map[string]sim.Time),
@@ -317,6 +354,14 @@ func (l *LPM) Accept() simnet.Addr { return l.accept }
 
 // Host returns the host name the LPM runs on.
 func (l *LPM) Host() string { return l.kern.Name() }
+
+// incarnation identifies this LPM instance in operation identities:
+// the dispatcher's kernel pid, which the per-host pid counter never
+// reuses (it survives crashes). A restarted or recreated LPM — whose
+// opSeq restarts from zero — therefore mints op keys disjoint from its
+// predecessor's, and surviving peers can never answer its fresh
+// operations from a stale reply cache.
+func (l *LPM) incarnation() uint64 { return uint64(l.pid) }
 
 // User returns the owning user's name.
 func (l *LPM) User() string { return l.user.Name }

@@ -490,7 +490,12 @@ func (l *LPM) handleRequest(sb *sibling, env wire.Envelope) {
 		l.sendReply(ctx, sb, env.ReqID, t, body)
 	}
 	if env.OpID != 0 && dedupable(env.Type) {
-		key := wire.OpKey(sb.host, env.OpID)
+		now := l.sched.Now().Duration()
+		l.evictInflight(now)
+		// The peer's incarnation scopes its op ids: a restarted origin
+		// renumbers from zero under a fresh incarnation, so its fresh
+		// operations can never hit a predecessor's cache entries.
+		key := wire.OpKey(sb.host, sb.inc, env.OpID)
 		if r, ok := l.replies.Get(key); ok {
 			// Replay: the operation already executed; answer the
 			// retransmit from the cache under the new ReqID.
@@ -501,18 +506,19 @@ func (l *LPM) handleRequest(sb *sibling, env wire.Envelope) {
 			reply(r.Type, r.Body)
 			return
 		}
-		if l.inflightOps[key] {
+		if _, ok := l.inflightOps[key]; ok {
 			l.metrics.Counter("lpm.dedup.inflight_drops").Inc()
 			return
 		}
-		l.inflightOps[key] = true
+		l.inflightOps[key] = now
+		l.inflightQ = append(l.inflightQ, inflightEntry{key: key, at: now})
 		l.journal.AppendCtx(journal.LPMOpExec, l.Host(),
 			fmt.Sprintf("user=%s op=%s type=%v", l.user.Name, key, env.Type),
 			ctx.Trace, ctx.Span)
 		send := reply
 		reply = func(t wire.MsgType, body []byte) {
 			delete(l.inflightOps, key)
-			l.replies.Put(key, t, body)
+			l.replies.Put(key, t, body, l.sched.Now().Duration())
 			send(t, body)
 		}
 	}
@@ -526,6 +532,42 @@ func (l *LPM) handleRequest(sb *sibling, env wire.Envelope) {
 
 	default:
 		l.serveRequest(ctx, env, reply)
+	}
+}
+
+// inflightEntry is one slot of the in-flight-op eviction queue.
+type inflightEntry struct {
+	key string
+	at  time.Duration
+}
+
+// evictInflight drops in-flight markers whose retransmit window has
+// passed: an execution path that never produced a reply would
+// otherwise leak its key forever and permanently swallow every
+// retransmission of that operation. Entries are only dropped after
+// opWindow, when the origin's retry loop has certainly given up, so an
+// execution still genuinely in progress keeps its duplicate
+// protection for the whole span in which a retransmit can arrive. The
+// queue is insertion ordered (= virtual-time ordered), so eviction
+// inspects exactly the expired entries plus one.
+func (l *LPM) evictInflight(now time.Duration) {
+	for l.inflightHead < len(l.inflightQ) {
+		e := l.inflightQ[l.inflightHead]
+		if now-e.at <= l.opWindow {
+			break
+		}
+		l.inflightHead++
+		// The marker may have been removed (reply sent, or origin
+		// incarnation purge); only drop the registration this slot
+		// describes.
+		if at, ok := l.inflightOps[e.key]; ok && at == e.at {
+			delete(l.inflightOps, e.key)
+		}
+	}
+	// Reclaim the drained prefix once it dominates the slice.
+	if l.inflightHead > len(l.inflightQ)/2 {
+		l.inflightQ = append([]inflightEntry(nil), l.inflightQ[l.inflightHead:]...)
+		l.inflightHead = 0
 	}
 }
 

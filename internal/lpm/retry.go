@@ -58,18 +58,25 @@ func (l *LPM) callWithRetry(ctx trace.Context, host string, t wire.MsgType, body
 			cb(env, err)
 			return
 		}
-		// Tear down the suspect circuit: the retry should re-resolve the
-		// peer via its pmd and dial afresh, not trust a channel that just
-		// swallowed a request.
-		if sb, ok := l.siblings[host]; ok && sb.conn.Open() {
-			sb.conn.Close()
+		// Tear down the circuit only when the transport is implicated.
+		// On ErrNoSibling it is already gone (the retry will re-resolve
+		// via pmd and dial afresh). A first timeout may be nothing more
+		// than a lost or slow reply on a healthy circuit shared with
+		// other pending requests — Pings, relay forward hops — and
+		// closing it would fail every one of them for one slow exchange.
+		// Repeated timeouts of the same operation do implicate the
+		// circuit; then it is closed so the next attempt redials.
+		if errors.Is(err, ErrTimeout) && attempt >= 2 {
+			if sb, ok := l.siblings[host]; ok && sb.conn.Open() {
+				sb.conn.Close()
+			}
 		}
 		next := attempt + 1
 		delay := l.cfg.Retry.backoff(next)
 		l.metrics.Counter("lpm.request.retries").Inc()
 		l.journal.AppendCtx(journal.LPMRetry, l.Host(),
 			fmt.Sprintf("user=%s op=%s type=%v attempt=%d backoff=%v",
-				l.user.Name, wire.OpKey(l.Host(), op), t, next, delay),
+				l.user.Name, wire.OpKey(l.Host(), l.incarnation(), op), t, next, delay),
 			ctx.Trace, ctx.Span)
 		bsp := l.tracer.StartSpan(l.Host(), fmt.Sprintf("lpm.retry.%s", host), ctx)
 		l.sched.After(delay, func() {

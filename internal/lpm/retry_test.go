@@ -2,6 +2,7 @@ package lpm
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -130,11 +131,13 @@ func TestDuplicateDeliveryRepliesFromCache(t *testing.T) {
 		t.Fatalf("lpm.dedup.replays = %d, want 1", got)
 	}
 	// The warm create executed under its own op id; count only this
-	// operation's records.
+	// operation's records. The receiver scopes the key to the sender's
+	// incarnation (its dispatcher pid).
+	opKey := fmt.Sprintf("op=%s", wire.OpKey("vax1", l.incarnation(), 777))
 	countOp := func(k journal.Kind) int {
 		n := 0
 		for _, r := range j.Select(journal.Filter{Kinds: []journal.Kind{k}}) {
-			if strings.Contains(r.Detail, "op=vax1#777") {
+			if strings.Contains(r.Detail, opKey) {
 				n++
 			}
 		}
@@ -274,6 +277,79 @@ func TestRetryDisabled(t *testing.T) {
 	w.until(func() bool { return done })
 	if got := reg.Counter("lpm.request.retries").Value(); got != 0 {
 		t.Fatalf("retries = %d with retries disabled", got)
+	}
+}
+
+// TestFirstTimeoutKeepsSharedCircuit: one timed-out attempt must not
+// tear down a circuit that other pending requests share — a first
+// timeout may be nothing worse than a lost reply. The retry engine
+// closes the circuit only once repeated timeouts implicate the
+// transport; here the partition detector, not the retry path, is what
+// eventually severs it.
+func TestFirstTimeoutKeepsSharedCircuit(t *testing.T) {
+	cfg := Config{RequestTimeout: 300 * time.Millisecond}
+	cfg.Retry = RetryPolicy{MaxAttempts: 5, BaseBackoff: 5 * time.Second}
+	w := newWorld(t, cfg, []string{"a", "b"})
+	u := w.user("felipe", "a", "b")
+	la := w.attach("a", u)
+	id := w.create(la, "b", "job", proc.GPID{})
+	w.run(time.Second)
+
+	sb := la.siblings["b"]
+	if sb == nil || !sb.conn.Open() {
+		t.Fatal("no warm circuit")
+	}
+	if err := w.net.Partition([]string{"a"}, []string{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	done := false
+	la.Control(id, wire.OpStop, 0, func(_ wire.ControlResp, err error) { gotErr, done = err, true })
+	// The first attempt times out at 300ms — before the partition
+	// detector's BreakDetect (1s) closes the circuit. The old policy
+	// closed the shared circuit right here, failing every other request
+	// riding it.
+	w.run(600 * time.Millisecond)
+	if done {
+		t.Fatalf("request settled before any retry: %v", gotErr)
+	}
+	if !sb.conn.Open() {
+		t.Fatal("first timeout tore down the shared sibling circuit")
+	}
+	w.net.Heal()
+	w.until(func() bool { return done })
+	if gotErr != nil {
+		t.Fatalf("retried control failed: %v", gotErr)
+	}
+}
+
+// TestInflightMarkersExpireWithWindow: an execution path that never
+// replies leaks its in-flight marker only until the origin's retry
+// loop has certainly given up; inside that window the marker keeps
+// swallowing duplicates.
+func TestInflightMarkersExpireWithWindow(t *testing.T) {
+	cfg := Config{RequestTimeout: 500 * time.Millisecond, FloodTimeout: 500 * time.Millisecond}
+	cfg.Retry = RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Second, Cap: time.Second}
+	w := newWorld(t, cfg, []string{"vax1"})
+	u := w.user("felipe", "vax1")
+	l := w.attach("vax1", u)
+	w.run(time.Second)
+
+	now := w.sched.Now().Duration()
+	key := wire.OpKey("vax9", 1, 1)
+	l.inflightOps[key] = now
+	l.inflightQ = append(l.inflightQ, inflightEntry{key: key, at: now})
+
+	l.evictInflight(now + l.opWindow) // at the window edge a retransmit can still arrive
+	if _, ok := l.inflightOps[key]; !ok {
+		t.Fatal("marker evicted while a retransmit could still arrive")
+	}
+	l.evictInflight(now + l.opWindow + 1)
+	if _, ok := l.inflightOps[key]; ok {
+		t.Fatal("orphaned in-flight marker survived its retransmit window")
+	}
+	if l.inflightHead != 0 || len(l.inflightQ) != 0 {
+		t.Fatalf("eviction queue not compacted: head=%d len=%d", l.inflightHead, len(l.inflightQ))
 	}
 }
 

@@ -2,6 +2,7 @@ package lpm
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"ppm/internal/auth"
@@ -95,7 +96,7 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx
 	l.journal.AppendCtx(journal.LPMSiblingAuth, l.Host(),
 		fmt.Sprintf("user=%s chan=%s from=%s", hello.User, l.chanKey(conn), hello.FromHost),
 		ctx.Trace, ctx.Span)
-	body := wire.HelloResp{OK: true}.Encode()
+	body := wire.HelloResp{OK: true, Inc: l.incarnation()}.Encode()
 	respEnv := wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}
 	respEnv.SetTrace(ctx.Trace, ctx.Span)
 	if hello.FromHost == l.Host() {
@@ -106,19 +107,36 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx
 		_ = conn.SendCtx(respEnv.EncodeLogged(l.metrics, l.journal, l.Host()), ctx)
 		return
 	}
-	l.registerSibling(hello.FromHost, conn)
+	l.registerSibling(hello.FromHost, conn, hello.Inc)
 	if hello.CCSHost != "" {
 		l.rec.OnContact(hello.CCSHost)
 	}
 	_ = conn.SendCtx(respEnv.EncodeLogged(l.metrics, l.journal, l.Host()), ctx)
 }
 
-// registerSibling installs an authenticated circuit.
-func (l *LPM) registerSibling(host string, conn *simnet.Conn) {
+// registerSibling installs an authenticated circuit. inc is the peer
+// LPM's incarnation from the Hello exchange: when it differs from the
+// one previously seen for this host, the peer's LPM was recreated (the
+// host restarted, or the LPM exited and a fresh one was spawned) and
+// every piece of dedup state scoped to the predecessor — cached
+// replies and in-flight markers — is purged. The predecessor's op
+// numbering can never be spoken again, so the entries could only ever
+// cause a fresh operation to be wrongly answered from a stale cache.
+func (l *LPM) registerSibling(host string, conn *simnet.Conn, inc uint64) {
+	if old, ok := l.peerIncs[host]; ok && old != inc {
+		prefix := wire.OpPrefix(host, old)
+		l.replies.PurgePrefix(prefix)
+		for _, k := range detord.Keys(l.inflightOps) {
+			if strings.HasPrefix(k, prefix) {
+				delete(l.inflightOps, k)
+			}
+		}
+	}
+	l.peerIncs[host] = inc
 	if old, ok := l.siblings[host]; ok && old.conn != conn && old.conn.Open() {
 		old.conn.Close()
 	}
-	sb := &sibling{host: host, conn: conn, authed: true}
+	sb := &sibling{host: host, conn: conn, authed: true, inc: inc}
 	l.siblings[host] = sb
 	l.knownHosts[host] = true
 	l.metrics.Counter("lpm.siblings.opened").Inc()
@@ -239,6 +257,7 @@ func (l *LPM) helloTo(ctx trace.Context, host string, conn *simnet.Conn, finish 
 		Token:    auth.MintToken(l.user, "sibling"),
 		Stamp:    wire.NewStamp(l.user.Key(), l.Host(), l.sched.Now().Duration(), l.floodSeq),
 		CCSHost:  l.rec.CCS(),
+		Inc:      l.incarnation(),
 	}
 	answered := false
 	var helloTmr *sim.Timer
@@ -268,7 +287,7 @@ func (l *LPM) helloTo(ctx trace.Context, host string, conn *simnet.Conn, finish 
 		rsp := l.tracer.StartSpan(l.Host(), "dispatch.endpoint", ctx)
 		l.kern.ExecCPU(calib.SiblingEndpoint, func() {
 			rsp.End()
-			l.registerSibling(host, conn)
+			l.registerSibling(host, conn, resp.Inc)
 			finish(l.siblings[host], nil)
 		})
 	})

@@ -354,6 +354,12 @@ type Hello struct {
 	// LPM, the network address of the CCS is passed along").
 	CCSHost string
 	CCSPort uint16
+	// Inc is the dialing LPM's incarnation id. Operation identities
+	// (Envelope.OpID) are scoped to one LPM instance; exchanging the
+	// incarnation at channel creation lets the acceptor key its
+	// at-most-once state so a restarted LPM — whose op counter restarts
+	// from zero — never hits its predecessor's cached replies.
+	Inc uint64
 }
 
 // Encode serializes the hello.
@@ -365,6 +371,7 @@ func (m Hello) Encode() []byte {
 	m.Stamp.encode(e)
 	e.String(m.CCSHost)
 	e.U16(m.CCSPort)
+	e.U64(m.Inc)
 	return e.Bytes()
 }
 
@@ -375,6 +382,7 @@ func DecodeHello(b []byte) (Hello, error) {
 	m.Stamp = decodeStamp(d)
 	m.CCSHost = d.String()
 	m.CCSPort = d.U16()
+	m.Inc = d.U64()
 	return m, d.Finish()
 }
 
@@ -382,6 +390,10 @@ func DecodeHello(b []byte) (Hello, error) {
 type HelloResp struct {
 	OK     bool
 	Reason string
+	// Inc is the accepting LPM's incarnation id (see Hello.Inc):
+	// requests flow both ways over one circuit, so each end needs the
+	// other's incarnation.
+	Inc uint64
 }
 
 // Encode serializes the response.
@@ -389,6 +401,7 @@ func (m HelloResp) Encode() []byte {
 	e := NewEncoder(16)
 	e.Bool(m.OK)
 	e.String(m.Reason)
+	e.U64(m.Inc)
 	return e.Bytes()
 }
 
@@ -396,6 +409,7 @@ func (m HelloResp) Encode() []byte {
 func DecodeHelloResp(b []byte) (HelloResp, error) {
 	d := NewDecoder(b)
 	m := HelloResp{OK: d.Bool(), Reason: d.String()}
+	m.Inc = d.U64()
 	return m, d.Finish()
 }
 

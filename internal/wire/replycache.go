@@ -1,11 +1,17 @@
 package wire
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+	"time"
+)
 
-// DefaultReplyCacheCapacity bounds a ReplyCache when the caller passes
-// no explicit capacity. Replies are small (control acks, broadcast
-// echoes), so a few hundred cover every plausible retransmit window.
-const DefaultReplyCacheCapacity = 256
+// DefaultReplyCacheWindow bounds retention when the caller passes no
+// explicit window. A retransmission of an operation can only arrive
+// while its sender's retry loop is alive — at most MaxAttempts request
+// timeouts plus the capped backoffs between them — so a couple of
+// minutes of virtual time covers every plausible retry policy.
+const DefaultReplyCacheWindow = 2 * time.Minute
 
 // CachedReply is one retained reply: the message type and encoded body
 // the first execution of an at-most-once operation produced.
@@ -17,32 +23,54 @@ type CachedReply struct {
 // ReplyCache retains executed operations' replies keyed by their
 // operation identity, so a retransmitted request (same origin, same
 // OpID, a fresh ReqID) is answered from the cache instead of being
-// re-executed. Eviction is FIFO in insertion order, which under the
-// single-threaded simulation is also virtual-time order — the cache
-// behaves identically on every same-seed run.
+// re-executed. Eviction is by virtual-time age, not entry count: an
+// entry is dropped once it has outlived the window, beyond which no
+// retransmission of its operation can still arrive. A count bound
+// would let a burst of concurrent operations evict an entry while its
+// sender could still retransmit, silently re-executing a
+// non-idempotent request. Under the single-threaded simulation
+// insertion order is virtual-time order, so eviction inspects exactly
+// the expired entries and the cache behaves identically on every
+// same-seed run.
 type ReplyCache struct {
-	capacity int
-	entries  map[string]CachedReply
-	order    []string // insertion order; order[head:] are live
-	head     int
+	window  time.Duration
+	entries map[string]CachedReply
+	order   []replyEntry // insertion order; order[head:] are live
+	head    int
 }
 
-// NewReplyCache creates a cache bounded to capacity entries (<= 0 means
-// DefaultReplyCacheCapacity).
-func NewReplyCache(capacity int) *ReplyCache {
-	if capacity <= 0 {
-		capacity = DefaultReplyCacheCapacity
+// replyEntry is one slot of the age-eviction queue.
+type replyEntry struct {
+	key string
+	at  time.Duration // virtual insertion time
+}
+
+// NewReplyCache creates a cache retaining entries for the given window
+// of virtual time (<= 0 means DefaultReplyCacheWindow).
+func NewReplyCache(window time.Duration) *ReplyCache {
+	if window <= 0 {
+		window = DefaultReplyCacheWindow
 	}
 	return &ReplyCache{
-		capacity: capacity,
-		entries:  make(map[string]CachedReply),
+		window:  window,
+		entries: make(map[string]CachedReply),
 	}
 }
 
-// OpKey names one operation for caching and journaling: the origin host
-// plus the origin-assigned operation id.
-func OpKey(origin string, op uint64) string {
-	return fmt.Sprintf("%s#%d", origin, op)
+// OpKey names one operation for caching and journaling: the origin
+// host, the origin LPM's incarnation, and the origin-assigned
+// operation id. The incarnation keeps a restarted or recreated LPM —
+// whose op counter restarts from zero — from colliding with its
+// predecessor's operations, so a stale cache entry can never answer a
+// fresh request.
+func OpKey(origin string, inc, op uint64) string {
+	return fmt.Sprintf("%s#%d#%d", origin, inc, op)
+}
+
+// OpPrefix is the common prefix of every OpKey minted by one LPM
+// incarnation, for purging a dead incarnation's entries wholesale.
+func OpPrefix(origin string, inc uint64) string {
+	return fmt.Sprintf("%s#%d#", origin, inc)
 }
 
 // Get returns the cached reply for an operation key, if present.
@@ -51,27 +79,56 @@ func (c *ReplyCache) Get(key string) (CachedReply, bool) {
 	return r, ok
 }
 
-// Put stores a reply under an operation key, evicting the oldest entry
-// when the cache is full. Re-putting an existing key overwrites in
-// place without extending the order queue.
-func (c *ReplyCache) Put(key string, t MsgType, body []byte) {
+// Put stores a reply under an operation key at virtual time now,
+// evicting entries that have outlived the window. Re-putting an
+// existing key overwrites in place without extending the order queue.
+func (c *ReplyCache) Put(key string, t MsgType, body []byte, now time.Duration) {
+	c.evict(now)
 	if _, ok := c.entries[key]; ok {
 		c.entries[key] = CachedReply{Type: t, Body: body}
 		return
 	}
-	if len(c.entries) >= c.capacity {
-		oldest := c.order[c.head]
-		c.head++
-		delete(c.entries, oldest)
-		// Reclaim the drained prefix once it dominates the slice, so the
-		// queue's footprint stays proportional to the live entries.
-		if c.head > len(c.order)/2 {
-			c.order = append([]string(nil), c.order[c.head:]...)
-			c.head = 0
-		}
-	}
 	c.entries[key] = CachedReply{Type: t, Body: body}
-	c.order = append(c.order, key)
+	c.order = append(c.order, replyEntry{key: key, at: now})
+}
+
+// evict drops entries older than the window. The queue is insertion
+// ordered, which is also virtual-time order, so only expired entries
+// (plus one) are inspected.
+func (c *ReplyCache) evict(now time.Duration) {
+	for c.head < len(c.order) {
+		e := c.order[c.head]
+		if now-e.at <= c.window {
+			break
+		}
+		c.head++
+		delete(c.entries, e.key)
+	}
+	// Reclaim the drained prefix once it dominates the slice, so the
+	// queue's footprint stays proportional to the live entries.
+	if c.head > len(c.order)/2 {
+		c.order = append([]replyEntry(nil), c.order[c.head:]...)
+		c.head = 0
+	}
+}
+
+// PurgePrefix drops every entry whose key begins with prefix (all
+// operations of one dead LPM incarnation, per OpPrefix) and reports
+// how many were dropped. The surviving queue keeps its order.
+func (c *ReplyCache) PurgePrefix(prefix string) int {
+	live := c.order[c.head:]
+	kept := make([]replyEntry, 0, len(live))
+	n := 0
+	for _, e := range live {
+		if strings.HasPrefix(e.key, prefix) {
+			delete(c.entries, e.key)
+			n++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	c.order, c.head = kept, 0
+	return n
 }
 
 // Len returns the number of cached replies.

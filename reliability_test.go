@@ -94,6 +94,111 @@ func TestReliabilityUnderInjectedFaults(t *testing.T) {
 	}
 }
 
+// TestRestartDoesNotReplayStaleOps: a restarted home host gets a fresh
+// LPM whose operation numbering starts over. Its peers must not answer
+// the new ops from reply-cache entries left by the previous
+// incarnation — the op identity carries the incarnation exchanged at
+// hello time, so a stale "op 1" entry can never satisfy the fresh
+// LPM's op 1.
+func TestRestartDoesNotReplayStaleOps(t *testing.T) {
+	c, err := ppm.NewCluster(ppm.ClusterConfig{
+		Seed:  11,
+		Hosts: []ppm.HostSpec{{Name: "a"}, {Name: "b"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddUser("u")
+	sess, err := c.Attach("u", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Op 1 of the first incarnation lands in b's reply cache.
+	if _, err := sess.Run("b", "first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart("a"); err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := c.Attach("u", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fresh LPM re-issues op 1. Without incarnation scoping b would
+	// replay the cached "first" ack and never fork this process.
+	if _, err := sess2.Run("b", "second"); err != nil {
+		t.Fatal(err)
+	}
+	procs, err := c.Processes("b", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, p := range procs {
+		if p.Name == "second" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("post-restart create executed %d times, want 1 (stale cache replay?)", count)
+	}
+	if vs := c.JournalAudit(); len(vs) != 0 {
+		t.Fatalf("audit violations across restart:\n%s", journal.AuditReport(vs))
+	}
+}
+
+// TestMultiUserOpsAuditCleanly: two users' LPMs on one host number
+// their operations independently, so both issue an "op 1" against the
+// same peer. The auditor (and the peer's dedup filter) must treat them
+// as distinct operations, not flag a double execution.
+func TestMultiUserOpsAuditCleanly(t *testing.T) {
+	c, err := ppm.NewCluster(ppm.ClusterConfig{
+		Seed:  13,
+		Hosts: []ppm.HostSpec{{Name: "a"}, {Name: "b"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddUser("u1")
+	c.AddUser("u2")
+	s1, err := c.Attach("u1", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Attach("u2", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Run("b", "j1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Run("b", "j2"); err != nil {
+		t.Fatal(err)
+	}
+	for user, name := range map[string]string{"u1": "j1", "u2": "j2"} {
+		procs, err := c.Processes("b", user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, p := range procs {
+			found = found || p.Name == name
+		}
+		if !found {
+			t.Fatalf("%s's create never executed on b", user)
+		}
+	}
+	if vs := c.JournalAudit(); len(vs) != 0 {
+		t.Fatalf("independent users' ops flagged as duplicates:\n%s", journal.AuditReport(vs))
+	}
+}
+
 // TestFaultyJournalDeterministicReplay: injected loss and retry
 // scheduling run entirely on the virtual clock and the seeded stream,
 // so two same-seed faulty runs must produce byte-identical journals.

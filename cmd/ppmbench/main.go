@@ -1,0 +1,195 @@
+// Command ppmbench runs the repository's curated micro-benchmark
+// suite — the framing hot path, the scheduler core, network delivery
+// and the end-to-end PPM scenarios — and emits a schema-versioned
+// BENCH_<n>.json report (ns/op, B/op, allocs/op, plus msgs/sec of
+// virtual traffic per wall-clock second for the traffic-generating
+// scenarios). See PERFORMANCE.md for the benchmark catalog and the
+// regression workflow.
+//
+// Usage:
+//
+//	ppmbench [-benchtime 1s] [-run regexp] [-o FILE] [-note text]
+//	ppmbench -list
+//	ppmbench --compare BENCH_1.json [-threshold 25] [-informational]
+//
+// Without -o, the report lands in BENCH_<n>.json in the current
+// directory, where n is one past the highest existing report. With
+// --compare, the suite runs and the fresh results are diffed against
+// the baseline report: allocs/op growth and benchmarks missing from
+// the new run always count as regressions, ns/op drift only beyond
+// -threshold percent. Regressions exit 1 (suppressed by
+// -informational, which reserves nonzero exits for unreadable or
+// mis-versioned baselines — the CI mode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"ppm/internal/perf"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("ppmbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		benchtime     = fs.String("benchtime", "", "per-benchmark budget, as accepted by go test (e.g. 1s, 100x)")
+		runFilter     = fs.String("run", "", "only run benchmarks matching this regexp")
+		outPath       = fs.String("o", "", "report path (default BENCH_<n>.json in the current directory)")
+		note          = fs.String("note", "", "free-form note recorded in the report")
+		commit        = fs.String("commit", "", "git revision recorded in the report")
+		list          = fs.Bool("list", false, "list the suite and exit")
+		comparePath   = fs.String("compare", "", "baseline BENCH_<n>.json to diff against (report is not written)")
+		threshold     = fs.Float64("threshold", 25, "ns/op drift percentage tolerated by --compare")
+		informational = fs.Bool("informational", false, "with --compare: report regressions but exit 0 (CI mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, sb := range suite {
+			fmt.Fprintf(stdout, "%-18s %s\n", sb.name, sb.desc)
+		}
+		return 0
+	}
+
+	// Parse the baseline before spending minutes measuring: a corrupt
+	// or mis-versioned file should fail immediately.
+	var baseline *perf.Report
+	if *comparePath != "" {
+		data, err := os.ReadFile(*comparePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "ppmbench:", err)
+			return 2
+		}
+		baseline, err = perf.Parse(data)
+		if err != nil {
+			fmt.Fprintln(stderr, "ppmbench:", err)
+			return 2
+		}
+	}
+
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fmt.Fprintln(stderr, "ppmbench: bad -benchtime:", err)
+			return 2
+		}
+	}
+
+	report, err := runSuite(*runFilter, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "ppmbench:", err)
+		return 2
+	}
+	report.Note = *note
+	report.Commit = *commit
+
+	if baseline != nil {
+		cmp := perf.Compare(baseline, report, *threshold)
+		fmt.Fprint(stdout, cmp.Format())
+		if cmp.Regressions() > 0 && !*informational {
+			return 1
+		}
+		return 0
+	}
+
+	path := *outPath
+	dir := "."
+	if path != "" {
+		dir = filepath.Dir(path)
+	}
+	seq, perr := nextSeqInDir(dir)
+	if perr != nil {
+		fmt.Fprintln(stderr, "ppmbench:", perr)
+		return 2
+	}
+	report.Seq = seq
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%d.json", seq)
+	}
+	data, err := report.Encode()
+	if err != nil {
+		fmt.Fprintln(stderr, "ppmbench:", err)
+		return 2
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(stderr, "ppmbench:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", path, len(report.Benchmarks))
+	return 0
+}
+
+// runSuite measures every suite benchmark matching filter and collects
+// the results into a report. msgs/sec — virtual messages generated per
+// wall-clock second of simulation — is derived for every benchmark
+// that reports a msgs/op metric.
+func runSuite(filter string, stdout *os.File) (*perf.Report, error) {
+	var re *regexp.Regexp
+	if filter != "" {
+		var err error
+		re, err = regexp.Compile(filter)
+		if err != nil {
+			return nil, fmt.Errorf("bad -run regexp: %w", err)
+		}
+	}
+	report := &perf.Report{SchemaVersion: perf.Schema}
+	for _, sb := range suite {
+		if re != nil && !re.MatchString(sb.name) {
+			continue
+		}
+		r := testing.Benchmark(sb.fn)
+		res := perf.Result{
+			Name:        sb.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = make(map[string]float64, len(r.Extra)+1)
+			for k, v := range r.Extra {
+				res.Extra[k] = v
+			}
+			if msgs, ok := r.Extra["msgs/op"]; ok && res.NsPerOp > 0 {
+				res.Extra["msgs/sec"] = msgs / res.NsPerOp * 1e9
+			}
+		}
+		fmt.Fprintf(stdout, "%-18s %12d iters %14.1f ns/op %8d B/op %6d allocs/op\n",
+			sb.name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		report.Benchmarks = append(report.Benchmarks, res)
+	}
+	if len(report.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmarks match -run %q", filter)
+	}
+	return report, nil
+}
+
+// nextSeqInDir scans dir for BENCH_<n>.json reports and returns the
+// next free sequence number.
+func nextSeqInDir(dir string) (int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return 0, err
+	}
+	names := make([]string, len(matches))
+	for i, m := range matches {
+		names[i] = filepath.Base(m)
+	}
+	return perf.NextSeq(names), nil
+}
+
+func init() {
+	// Register the testing package's flags (test.benchtime et al.) so
+	// runSuite can budget testing.Benchmark via flag.Set.
+	testing.Init()
+}

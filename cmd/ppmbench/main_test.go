@@ -1,0 +1,154 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppm/internal/perf"
+)
+
+// shortBenchtime caps every testing.Benchmark in this test binary at a
+// handful of iterations: these tests exercise the emit/parse/compare
+// plumbing, not the measurements.
+func shortBenchtime(t *testing.T) {
+	t.Helper()
+	if err := flag.Set("test.benchtime", "5x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuiteNamesUniqueAndWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sb := range suite {
+		if sb.name == "" || sb.desc == "" || sb.fn == nil {
+			t.Fatalf("incomplete suite entry %+v", sb)
+		}
+		if !strings.Contains(sb.name, "/") {
+			t.Errorf("%s: suite names are layer/operation", sb.name)
+		}
+		if seen[sb.name] {
+			t.Errorf("duplicate suite name %s", sb.name)
+		}
+		seen[sb.name] = true
+	}
+}
+
+// TestPerformanceMDCatalogsEverySuiteEntry enforces the PERFORMANCE.md
+// contract: every benchmark ppmbench emits is documented there.
+func TestPerformanceMDCatalogsEverySuiteEntry(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "PERFORMANCE.md"))
+	if err != nil {
+		t.Fatalf("PERFORMANCE.md must exist and catalog the suite: %v", err)
+	}
+	doc := string(data)
+	for _, sb := range suite {
+		if !strings.Contains(doc, "`"+sb.name+"`") {
+			t.Errorf("PERFORMANCE.md does not document benchmark `%s`", sb.name)
+		}
+	}
+}
+
+// TestEmitParseCompareRoundTrip runs the cheap wire benchmarks through
+// the real harness path: measure, encode, parse back, compare against
+// itself (zero regressions, strict mode).
+func TestEmitParseCompareRoundTrip(t *testing.T) {
+	shortBenchtime(t)
+	report, err := runSuite("^wire/", os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("wire suite = %d benchmarks, want 3", len(report.Benchmarks))
+	}
+	data, err := report.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := perf.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := perf.Compare(parsed, report, 25)
+	if got := cmp.Regressions(); got != 0 {
+		t.Fatalf("self-compare found %d regressions:\n%s", got, cmp.Format())
+	}
+}
+
+// TestWireHotPathZeroAllocsViaHarness pins the harness-visible form of
+// the allocation contract: the wire benchmarks report 0 allocs/op.
+func TestWireHotPathZeroAllocsViaHarness(t *testing.T) {
+	shortBenchtime(t)
+	report, err := runSuite("^wire/(encode|decode)$", os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range report.Benchmarks {
+		if b.AllocsPerOp != 0 {
+			t.Errorf("%s: %d allocs/op, want 0", b.Name, b.AllocsPerOp)
+		}
+	}
+}
+
+func TestRunSuiteRejectsEmptyFilter(t *testing.T) {
+	if _, err := runSuite("^no-such-benchmark$", os.Stdout); err == nil {
+		t.Fatal("runSuite accepted a filter matching nothing")
+	}
+	if _, err := runSuite("([", os.Stdout); err == nil {
+		t.Fatal("runSuite accepted a malformed regexp")
+	}
+}
+
+// TestCompareCLI drives the run() entry point end to end in a temp
+// dir: emit a baseline, compare clean against it, then corrupt it and
+// check the parse-error exit code.
+func TestCompareCLI(t *testing.T) {
+	shortBenchtime(t)
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_1.json")
+
+	if code := run([]string{"-run", "^wire/encode$", "-benchtime", "5x", "-o", base}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("emit exited %d", code)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := perf.Parse(data)
+	if err != nil {
+		t.Fatalf("emitted report does not parse: %v", err)
+	}
+	if rep.Seq != 1 {
+		t.Fatalf("first report Seq = %d, want 1", rep.Seq)
+	}
+
+	if code := run([]string{"-run", "^wire/encode$", "-benchtime", "5x", "-compare", base, "-threshold", "10000"}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("clean compare exited %d", code)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"ppmbench/v999"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-compare", bad, "-informational"}, os.Stdout, os.Stderr); code != 2 {
+		t.Fatalf("mis-versioned baseline exited %d, want 2 (even in informational mode)", code)
+	}
+}
+
+func TestNextSeqInDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, f := range []string{"BENCH_1.json", "BENCH_3.json", "other.json"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, err := nextSeqInDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Fatalf("seq = %d, want 4", seq)
+	}
+}

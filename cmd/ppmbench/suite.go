@@ -1,0 +1,224 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"ppm"
+	"ppm/internal/journal"
+	"ppm/internal/sim"
+	"ppm/internal/simnet"
+	"ppm/internal/wire"
+)
+
+// A suiteBench is one curated micro-benchmark. The name is the stable
+// identifier recorded in BENCH_<n>.json; renaming one is a breaking
+// change for --compare (the old name reads as MISSING), so names
+// change only together with a note in PERFORMANCE.md.
+type suiteBench struct {
+	name string // stable identifier ("layer/operation")
+	desc string // one line, shown by -list and cataloged in PERFORMANCE.md
+	fn   func(b *testing.B)
+}
+
+// suite is the curated benchmark set, in layer order: the framing hot
+// path, the scheduler core, the network delivery path, and the
+// end-to-end PPM scenarios that tie them together.
+var suite = []suiteBench{
+	{"wire/encode", "frame an op-less envelope through a reused encoder", benchWireEncode},
+	{"wire/decode", "borrow-decode an op-less frame", benchWireDecode},
+	{"wire/roundtrip", "encode then borrow-decode a frame with both trailers", benchWireRoundTrip},
+	{"sim/step", "schedule and fire one scheduler event in the steady state", benchSimStep},
+	{"simnet/datagram", "one-hop datagram delivery, including the scheduler drain", benchSimnetDatagram},
+	{"lpm/dispatch", "remote stop+continue round trip over a warm sibling circuit", benchLPMDispatch},
+	{"journal/append", "append one record to a saturated flight-recorder ring", benchJournalAppend},
+	{"snapshot/fanout", "distributed snapshot across a warm 8-host installation", benchSnapshotFanout},
+}
+
+// --- wire ---
+
+func opLessEnvelope() wire.Envelope {
+	return wire.Envelope{
+		Type:  wire.MsgControl,
+		ReqID: 42,
+		Body:  []byte("u\x00\x04host\x00\x00\x00\x07\x01\x00\x00\x00\x00"),
+	}
+}
+
+func benchWireEncode(b *testing.B) {
+	b.ReportAllocs()
+	ev := opLessEnvelope()
+	enc := wire.NewEncoder(ev.EncodedSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Reset()
+		ev.EncodeTo(enc)
+	}
+}
+
+func benchWireDecode(b *testing.B) {
+	b.ReportAllocs()
+	frame := opLessEnvelope().Encode()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.DecodeEnvelopeBorrow(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWireRoundTrip(b *testing.B) {
+	b.ReportAllocs()
+	ev := opLessEnvelope()
+	ev.OpID = 7
+	ev.SetTrace(3, 4)
+	enc := wire.NewEncoder(ev.EncodedSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Reset()
+		frame := ev.EncodeTo(enc)
+		if _, err := wire.DecodeEnvelopeBorrow(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- sim ---
+
+func benchSimStep(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.NewScheduler(1)
+	fn := func() {}
+	s.After(time.Microsecond, fn) // warm the event free list
+	s.Step()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, fn)
+		s.Step()
+	}
+}
+
+// --- simnet ---
+
+func benchSimnetDatagram(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.NewScheduler(1)
+	n := simnet.New(s, simnet.Options{})
+	for _, h := range []string{"a", "b"} {
+		if err := n.AddHost(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := n.AddSegment("net", "a", "b"); err != nil {
+		b.Fatal(err)
+	}
+	delivered := 0
+	if err := n.HandleDatagram("b", 100, func(simnet.Addr, []byte) { delivered++ }); err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("u\x00\x04host\x00\x00\x00\x07\x01")
+	from, to := simnet.Addr{Host: "a", Port: 5}, simnet.Addr{Host: "b", Port: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.SendDatagram(from, to, payload)
+		if err := s.RunUntilIdle(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d datagrams", delivered, b.N)
+	}
+	b.ReportMetric(1, "msgs/op")
+}
+
+// --- end-to-end PPM scenarios ---
+
+// wireMsgs totals the encoded wire messages the cluster has produced.
+func wireMsgs(c *ppm.Cluster) uint64 {
+	return c.MetricsSnapshot().CounterSum("wire.msgs.")
+}
+
+func benchLPMDispatch(b *testing.B) {
+	b.ReportAllocs()
+	c, err := ppm.NewCluster(ppm.ClusterConfig{
+		Hosts: []ppm.HostSpec{{Name: "a"}, {Name: "b"}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.AddUser("u")
+	sess, err := c.Attach("u", "a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err := sess.Run("b", "job") // warms the a<->b sibling circuit
+	if err != nil {
+		b.Fatal(err)
+	}
+	before := wireMsgs(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Stop(id); err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.Foreground(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(wireMsgs(c)-before)/float64(b.N), "msgs/op")
+}
+
+func benchJournalAppend(b *testing.B) {
+	b.ReportAllocs()
+	var t time.Duration
+	j := journal.New(func() time.Duration { t += time.Microsecond; return t })
+	j.SetCapacity(1024)
+	for i := 0; i < 1024; i++ { // saturate the ring: appends now evict
+		j.Append(journal.NetSend, "host", "datagram a:1->b:2 14B")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Append(journal.NetSend, "host", "datagram a:1->b:2 14B")
+	}
+}
+
+func benchSnapshotFanout(b *testing.B) {
+	b.ReportAllocs()
+	hosts := make([]ppm.HostSpec, 8)
+	names := []string{"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"}
+	for i, n := range names {
+		hosts[i] = ppm.HostSpec{Name: n}
+	}
+	c, err := ppm.NewCluster(ppm.ClusterConfig{Hosts: hosts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.AddUser("u")
+	sess, err := c.Attach("u", "h0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, err := sess.Run("h0", "root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range names[1:] {
+		if _, err := sess.RunChild(n, "w", root); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := sess.Snapshot(); err != nil { // warm every circuit
+		b.Fatal(err)
+	}
+	before := wireMsgs(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(wireMsgs(c)-before)/float64(b.N), "msgs/op")
+}

@@ -214,7 +214,9 @@ func (d *Daemons) reply(conn *simnet.Conn, reqID uint64, resp wire.LPMQueryResp,
 	sp.End()
 	env := wire.Envelope{Type: wire.MsgLPMQueryResp, ReqID: reqID, Body: resp.Encode()}
 	env.SetTrace(ctx.Trace, ctx.Span)
-	_ = conn.SendCtx(env.EncodeLogged(d.net.Metrics(), d.net.Journal(), d.hostName), ctx)
+	enc := wire.GetEncoder()
+	_ = conn.SendCtx(env.EncodeLoggedTo(enc, d.net.Metrics(), d.net.Journal(), d.hostName), ctx)
+	wire.PutEncoder(enc)
 }
 
 // register records an LPM, mirroring to stable storage when enabled.
@@ -319,6 +321,8 @@ func QueryLPMCtx(net *simnet.Network, fromHost string, targetHost string,
 		q := wire.LPMQuery{User: user.Name, Token: auth.MintToken(user, "pmd")}
 		env := wire.Envelope{Type: wire.MsgLPMQuery, ReqID: 1, Body: q.Encode()}
 		env.SetTrace(qctx.Trace, qctx.Span)
-		_ = conn.SendCtx(env.EncodeLogged(net.Metrics(), net.Journal(), fromHost), qctx)
+		enc := wire.GetEncoder()
+		_ = conn.SendCtx(env.EncodeLoggedTo(enc, net.Metrics(), net.Journal(), fromHost), qctx)
+		wire.PutEncoder(enc)
 	})
 }

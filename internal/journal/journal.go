@@ -187,6 +187,11 @@ func New(now func() time.Duration) *Journal {
 	return &Journal{now: now, capacity: DefaultCapacity}
 }
 
+// Enabled reports whether the flight recorder is wired at all. Hot
+// paths use it to skip building a record's detail string when the
+// append would be a no-op anyway.
+func (j *Journal) Enabled() bool { return j != nil }
+
 // SetSpanSource installs the tracer cross-link: fn returns the active
 // (trace, span) pair, stamped onto records appended without an explicit
 // context so journal entries and trace trees reference each other.

@@ -197,7 +197,7 @@ type sibling struct {
 type pendingReq struct {
 	host    string
 	cb      func(wire.Envelope, error)
-	timer   *sim.Timer
+	timer   sim.Timer
 	handler proc.PID    // handler process assigned to block on this request
 	sentAt  sim.Time    // registration time, for the request RTT histogram
 	span    *trace.Span // handler occupancy, from assignment to response
@@ -276,7 +276,7 @@ type LPM struct {
 	seenHead int
 
 	lastActivity sim.Time
-	ttlTimer     *sim.Timer
+	ttlTimer     sim.Timer
 	exited       bool
 
 	// metrics is the installation-wide registry, taken from the
@@ -424,9 +424,7 @@ func (l *LPM) armTTL() {
 	if l.exited {
 		return
 	}
-	if l.ttlTimer != nil {
-		l.ttlTimer.Cancel()
-	}
+	l.ttlTimer.Cancel()
 	l.ttlTimer = l.sched.After(l.cfg.TTL, l.checkTTL)
 }
 
@@ -471,9 +469,7 @@ func (l *LPM) Exit() {
 	}
 	l.exited = true
 	l.metrics.Counter("lpm.exits").Inc()
-	if l.ttlTimer != nil {
-		l.ttlTimer.Cancel()
-	}
+	l.ttlTimer.Cancel()
 	l.rec.Stop()
 	l.kern.SetEventSink(l.user.Name, nil)
 	l.net.CloseListen(l.accept.Host, l.accept.Port)
@@ -490,9 +486,7 @@ func (l *LPM) Exit() {
 	ids := detord.Keys(l.pending)
 	for _, id := range ids {
 		pr := l.pending[id]
-		if pr.timer != nil {
-			pr.timer.Cancel()
-		}
+		pr.timer.Cancel()
 		cb := pr.cb
 		pr.span.End()
 		delete(l.pending, id)
@@ -602,7 +596,7 @@ func (r *recEnv) lpm() *LPM { return (*LPM)(r) }
 
 func (r *recEnv) HostName() string { return r.lpm().Host() }
 
-func (r *recEnv) After(d time.Duration, fn func()) *sim.Timer {
+func (r *recEnv) After(d time.Duration, fn func()) sim.Timer {
 	return r.lpm().sched.After(d, fn)
 }
 

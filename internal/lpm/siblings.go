@@ -62,7 +62,7 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx
 		body := wire.HelloResp{OK: false, Reason: reason}.Encode()
 		env := wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}
 		env.SetTrace(ctx.Trace, ctx.Span)
-		_ = conn.SendCtx(env.EncodeLogged(l.metrics, l.journal, l.Host()), ctx)
+		_ = l.sendFramed(conn, env, ctx)
 		l.sched.After(0, conn.Close)
 	}
 	if l.exited {
@@ -104,14 +104,14 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx
 		// sockets), not a sibling.
 		conn.SetHandler(func(b []byte) { l.onToolMsg(conn, b) })
 		conn.SetCloseHandler(func(error) {})
-		_ = conn.SendCtx(respEnv.EncodeLogged(l.metrics, l.journal, l.Host()), ctx)
+		_ = l.sendFramed(conn, respEnv, ctx)
 		return
 	}
 	l.registerSibling(hello.FromHost, conn, hello.Inc)
 	if hello.CCSHost != "" {
 		l.rec.OnContact(hello.CCSHost)
 	}
-	_ = conn.SendCtx(respEnv.EncodeLogged(l.metrics, l.journal, l.Host()), ctx)
+	_ = l.sendFramed(conn, respEnv, ctx)
 }
 
 // registerSibling installs an authenticated circuit. inc is the peer
@@ -171,9 +171,7 @@ func (l *LPM) onSiblingClosed(sb *sibling, err error) {
 	}
 	for _, id := range ids {
 		pr := l.pending[id]
-		if pr.timer != nil {
-			pr.timer.Cancel()
-		}
+		pr.timer.Cancel()
 		cb := pr.cb
 		l.releaseHandler(pr.handler)
 		pr.span.End()
@@ -260,12 +258,10 @@ func (l *LPM) helloTo(ctx trace.Context, host string, conn *simnet.Conn, finish 
 		Inc:      l.incarnation(),
 	}
 	answered := false
-	var helloTmr *sim.Timer
+	var helloTmr sim.Timer
 	settle := func() {
 		answered = true
-		if helloTmr != nil {
-			helloTmr.Cancel()
-		}
+		helloTmr.Cancel()
 	}
 	conn.SetHandler(func(b []byte) {
 		if answered {
@@ -315,8 +311,19 @@ func (l *LPM) helloTo(ctx trace.Context, host string, conn *simnet.Conn, finish 
 		esp.End()
 		env := wire.Envelope{Type: wire.MsgHello, ReqID: 0, Body: hello.Encode()}
 		env.SetTrace(ctx.Trace, ctx.Span)
-		_ = conn.SendCtx(env.EncodeLogged(l.metrics, l.journal, l.Host()), ctx)
+		_ = l.sendFramed(conn, env, ctx)
 	})
+}
+
+// sendFramed encodes env through a pooled encoder and hands the frame
+// to the circuit. The network copies the frame into its own delivery
+// buffer synchronously, so the encoder is released as soon as SendCtx
+// returns — the sibling send path allocates no per-message frame.
+func (l *LPM) sendFramed(conn *simnet.Conn, env wire.Envelope, ctx trace.Context) error {
+	enc := wire.GetEncoder()
+	err := conn.SendCtx(env.EncodeLoggedTo(enc, l.metrics, l.journal, l.Host()), ctx)
+	wire.PutEncoder(enc)
+	return err
 }
 
 // --- message plumbing ---
@@ -382,9 +389,7 @@ func (l *LPM) handleResponse(env wire.Envelope) {
 		return // late response after timeout; drop
 	}
 	delete(l.pending, env.ReqID)
-	if pr.timer != nil {
-		pr.timer.Cancel()
-	}
+	pr.timer.Cancel()
 	l.metrics.Histogram("lpm.request_rtt").Observe(l.sched.Now().Sub(pr.sentAt))
 	l.releaseHandler(pr.handler)
 	pr.span.End()
@@ -452,7 +457,7 @@ func (l *LPM) sendRequest(ctx trace.Context, sb *sibling, t wire.MsgType, body [
 			}
 			env := wire.Envelope{Type: t, ReqID: id, Body: body, OpID: op}
 			env.SetTrace(rctx.Trace, rctx.Span)
-			_ = sb.conn.SendCtx(env.EncodeLogged(l.metrics, l.journal, l.Host()), rctx)
+			_ = l.sendFramed(sb.conn, env, rctx)
 			l.kern.AccountIPC(l.pid, 1, 0, t.String())
 		})
 	})
@@ -467,7 +472,7 @@ func (l *LPM) sendReply(ctx trace.Context, sb *sibling, reqID uint64, t wire.Msg
 		if sb.conn.Open() {
 			env := wire.Envelope{Type: t, ReqID: reqID, Body: body}
 			env.SetTrace(ctx.Trace, ctx.Span)
-			_ = sb.conn.SendCtx(env.EncodeLogged(l.metrics, l.journal, l.Host()), ctx)
+			_ = l.sendFramed(sb.conn, env, ctx)
 			l.kern.AccountIPC(l.pid, 1, 0, t.String())
 		}
 	})
@@ -479,7 +484,7 @@ func (l *LPM) sendOneWay(sb *sibling, t wire.MsgType, body []byte) {
 	l.kern.ExecCPU(endpointCost(t), func() {
 		if sb.conn.Open() {
 			env := wire.Envelope{Type: t, ReqID: 0, Body: body}
-			_ = sb.conn.Send(env.EncodeLogged(l.metrics, l.journal, l.Host()))
+			_ = l.sendFramed(sb.conn, env, trace.Context{})
 		}
 	})
 }

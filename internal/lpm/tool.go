@@ -109,7 +109,7 @@ func (t *ToolClient) hello(cb func(*ToolClient, error)) {
 		Token:    auth.MintToken(t.user, "sibling"),
 		Stamp:    wire.NewStamp(t.user.Key(), t.host, t.sched.Now().Duration(), 1),
 	}
-	_ = t.conn.Send(wire.Envelope{Type: wire.MsgHello, Body: hello.Encode()}.EncodeLogged(t.metrics, t.journal, t.host))
+	_ = t.sendFramed(wire.Envelope{Type: wire.MsgHello, Body: hello.Encode()})
 }
 
 func (t *ToolClient) onClosed(err error) {
@@ -146,6 +146,16 @@ func (t *ToolClient) Close() {
 	}
 }
 
+// sendFramed encodes env through a pooled encoder and sends it; the
+// network copies the frame on send, so the encoder is released
+// immediately and the tool request path allocates no per-message frame.
+func (t *ToolClient) sendFramed(env wire.Envelope) error {
+	enc := wire.GetEncoder()
+	err := t.conn.Send(env.EncodeLoggedTo(enc, t.metrics, t.journal, t.host))
+	wire.PutEncoder(enc)
+	return err
+}
+
 // call sends one request envelope and routes the response to cb.
 func (t *ToolClient) call(mt wire.MsgType, body []byte, cb func(wire.Envelope, error)) {
 	if t.closed {
@@ -155,7 +165,7 @@ func (t *ToolClient) call(mt wire.MsgType, body []byte, cb func(wire.Envelope, e
 	t.reqSeq++
 	id := t.reqSeq
 	t.pending[id] = cb
-	_ = t.conn.Send(wire.Envelope{Type: mt, ReqID: id, Body: body}.EncodeLogged(t.metrics, t.journal, t.host))
+	_ = t.sendFramed(wire.Envelope{Type: mt, ReqID: id, Body: body})
 }
 
 // Control performs a process-control operation through the wire
@@ -280,7 +290,7 @@ func (l *LPM) onToolMsg(conn *simnet.Conn, b []byte) {
 			if conn.Open() {
 				renv := wire.Envelope{Type: mt, ReqID: env.ReqID, Body: body}
 				renv.SetTrace(ctx.Trace, ctx.Span)
-				_ = conn.SendCtx(renv.EncodeLogged(l.metrics, l.journal, l.Host()), ctx)
+				_ = l.sendFramed(conn, renv, ctx)
 			}
 		})
 	}

@@ -1,0 +1,270 @@
+// Package perf defines the benchmark result format shared by the
+// ppmbench harness and its regression comparator: a schema-versioned
+// JSON report (BENCH_<n>.json at the repository root) holding one
+// record per curated micro-benchmark, and a comparison that classifies
+// each benchmark's drift between two reports.
+//
+// The package is deliberately clock-free and filesystem-free — it only
+// encodes, parses and compares — so it can be used from tests and from
+// the determinism-linted tree alike. Reading the wall clock and
+// walking the repository happen in cmd/ppmbench.
+//
+// Comparison policy (PERFORMANCE.md "Reading a regression"):
+//
+//   - allocs/op is deterministic for a fixed toolchain, so any
+//     increase is a regression at threshold zero — no noise margin.
+//   - ns/op is wall-clock noisy; drift beyond a percentage threshold
+//     of the old value counts as a regression, improvement otherwise.
+//   - a benchmark present in the baseline but missing from the new
+//     report is always a regression (the suite silently shrank).
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema is the report format identifier. Bump the suffix when the
+// field set changes incompatibly; Parse rejects any other value so a
+// stale comparator never misreads a newer report.
+const Schema = "ppmbench/v1"
+
+// Result is one benchmark's measurement.
+type Result struct {
+	// Name is the benchmark's stable identifier ("wire/encode", ...).
+	Name string `json:"name"`
+	// Iterations is the number of iterations the harness settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is allocated bytes per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Extra carries benchmark-specific metrics, e.g. "msgs/sec": the
+	// virtual-traffic message rate per wall-clock second for the
+	// end-to-end scenarios.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is one BENCH_<n>.json: the full suite run at one commit.
+type Report struct {
+	// SchemaVersion must equal Schema.
+	SchemaVersion string `json:"schema"`
+	// Seq is the report's sequence number n in BENCH_<n>.json.
+	Seq int `json:"seq"`
+	// Commit optionally records the git revision measured.
+	Commit string `json:"commit,omitempty"`
+	// Note optionally records why this report was taken.
+	Note string `json:"note,omitempty"`
+	// Benchmarks holds one Result per suite entry, in suite order.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Encode renders the report as indented JSON with a trailing newline,
+// the canonical on-disk form.
+func (r *Report) Encode() ([]byte, error) {
+	if r.SchemaVersion == "" {
+		r.SchemaVersion = Schema
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Parse decodes a report and validates its schema version. A report
+// written by an incompatible harness fails here rather than comparing
+// garbage.
+func Parse(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: bad report: %w", err)
+	}
+	if r.SchemaVersion != Schema {
+		return nil, fmt.Errorf("perf: schema %q, want %q", r.SchemaVersion, Schema)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("perf: report has no benchmarks")
+	}
+	seen := make(map[string]bool, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		if b.Name == "" {
+			return nil, fmt.Errorf("perf: benchmark with empty name")
+		}
+		if seen[b.Name] {
+			return nil, fmt.Errorf("perf: duplicate benchmark %q", b.Name)
+		}
+		seen[b.Name] = true
+	}
+	return &r, nil
+}
+
+// Verdict classifies one benchmark's drift.
+type Verdict int
+
+// The verdicts, from best to worst.
+const (
+	Improved Verdict = iota
+	Unchanged
+	New     // present only in the new report
+	Missing // present only in the baseline: always a regression
+	Slower  // ns/op drifted past the threshold
+	MoreAllocs
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Improved:
+		return "improved"
+	case Unchanged:
+		return "ok"
+	case New:
+		return "new"
+	case Missing:
+		return "MISSING"
+	case Slower:
+		return "SLOWER"
+	case MoreAllocs:
+		return "MORE ALLOCS"
+	}
+	return "?"
+}
+
+// Regression reports whether the verdict should fail a strict compare.
+func (v Verdict) Regression() bool {
+	return v == Missing || v == Slower || v == MoreAllocs
+}
+
+// Delta is one benchmark's comparison row.
+type Delta struct {
+	Name    string
+	Old     Result
+	NewR    Result
+	NsPct   float64 // (new-old)/old * 100; 0 when old ns/op is 0
+	Verdict Verdict
+}
+
+// Comparison is the outcome of comparing a new report to a baseline.
+type Comparison struct {
+	// Deltas holds one row per benchmark name in either report,
+	// sorted by name.
+	Deltas []Delta
+	// Threshold is the ns/op drift percentage applied.
+	Threshold float64
+}
+
+// Regressions counts rows whose verdict is a regression.
+func (c Comparison) Regressions() int {
+	n := 0
+	for _, d := range c.Deltas {
+		if d.Verdict.Regression() {
+			n++
+		}
+	}
+	return n
+}
+
+// Compare classifies every benchmark of the new report against the
+// baseline. thresholdPct bounds acceptable ns/op growth (e.g. 25 means
+// +25% is tolerated); allocs/op tolerates no growth at all.
+func Compare(old, new *Report, thresholdPct float64) Comparison {
+	oldBy := make(map[string]Result, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := make(map[string]Result, len(new.Benchmarks))
+	for _, b := range new.Benchmarks {
+		newBy[b.Name] = b
+	}
+	names := make([]string, 0, len(oldBy)+len(newBy))
+	for n := range oldBy {
+		names = append(names, n)
+	}
+	for n := range newBy {
+		if _, dup := oldBy[n]; !dup {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	c := Comparison{Threshold: thresholdPct}
+	for _, name := range names {
+		o, haveOld := oldBy[name]
+		nw, haveNew := newBy[name]
+		d := Delta{Name: name, Old: o, NewR: nw}
+		switch {
+		case !haveNew:
+			d.Verdict = Missing
+		case !haveOld:
+			d.Verdict = New
+		default:
+			if o.NsPerOp > 0 {
+				d.NsPct = (nw.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			}
+			switch {
+			case nw.AllocsPerOp > o.AllocsPerOp:
+				d.Verdict = MoreAllocs
+			case d.NsPct > thresholdPct:
+				d.Verdict = Slower
+			case nw.AllocsPerOp < o.AllocsPerOp || d.NsPct < -thresholdPct:
+				d.Verdict = Improved
+			default:
+				d.Verdict = Unchanged
+			}
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	return c
+}
+
+// Format renders the comparison as an aligned text table, one row per
+// benchmark, with a trailing summary line.
+func (c Comparison) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %14s %14s %8s %14s %s\n",
+		"benchmark", "old ns/op", "new ns/op", "ns ±%", "allocs/op", "verdict")
+	for _, d := range c.Deltas {
+		oldNs, newNs, pct, allocs := "-", "-", "-", "-"
+		if d.Verdict != New {
+			oldNs = formatNs(d.Old.NsPerOp)
+		}
+		if d.Verdict != Missing {
+			newNs = formatNs(d.NewR.NsPerOp)
+		}
+		if d.Verdict != New && d.Verdict != Missing {
+			pct = fmt.Sprintf("%+.1f", d.NsPct)
+			allocs = fmt.Sprintf("%d -> %d", d.Old.AllocsPerOp, d.NewR.AllocsPerOp)
+		}
+		fmt.Fprintf(&b, "%-24s %14s %14s %8s %14s %s\n",
+			d.Name, oldNs, newNs, pct, allocs, d.Verdict)
+	}
+	fmt.Fprintf(&b, "%d benchmarks, %d regressions (ns/op threshold %+.0f%%, allocs/op threshold 0)\n",
+		len(c.Deltas), c.Regressions(), c.Threshold)
+	return b.String()
+}
+
+func formatNs(ns float64) string {
+	if ns >= 100 {
+		return strconv.FormatFloat(ns, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(ns, 'f', 2, 64)
+}
+
+// NextSeq returns the sequence number the next report should carry,
+// given the BENCH_<n>.json basenames already present (unparsable names
+// are ignored). An empty history yields 1.
+func NextSeq(names []string) int {
+	max := 0
+	for _, n := range names {
+		var seq int
+		if _, err := fmt.Sscanf(n, "BENCH_%d.json", &seq); err == nil && seq > max {
+			max = seq
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,174 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		SchemaVersion: Schema,
+		Seq:           1,
+		Benchmarks: []Result{
+			{Name: "wire/encode", Iterations: 1000, NsPerOp: 50, BytesPerOp: 0, AllocsPerOp: 0},
+			{Name: "sim/step", Iterations: 500, NsPerOp: 120, BytesPerOp: 16, AllocsPerOp: 1,
+				Extra: map[string]float64{"events/sec": 8e6}},
+		},
+	}
+}
+
+// TestReportRoundTrip pins emit -> parse: the canonical on-disk form
+// decodes back to the same report.
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	data, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Fatal("encoded report must end in a newline")
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != Schema || got.Seq != 1 || len(got.Benchmarks) != 2 {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+	if got.Benchmarks[1].Extra["events/sec"] != 8e6 {
+		t.Fatalf("extra metric lost: %+v", got.Benchmarks[1])
+	}
+}
+
+// TestEncodeStampsSchema proves Encode fills in the schema version so a
+// harness cannot emit an unversioned report by accident.
+func TestEncodeStampsSchema(t *testing.T) {
+	r := &Report{Seq: 3, Benchmarks: []Result{{Name: "x"}}}
+	data, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(data); err != nil {
+		t.Fatalf("encoded report does not parse: %v", err)
+	}
+}
+
+func TestParseRejectsSchemaMismatch(t *testing.T) {
+	cases := map[string]string{
+		"future version": `{"schema":"ppmbench/v2","benchmarks":[{"name":"a"}]}`,
+		"missing schema": `{"benchmarks":[{"name":"a"}]}`,
+		"not json":       `ns/op 123`,
+		"empty suite":    `{"schema":"ppmbench/v1","benchmarks":[]}`,
+		"unnamed bench":  `{"schema":"ppmbench/v1","benchmarks":[{"ns_per_op":1}]}`,
+		"duplicate name": `{"schema":"ppmbench/v1","benchmarks":[{"name":"a"},{"name":"a"}]}`,
+	}
+	for label, data := range cases {
+		if _, err := Parse([]byte(data)); err == nil {
+			t.Errorf("%s: Parse accepted %q", label, data)
+		}
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	old := &Report{SchemaVersion: Schema, Benchmarks: []Result{
+		{Name: "same", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "faster", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "slower", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "allocs", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "gone", NsPerOp: 100, AllocsPerOp: 2},
+	}}
+	nw := &Report{SchemaVersion: Schema, Benchmarks: []Result{
+		{Name: "same", NsPerOp: 104, AllocsPerOp: 2},
+		{Name: "faster", NsPerOp: 40, AllocsPerOp: 2},
+		{Name: "slower", NsPerOp: 160, AllocsPerOp: 2},
+		{Name: "allocs", NsPerOp: 100, AllocsPerOp: 3},
+		{Name: "fresh", NsPerOp: 10, AllocsPerOp: 0},
+	}}
+	c := Compare(old, nw, 25)
+	want := map[string]Verdict{
+		"allocs": MoreAllocs,
+		"faster": Improved,
+		"fresh":  New,
+		"gone":   Missing,
+		"same":   Unchanged,
+		"slower": Slower,
+	}
+	if len(c.Deltas) != len(want) {
+		t.Fatalf("deltas = %d, want %d", len(c.Deltas), len(want))
+	}
+	for _, d := range c.Deltas {
+		if d.Verdict != want[d.Name] {
+			t.Errorf("%s: verdict %v, want %v", d.Name, d.Verdict, want[d.Name])
+		}
+	}
+	if got := c.Regressions(); got != 3 {
+		t.Fatalf("regressions = %d, want 3 (allocs, gone, slower)", got)
+	}
+	// Rows are sorted by name for a stable table.
+	for i := 1; i < len(c.Deltas); i++ {
+		if c.Deltas[i-1].Name >= c.Deltas[i].Name {
+			t.Fatalf("deltas not sorted: %q before %q", c.Deltas[i-1].Name, c.Deltas[i].Name)
+		}
+	}
+}
+
+// TestCompareAllocsAreStrict pins the policy: a one-alloc increase is a
+// regression even when ns/op improved and the threshold is generous.
+func TestCompareAllocsAreStrict(t *testing.T) {
+	old := &Report{Benchmarks: []Result{{Name: "b", NsPerOp: 100, AllocsPerOp: 0}}}
+	nw := &Report{Benchmarks: []Result{{Name: "b", NsPerOp: 10, AllocsPerOp: 1}}}
+	c := Compare(old, nw, 1000)
+	if c.Deltas[0].Verdict != MoreAllocs || c.Regressions() != 1 {
+		t.Fatalf("want MoreAllocs regression, got %+v", c.Deltas[0])
+	}
+}
+
+// TestCompareMissingBenchmark pins that a silently shrunken suite fails
+// the compare: losing a benchmark is a regression, not a skip.
+func TestCompareMissingBenchmark(t *testing.T) {
+	old := &Report{Benchmarks: []Result{
+		{Name: "kept", NsPerOp: 10},
+		{Name: "dropped", NsPerOp: 10},
+	}}
+	nw := &Report{Benchmarks: []Result{{Name: "kept", NsPerOp: 10}}}
+	c := Compare(old, nw, 25)
+	if c.Regressions() != 1 {
+		t.Fatalf("regressions = %d, want 1", c.Regressions())
+	}
+	for _, d := range c.Deltas {
+		if d.Name == "dropped" && d.Verdict != Missing {
+			t.Fatalf("dropped: verdict %v, want Missing", d.Verdict)
+		}
+	}
+}
+
+func TestFormatMentionsEveryRow(t *testing.T) {
+	old := &Report{Benchmarks: []Result{{Name: "a", NsPerOp: 100, AllocsPerOp: 1}}}
+	nw := &Report{Benchmarks: []Result{
+		{Name: "a", NsPerOp: 100, AllocsPerOp: 1},
+		{Name: "b", NsPerOp: 5, AllocsPerOp: 0},
+	}}
+	out := Compare(old, nw, 25).Format()
+	for _, want := range []string{"a", "b", "2 benchmarks", "0 regressions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNextSeq(t *testing.T) {
+	cases := []struct {
+		names []string
+		want  int
+	}{
+		{nil, 1},
+		{[]string{"BENCH_1.json"}, 2},
+		{[]string{"BENCH_2.json", "BENCH_1.json", "BENCH_9.json"}, 10},
+		{[]string{"BENCH_x.json", "notes.txt"}, 1},
+	}
+	for _, c := range cases {
+		if got := NextSeq(c.names); got != c.want {
+			t.Errorf("NextSeq(%v) = %d, want %d", c.names, got, c.want)
+		}
+	}
+}

@@ -49,7 +49,7 @@ type Env interface {
 	// HostName is the local host.
 	HostName() string
 	// After schedules fn on the shared scheduler.
-	After(d time.Duration, fn func()) *sim.Timer
+	After(d time.Duration, fn func()) sim.Timer
 	// ProbeHost checks (asynchronously) whether an LPM for the user can
 	// be reached — and created on demand — on host.
 	ProbeHost(host string, cb func(ok bool))
@@ -132,15 +132,15 @@ type Manager struct {
 	state    State
 	ccs      string // current CCS host ("" = none known)
 	seekPos  int
-	dieTimer *sim.Timer
-	probeTmr *sim.Timer
-	retryTmr *sim.Timer
+	dieTimer sim.Timer
+	probeTmr sim.Timer
+	retryTmr sim.Timer
 	stopped  bool
 
 	// lost tracks hosts whose sibling circuit broke and has not come
 	// back; the redial loop walks them until each circuit is up again.
 	lost      map[string]bool
-	redialTmr *sim.Timer
+	redialTmr sim.Timer
 
 	// Terminated reports whether time-to-die fired.
 	Terminated bool
@@ -170,22 +170,10 @@ func (m *Manager) Stop() {
 }
 
 func (m *Manager) cancelTimers() {
-	if m.dieTimer != nil {
-		m.dieTimer.Cancel()
-		m.dieTimer = nil
-	}
-	if m.probeTmr != nil {
-		m.probeTmr.Cancel()
-		m.probeTmr = nil
-	}
-	if m.retryTmr != nil {
-		m.retryTmr.Cancel()
-		m.retryTmr = nil
-	}
-	if m.redialTmr != nil {
-		m.redialTmr.Cancel()
-		m.redialTmr = nil
-	}
+	m.dieTimer.Cancel()
+	m.probeTmr.Cancel()
+	m.retryTmr.Cancel()
+	m.redialTmr.Cancel()
 }
 
 func (m *Manager) setState(s State) {
@@ -203,14 +191,8 @@ func (m *Manager) SetCCS(host string) {
 		return
 	}
 	m.ccs = host
-	if m.dieTimer != nil {
-		m.dieTimer.Cancel()
-		m.dieTimer = nil
-	}
-	if m.retryTmr != nil {
-		m.retryTmr.Cancel()
-		m.retryTmr = nil
-	}
+	m.dieTimer.Cancel()
+	m.retryTmr.Cancel()
 	m.setState(Normal)
 	if m.cfg.Locator != nil && m.IsCCS() {
 		m.cfg.Locator.RegisterCCS(m.cfg.User, host)
@@ -219,9 +201,8 @@ func (m *Manager) SetCCS(host string) {
 	// higher on the list, at low frequency, to rejoin them.
 	if m.IsCCS() && !m.topOfList() {
 		m.scheduleProbe()
-	} else if m.probeTmr != nil {
+	} else {
 		m.probeTmr.Cancel()
-		m.probeTmr = nil
 	}
 }
 
@@ -298,14 +279,13 @@ func (m *Manager) LostSiblings() []string {
 
 // scheduleRedial arms the redial timer if it is not already running.
 func (m *Manager) scheduleRedial() {
-	if m.redialTmr != nil {
+	if !m.redialTmr.Fired() {
 		return
 	}
 	m.redialTmr = m.env.After(m.cfg.RedialEvery, m.redialTick)
 }
 
 func (m *Manager) redialTick() {
-	m.redialTmr = nil
 	if m.stopped || len(m.lost) == 0 {
 		return
 	}
@@ -427,7 +407,7 @@ func (m *Manager) seekNext() {
 // re-seeking.
 func (m *Manager) becomeIsolated() {
 	m.setState(Isolated)
-	if m.dieTimer == nil {
+	if m.dieTimer.Fired() {
 		m.dieTimer = m.env.After(m.cfg.TimeToDie, func() {
 			if m.stopped || m.state != Isolated {
 				return
@@ -447,9 +427,7 @@ func (m *Manager) becomeIsolated() {
 // scheduleProbe sets up the low-frequency probing of higher-priority
 // hosts by a CCS that is not at the top of the list.
 func (m *Manager) scheduleProbe() {
-	if m.probeTmr != nil {
-		m.probeTmr.Cancel()
-	}
+	m.probeTmr.Cancel()
 	m.probeTmr = m.env.After(m.cfg.ProbeEvery, func() { m.probeHigher(0) })
 }
 

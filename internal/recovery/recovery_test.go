@@ -24,7 +24,7 @@ type fakeEnv struct {
 
 func (f *fakeEnv) HostName() string { return f.host }
 
-func (f *fakeEnv) After(d time.Duration, fn func()) *sim.Timer {
+func (f *fakeEnv) After(d time.Duration, fn func()) sim.Timer {
 	return f.sched.After(d, fn)
 }
 

@@ -68,14 +68,17 @@ func (t Time) String() string {
 // stopped explicitly with Stop.
 var ErrStopped = errors.New("sim: scheduler stopped")
 
-// event is a single scheduled callback.
+// event is a single scheduled callback. Event structs are recycled
+// through the scheduler's free list once they fire or are cancelled —
+// scheduling is allocation-free in the steady state — so a Timer never
+// dereferences one without first checking its generation.
 type event struct {
 	at  Time
 	seq uint64 // tiebreaker: FIFO among events at the same instant
 	fn  func()
 
-	canceled bool
-	index    int // heap index, maintained by eventHeap
+	gen   uint64 // bumped on recycle; stale Timer handles check it
+	index int    // heap index, maintained by eventHeap; -1 = not queued
 }
 
 // eventHeap orders events by (at, seq).
@@ -116,27 +119,31 @@ func (h *eventHeap) Pop() any {
 }
 
 // Timer is a handle to a scheduled callback. Cancel prevents the
-// callback from running if it has not fired yet.
+// callback from running if it has not fired yet. Timer is a value: the
+// zero Timer is valid and behaves as already-fired, and handles stay
+// safe after their event is recycled (the generation check turns stale
+// handles into no-ops).
 type Timer struct {
-	s  *Scheduler
-	ev *event
+	s   *Scheduler
+	ev  *event
+	gen uint64
 }
 
 // Cancel stops the timer. It reports whether the callback was prevented
 // from running (false if it already fired or was already cancelled).
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index < 0 {
+func (t Timer) Cancel() bool {
+	if t.ev == nil || t.gen != t.ev.gen || t.ev.index < 0 {
 		return false
 	}
-	t.ev.canceled = true
 	heap.Remove(&t.s.events, t.ev.index)
+	t.s.recycle(t.ev)
 	return true
 }
 
 // Fired reports whether the timer's callback has already run (or been
 // cancelled): i.e. it is no longer pending.
-func (t *Timer) Fired() bool {
-	return t == nil || t.ev == nil || t.ev.index < 0 || t.ev.canceled
+func (t Timer) Fired() bool {
+	return t.ev == nil || t.gen != t.ev.gen || t.ev.index < 0
 }
 
 // Scheduler is a discrete-event scheduler with a virtual clock.
@@ -145,6 +152,7 @@ type Scheduler struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	free    []*event // recycled event structs, reused by At
 	rng     *rand.Rand
 	stopped bool
 	steps   uint64
@@ -169,25 +177,42 @@ func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 // runaway-loop guards in tests.
 func (s *Scheduler) Steps() uint64 { return s.steps }
 
+// recycle returns a fired or cancelled event to the free list. The
+// generation bump invalidates every Timer handle still referring to it.
+func (s *Scheduler) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.index = -1
+	s.free = append(s.free, ev)
+}
+
 // At schedules fn to run at instant at. Scheduling in the past (or at
 // the present instant) runs the event at the current time but strictly
 // after all previously scheduled events for that time.
-func (s *Scheduler) At(at Time, fn func()) *Timer {
+func (s *Scheduler) At(at Time, fn func()) Timer {
 	if fn == nil {
-		return &Timer{}
+		return Timer{}
 	}
 	if at < s.now {
 		at = s.now
 	}
 	s.seq++
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at, ev.seq, ev.fn = at, s.seq, fn
+	} else {
+		ev = &event{at: at, seq: s.seq, fn: fn}
+	}
 	heap.Push(&s.events, ev)
-	return &Timer{s: s, ev: ev}
+	return Timer{s: s, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current instant. Negative d is
 // treated as zero.
-func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -197,7 +222,7 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
 // Defer schedules fn to run at the current instant, after all events
 // already queued for this instant. It is the simulation analogue of
 // "go fn()".
-func (s *Scheduler) Defer(fn func()) *Timer { return s.At(s.now, fn) }
+func (s *Scheduler) Defer(fn func()) Timer { return s.At(s.now, fn) }
 
 // Stop halts the scheduler: subsequent Run calls return ErrStopped
 // without executing further events. Pending events stay queued.
@@ -205,34 +230,31 @@ func (s *Scheduler) Stop() { s.stopped = true }
 
 // Step executes the single earliest pending event, advancing the clock
 // to its instant. It reports whether an event was executed.
+// (Cancelled events are removed from the heap eagerly, so every queued
+// event is live.)
 func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 {
-		ev, ok := heap.Pop(&s.events).(*event)
-		if !ok {
-			return false
-		}
-		if ev.canceled {
-			continue
-		}
-		s.now = ev.at
-		s.steps++
-		ev.fn()
-		return true
+	if len(s.events) == 0 {
+		return false
 	}
-	return false
+	ev, ok := heap.Pop(&s.events).(*event)
+	if !ok {
+		return false
+	}
+	s.now = ev.at
+	s.steps++
+	fn := ev.fn
+	s.recycle(ev) // before fn: handles to this event now read as fired
+	fn()
+	return true
 }
 
 // pendingAt returns the instant of the earliest pending event and
 // whether one exists.
 func (s *Scheduler) pendingAt() (Time, bool) {
-	for len(s.events) > 0 {
-		if s.events[0].canceled {
-			heap.Pop(&s.events)
-			continue
-		}
-		return s.events[0].at, true
+	if len(s.events) == 0 {
+		return 0, false
 	}
-	return 0, false
+	return s.events[0].at, true
 }
 
 // RunUntil executes events until the clock would pass deadline, then
@@ -298,12 +320,4 @@ func (s *Scheduler) RunUntilDone(done func() bool, maxSteps uint64) (bool, error
 }
 
 // Pending returns the number of pending (non-cancelled) events.
-func (s *Scheduler) Pending() int {
-	n := 0
-	for _, ev := range s.events {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
-}
+func (s *Scheduler) Pending() int { return len(s.events) }

@@ -107,7 +107,7 @@ func TestCancelOneOfManyAtSameInstant(t *testing.T) {
 	s := NewScheduler(1)
 	var got []int
 	at := Time(time.Millisecond)
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 5; i++ {
 		i := i
 		timers = append(timers, s.At(at, func() { got = append(got, i) }))
@@ -313,7 +313,7 @@ func TestPropertyCancelPreservesSurvivorOrder(t *testing.T) {
 			at Time
 		}
 		var fired []rec
-		timers := make([]*Timer, len(delays))
+		timers := make([]Timer, len(delays))
 		for i, d := range delays {
 			i := i
 			timers[i] = s.After(time.Duration(d)*time.Microsecond, func() {
@@ -377,12 +377,12 @@ func TestStopDuringRunUntilDone(t *testing.T) {
 }
 
 func TestNilTimerSafe(t *testing.T) {
-	var tm *Timer
+	var tm Timer
 	if tm.Cancel() {
-		t.Fatal("nil timer cancel reported true")
+		t.Fatal("zero timer cancel reported true")
 	}
 	if !tm.Fired() {
-		t.Fatal("nil timer should report fired/not-pending")
+		t.Fatal("zero timer should report fired/not-pending")
 	}
 	s := NewScheduler(1)
 	empty := s.At(0, nil) // nil fn yields inert timer
@@ -403,5 +403,77 @@ func TestRunUntilNeverPassesDeadline(t *testing.T) {
 	}
 	if s.Now() != Time(9*time.Millisecond) {
 		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+// TestStaleTimerHandleIsInert pins the generation guard: once an event
+// fires and its struct is recycled into a new timer, the old handle
+// must neither cancel nor report the new event as its own.
+func TestStaleTimerHandleIsInert(t *testing.T) {
+	s := NewScheduler(1)
+	fired := 0
+	old := s.After(time.Millisecond, func() { fired++ })
+	if err := s.RunUntilIdle(4); err != nil {
+		t.Fatal(err)
+	}
+	if !old.Fired() {
+		t.Fatal("timer should report fired after its event ran")
+	}
+	// The next After reuses the recycled event struct.
+	fresh := s.After(time.Millisecond, func() { fired += 10 })
+	if old.Cancel() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	if fresh.Fired() {
+		t.Fatal("fresh timer reported fired while pending")
+	}
+	if err := s.RunUntilIdle(4); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 11 {
+		t.Fatalf("fired = %d, want 11 (stale cancel must not kill the new event)", fired)
+	}
+}
+
+// TestCancelledTimerHandleIsInert is the cancel-path twin: a handle
+// whose event was cancelled and recycled stays a no-op.
+func TestCancelledTimerHandleIsInert(t *testing.T) {
+	s := NewScheduler(1)
+	fired := 0
+	old := s.After(time.Millisecond, func() { fired++ })
+	if !old.Cancel() {
+		t.Fatal("first cancel should succeed")
+	}
+	if old.Cancel() {
+		t.Fatal("second cancel should be a no-op")
+	}
+	fresh := s.After(time.Millisecond, func() { fired += 10 })
+	if old.Cancel() {
+		t.Fatal("stale handle cancelled the recycled event")
+	}
+	_ = fresh
+	if err := s.RunUntilIdle(4); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10", fired)
+	}
+}
+
+// TestSchedulingSteadyStateZeroAllocs pins the event free list: a
+// schedule/fire cycle in the steady state touches the allocator zero
+// times (the event struct is recycled, the Timer is a value).
+func TestSchedulingSteadyStateZeroAllocs(t *testing.T) {
+	s := NewScheduler(1)
+	fn := func() {}
+	// Warm up: allocate the one event struct and heap slot.
+	s.After(time.Microsecond, fn)
+	s.Step()
+	allocs := testing.AllocsPerRun(200, func() {
+		s.After(time.Microsecond, fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+fire steady state: %.1f allocs/op, want 0", allocs)
 	}
 }

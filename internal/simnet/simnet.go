@@ -108,6 +108,7 @@ type Network struct {
 	journal  *journal.Journal
 	tap      func(TapEvent)
 	loss     *lossPlan
+	bufFree  [][]byte // recycled delivery buffers (single-goroutine sim)
 }
 
 // New creates an empty network on the given scheduler.
@@ -289,17 +290,26 @@ func (n *Network) Reachable(a, b string) bool {
 	return ok
 }
 
-// countSend records one message of the given kind ("simnet.datagram"
-// or "simnet.circuit") in the metrics registry, including the segment
-// hops it will cross: <kind>.sent / <kind>.bytes count the message
-// once, simnet.hop.crossings / simnet.hop.bytes charge it once per
-// physical segment traversed (a 2-hop datagram loads two Ethernets).
-func (n *Network) countSend(kind, from, to string, size int) {
+// sendCounters pairs the precomputed per-transport counter names, so
+// the per-message accounting path concatenates no strings.
+type sendCounters struct{ sent, bytes string }
+
+var (
+	datagramCounters = sendCounters{sent: "simnet.datagram.sent", bytes: "simnet.datagram.bytes"}
+	circuitCounters  = sendCounters{sent: "simnet.circuit.sent", bytes: "simnet.circuit.bytes"}
+)
+
+// countSend records one message of the given transport in the metrics
+// registry, including the segment hops it will cross: <kind>.sent /
+// <kind>.bytes count the message once, simnet.hop.crossings /
+// simnet.hop.bytes charge it once per physical segment traversed (a
+// 2-hop datagram loads two Ethernets).
+func (n *Network) countSend(names sendCounters, from, to string, size int) {
 	if n.metrics == nil {
 		return
 	}
-	n.metrics.Counter(kind + ".sent").Inc()
-	n.metrics.Counter(kind + ".bytes").Add(uint64(size))
+	n.metrics.Counter(names.sent).Inc()
+	n.metrics.Counter(names.bytes).Add(uint64(size))
 	if hops, ok := n.Hops(from, to); ok && hops > 0 {
 		n.metrics.Counter("simnet.hop.crossings").Add(uint64(hops))
 		n.metrics.Counter("simnet.hop.bytes").Add(uint64(hops * size))
@@ -566,6 +576,31 @@ func (n *Network) breakRemote(c *Conn) {
 	n.logMsg(journal.NetCircuitBreak, c.local.Host, "circuit", c.local, c.remote, 0, "", trace.Context{})
 }
 
+// copyBuf copies payload into a recycled delivery buffer. The
+// simulation runs on one goroutine, so a plain stack is enough; the
+// buffer is returned to the pool by putBuf once the receiving handler
+// has run. Ownership rule (DESIGN.md "Hot paths & allocation
+// discipline"): a delivery payload is valid only for the duration of
+// the handler call — handlers that defer work must copy first, which
+// the copying envelope decode already does.
+func (n *Network) copyBuf(payload []byte) []byte {
+	var b []byte
+	if ln := len(n.bufFree); ln > 0 {
+		b = n.bufFree[ln-1]
+		n.bufFree[ln-1] = nil
+		n.bufFree = n.bufFree[:ln-1]
+	}
+	return append(b, payload...)
+}
+
+// putBuf returns a delivery buffer to the free list.
+func (n *Network) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	n.bufFree = append(n.bufFree, b[:0])
+}
+
 // --- datagrams ---
 
 // HandleDatagram installs a datagram handler on host:port.
@@ -603,7 +638,7 @@ func (n *Network) SendDatagram(from, to Addr, payload []byte) {
 func (n *Network) SendDatagramCtx(from, to Addr, payload []byte, ctx trace.Context) {
 	n.stats.MsgsSent++
 	n.stats.BytesSent += int64(len(payload))
-	n.countSend("simnet.datagram", from.Host, to.Host, len(payload))
+	n.countSend(datagramCounters, from.Host, to.Host, len(payload))
 	n.emitTap(TapEvent{Kind: TapSend, From: from, To: to, Size: len(payload)})
 	n.logMsg(journal.NetSend, from.Host, "datagram", from, to, len(payload), "", ctx)
 	if !n.Reachable(from.Host, to.Host) {
@@ -624,8 +659,9 @@ func (n *Network) SendDatagramCtx(from, to Addr, payload []byte, ctx trace.Conte
 	n.traceTransit(ctx, from.Host, to.Host, len(payload))
 	delay := n.transit(from.Host, to.Host, len(payload))
 	n.metrics.Histogram("simnet.transit").Observe(delay)
-	body := append([]byte(nil), payload...)
+	body := n.copyBuf(payload)
 	n.sched.After(delay, func() {
+		defer n.putBuf(body)
 		nd, ok := n.hosts[to.Host]
 		if !ok || !nd.up || !n.Reachable(from.Host, to.Host) {
 			n.stats.MsgsDropped++
@@ -698,7 +734,7 @@ func (c *Conn) SendCtx(payload []byte, ctx trace.Context) error {
 	n := c.net
 	n.stats.MsgsSent++
 	n.stats.BytesSent += int64(len(payload))
-	n.countSend("simnet.circuit", c.local.Host, c.remote.Host, len(payload))
+	n.countSend(circuitCounters, c.local.Host, c.remote.Host, len(payload))
 	n.emitTap(TapEvent{Kind: TapSend, From: c.local, To: c.remote, Size: len(payload), Circuit: true})
 	n.logMsg(journal.NetSend, c.local.Host, "circuit", c.local, c.remote, len(payload), "", ctx)
 	if !n.Reachable(c.local.Host, c.remote.Host) {
@@ -730,8 +766,9 @@ func (c *Conn) SendCtx(payload []byte, ctx trace.Context) error {
 		at = peer.lastRecv // FIFO per circuit
 	}
 	peer.lastRecv = at
-	body := append([]byte(nil), payload...)
+	body := n.copyBuf(payload)
 	n.sched.At(at, func() {
+		defer n.putBuf(body)
 		if !peer.open {
 			n.stats.MsgsDropped++
 			n.metrics.Counter("simnet.circuit.dropped").Inc()

@@ -437,3 +437,105 @@ func TestLoopbackDelivery(t *testing.T) {
 		t.Fatalf("loopback should be fast, took %v", s.Now())
 	}
 }
+
+// TestPooledDeliveryBuffersInFlight pins the delivery-buffer pool: with
+// several messages in flight at once, each handler sees its own
+// payload intact — buffers are only recycled after the handler returns,
+// never while another delivery still holds one.
+func TestPooledDeliveryBuffersInFlight(t *testing.T) {
+	s, n := threeHostChain(t)
+	var got []string
+	if err := n.HandleDatagram("c", 100, func(_ Addr, p []byte) {
+		got = append(got, string(p))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Same destination, two hops, equal sizes (so transit delays tie
+	// and delivery order is send order): all four are in flight at once.
+	for _, msg := range []string{"first-pay", "secondpay", "third-pay", "fourthpay"} {
+		n.SendDatagram(Addr{"a", 5}, Addr{"c", 100}, []byte(msg))
+	}
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first-pay", "secondpay", "third-pay", "fourthpay"}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d messages, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPooledBufferReusedAcrossDeliveries proves the pool actually
+// recycles: after a delivery completes, the next send reuses the
+// returned buffer (same backing array) rather than allocating.
+func TestPooledBufferReusedAcrossDeliveries(t *testing.T) {
+	s, n := threeHostChain(t)
+	var bufs []*byte
+	if err := n.HandleDatagram("b", 100, func(_ Addr, p []byte) {
+		bufs = append(bufs, &p[:1][0])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n.SendDatagram(Addr{"a", 5}, Addr{"b", 100}, []byte("one"))
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	n.SendDatagram(Addr{"a", 5}, Addr{"b", 100}, []byte("two"))
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(bufs) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(bufs))
+	}
+	if bufs[0] != bufs[1] {
+		t.Fatal("second delivery did not reuse the pooled buffer")
+	}
+}
+
+// TestCircuitPooledBuffers runs mixed-size circuit traffic both ways
+// and checks content integrity under buffer recycling.
+func TestCircuitPooledBuffers(t *testing.T) {
+	s, n := threeHostChain(t)
+	var server *Conn
+	if err := n.Listen("b", 9, func(c *Conn) {
+		server = c
+		c.SetHandler(func(p []byte) {
+			// Echo a copy back; the payload itself dies with this call.
+			reply := append([]byte("echo:"), p...)
+			if err := c.Send(reply); err != nil {
+				t.Errorf("echo send: %v", err)
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var echoes []string
+	n.Dial("a", Addr{"b", 9}, func(c *Conn, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		c.SetHandler(func(p []byte) { echoes = append(echoes, string(p)) })
+		for _, msg := range []string{"alpha", "bb", "a-much-longer-payload"} {
+			if err := c.Send([]byte(msg)); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+	})
+	if err := s.RunUntilIdle(1000); err != nil {
+		t.Fatal(err)
+	}
+	_ = server
+	want := []string{"echo:alpha", "echo:bb", "echo:a-much-longer-payload"}
+	if len(echoes) != len(want) {
+		t.Fatalf("echoes = %v, want %v", echoes, want)
+	}
+	for i := range want {
+		if echoes[i] != want[i] {
+			t.Fatalf("echo %d = %q, want %q", i, echoes[i], want[i])
+		}
+	}
+}

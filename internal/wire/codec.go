@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -31,6 +32,39 @@ type Encoder struct {
 // NewEncoder returns an encoder with capacity preallocated.
 func NewEncoder(capacity int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Reset empties the encoder, retaining the backing buffer so a
+// long-lived encoder reaches a steady state where encoding allocates
+// nothing. Bytes returned before the Reset are invalidated by it.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// encPool recycles encoders for the framing hot path. The ownership
+// rule (see DESIGN.md "Hot paths & allocation discipline"): a frame
+// produced by a pooled encoder is valid only until PutEncoder; callers
+// must finish handing it to the network — which copies on send —
+// before releasing the encoder.
+var encPool = sync.Pool{
+	New: func() any { return NewEncoder(256) },
+}
+
+// GetEncoder returns a reset encoder from the pool.
+func GetEncoder() *Encoder {
+	e, ok := encPool.Get().(*Encoder)
+	if !ok {
+		return NewEncoder(256)
+	}
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns an encoder to the pool, invalidating every byte
+// slice previously returned by its Bytes.
+func PutEncoder(e *Encoder) {
+	if e == nil {
+		return
+	}
+	encPool.Put(e)
 }
 
 // Bytes returns the encoded buffer. The caller must not modify it while
@@ -208,18 +242,26 @@ func (d *Decoder) String() string {
 
 // Bytes32 reads a u32-length-prefixed byte slice (copied).
 func (d *Decoder) Bytes32() []byte {
+	b := d.Bytes32Borrow()
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Bytes32Borrow reads a u32-length-prefixed byte slice without
+// copying: the result aliases the decoder's input buffer and is only
+// valid while that buffer is. Callers that hand the slice to deferred
+// work must use Bytes32 instead.
+func (d *Decoder) Bytes32Borrow() []byte {
 	n := int(d.U32())
 	if n > d.Remaining() {
 		d.err = ErrShortBuffer
 		return nil
 	}
-	b := d.take(n)
-	if b == nil {
-		return nil
-	}
-	out := make([]byte, n)
-	copy(out, b)
-	return out
+	return d.take(n)
 }
 
 // StringSlice reads a u16-counted slice of strings.

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"ppm/internal/calib"
@@ -65,26 +66,42 @@ const (
 	MsgWatchResp
 )
 
+// msgNames maps each message type to its trace name, indexed by the
+// type's ordinal. A fixed table instead of a map keeps String — called
+// per encoded frame by the metrics accounting — off the allocator.
+var msgNames = [...]string{
+	MsgLPMQuery: "LPMQuery", MsgLPMQueryResp: "LPMQueryResp",
+	MsgHello: "Hello", MsgHelloResp: "HelloResp",
+	MsgCreateProc: "CreateProc", MsgCreateAck: "CreateAck",
+	MsgControl: "Control", MsgControlResp: "ControlResp",
+	MsgSnapshotReq: "SnapshotReq", MsgSnapshotResp: "SnapshotResp",
+	MsgStatsReq: "StatsReq", MsgStatsResp: "StatsResp",
+	MsgHistoryReq: "HistoryReq", MsgHistoryResp: "HistoryResp",
+	MsgFDReq: "FDReq", MsgFDResp: "FDResp",
+	MsgBroadcast: "Broadcast", MsgBroadcastResp: "BroadcastResp",
+	MsgKernelEvent: "KernelEvent",
+	MsgPing:        "Ping", MsgPong: "Pong", MsgCCSUpdate: "CCSUpdate",
+	MsgError: "Error",
+	MsgRelay: "Relay", MsgRelayResp: "RelayResp",
+	MsgWatch: "Watch", MsgWatchResp: "WatchResp",
+}
+
+// msgCounterNames precomputes the per-type metric counter names so the
+// per-frame accounting in EncodeCounted performs no string
+// concatenation.
+var msgCounterNames = func() (t [len(msgNames)]struct{ msgs, bytes string }) {
+	for i, n := range msgNames {
+		if n != "" {
+			t[i] = struct{ msgs, bytes string }{"wire.msgs." + n, "wire.bytes." + n}
+		}
+	}
+	return t
+}()
+
 // String returns the message type name for traces.
 func (t MsgType) String() string {
-	names := map[MsgType]string{
-		MsgLPMQuery: "LPMQuery", MsgLPMQueryResp: "LPMQueryResp",
-		MsgHello: "Hello", MsgHelloResp: "HelloResp",
-		MsgCreateProc: "CreateProc", MsgCreateAck: "CreateAck",
-		MsgControl: "Control", MsgControlResp: "ControlResp",
-		MsgSnapshotReq: "SnapshotReq", MsgSnapshotResp: "SnapshotResp",
-		MsgStatsReq: "StatsReq", MsgStatsResp: "StatsResp",
-		MsgHistoryReq: "HistoryReq", MsgHistoryResp: "HistoryResp",
-		MsgFDReq: "FDReq", MsgFDResp: "FDResp",
-		MsgBroadcast: "Broadcast", MsgBroadcastResp: "BroadcastResp",
-		MsgKernelEvent: "KernelEvent",
-		MsgPing:        "Ping", MsgPong: "Pong", MsgCCSUpdate: "CCSUpdate",
-		MsgError: "Error",
-		MsgRelay: "Relay", MsgRelayResp: "RelayResp",
-		MsgWatch: "Watch", MsgWatchResp: "WatchResp",
-	}
-	if n, ok := names[t]; ok {
-		return n
+	if int(t) < len(msgNames) && msgNames[t] != "" {
+		return msgNames[t]
 	}
 	return fmt.Sprintf("MsgType(%d)", uint16(t))
 }
@@ -129,19 +146,13 @@ const (
 	opFlag = 2
 )
 
-// Encode serializes the envelope. The operation identity, when present,
-// is appended as a 9-byte trailer and the trace context as a 17-byte
-// trailer, in that fixed order so identical envelopes produce identical
-// frames.
-func (ev Envelope) Encode() []byte {
-	size := 14 + len(ev.Body)
-	if ev.OpID != 0 {
-		size += 9
-	}
-	if ev.TraceID != 0 {
-		size += 17
-	}
-	e := NewEncoder(size)
+// EncodeTo serializes the envelope into e and returns the encoded
+// frame (e's buffer). The operation identity, when present, is
+// appended as a 9-byte trailer and the trace context as a 17-byte
+// trailer, in that fixed order so identical envelopes produce
+// identical frames. With a reused (or pooled) encoder this is the
+// zero-allocation framing path; the returned slice is owned by e.
+func (ev Envelope) EncodeTo(e *Encoder) []byte {
 	e.U16(uint16(ev.Type))
 	e.U64(ev.ReqID)
 	e.Bytes32(ev.Body)
@@ -157,20 +168,56 @@ func (ev Envelope) Encode() []byte {
 	return e.Bytes()
 }
 
+// EncodedSize returns the exact frame size EncodeTo will produce.
+func (ev Envelope) EncodedSize() int {
+	size := 14 + len(ev.Body)
+	if ev.OpID != 0 {
+		size += 9
+	}
+	if ev.TraceID != 0 {
+		size += 17
+	}
+	return size
+}
+
+// Encode serializes the envelope into a fresh buffer the caller owns.
+func (ev Envelope) Encode() []byte {
+	e := Encoder{buf: make([]byte, 0, ev.EncodedSize())}
+	return ev.EncodeTo(&e)
+}
+
+// count records one encoded frame in reg's wire family — one message
+// and size bytes under the envelope's type name ("wire.msgs.Hello",
+// "wire.bytes.Hello", ...).
+func (ev Envelope) count(reg *metrics.Registry, size int) {
+	if reg == nil {
+		return
+	}
+	if i := int(ev.Type); i < len(msgCounterNames) && msgCounterNames[i].msgs != "" {
+		reg.Counter(msgCounterNames[i].msgs).Inc()
+		reg.Counter(msgCounterNames[i].bytes).Add(uint64(size))
+		return
+	}
+	name := ev.Type.String()
+	reg.Counter("wire.msgs." + name).Inc()
+	reg.Counter("wire.bytes." + name).Add(uint64(size))
+}
+
 // EncodeCounted serializes the envelope and records it in reg's wire
-// family — one message and len(frame) bytes under the envelope's type
-// name ("wire.msgs.Hello", "wire.bytes.Hello", ...). Protocol send
-// paths use this so every encoded frame is accounted for exactly once,
-// at the moment it is produced; a nil registry makes it equivalent to
-// Encode.
+// family. Protocol send paths use this so every encoded frame is
+// accounted for exactly once, at the moment it is produced; a nil
+// registry makes it equivalent to Encode.
 func (ev Envelope) EncodeCounted(reg *metrics.Registry) []byte {
 	b := ev.Encode()
-	if reg != nil {
-		name := ev.Type.String()
-		reg.Counter("wire.msgs." + name).Inc()
-		reg.Counter("wire.bytes." + name).Add(uint64(len(b)))
-	}
+	ev.count(reg, len(b))
 	return b
+}
+
+// sizeDetail renders "<Type> <n>B" without fmt, for the per-frame
+// journal records.
+func sizeDetail(t MsgType, n int) string {
+	var sz [20]byte
+	return t.String() + " " + string(strconv.AppendInt(sz[:0], int64(n), 10)) + "B"
 }
 
 // EncodeLogged is EncodeCounted plus a flight-recorder record: the
@@ -179,20 +226,49 @@ func (ev Envelope) EncodeCounted(reg *metrics.Registry) []byte {
 // the host producing it. A nil journal makes it EncodeCounted.
 func (ev Envelope) EncodeLogged(reg *metrics.Registry, jr *journal.Journal, host string) []byte {
 	b := ev.EncodeCounted(reg)
-	jr.AppendCtx(journal.WireEncode, host,
-		fmt.Sprintf("%s %dB", ev.Type, len(b)), ev.TraceID, ev.SpanID)
+	if jr.Enabled() {
+		jr.AppendCtx(journal.WireEncode, host, sizeDetail(ev.Type, len(b)), ev.TraceID, ev.SpanID)
+	}
+	return b
+}
+
+// EncodeLoggedTo is EncodeLogged into a caller-supplied encoder: the
+// metered, journaled framing path without the per-frame buffer
+// allocation. The returned frame is owned by e (see EncodeTo); with a
+// pooled encoder it is valid only until PutEncoder.
+func (ev Envelope) EncodeLoggedTo(e *Encoder, reg *metrics.Registry, jr *journal.Journal, host string) []byte {
+	b := ev.EncodeTo(e)
+	ev.count(reg, len(b))
+	if jr.Enabled() {
+		jr.AppendCtx(journal.WireEncode, host, sizeDetail(ev.Type, len(b)), ev.TraceID, ev.SpanID)
+	}
 	return b
 }
 
 // DecodeEnvelope parses a framed message. Trailers (operation identity,
 // trace context) are read when present; zero padding after the body
 // (fixed-size frames) stops the trailer scan and decodes as "none".
+// The returned Body is a copy the caller owns.
 func DecodeEnvelope(b []byte) (Envelope, error) {
-	d := NewDecoder(b)
+	ev, err := DecodeEnvelopeBorrow(b)
+	if err == nil && ev.Body != nil {
+		ev.Body = append([]byte(nil), ev.Body...)
+	}
+	return ev, err
+}
+
+// DecodeEnvelopeBorrow is DecodeEnvelope without the body copy: the
+// returned Body aliases b and is only valid while b is. It is the
+// zero-allocation parse for consumers that fully decode the body
+// before returning control (the typed Decode* functions copy every
+// field they extract); a handler that defers work referencing the body
+// must use DecodeEnvelope.
+func DecodeEnvelopeBorrow(b []byte) (Envelope, error) {
+	d := Decoder{buf: b}
 	var ev Envelope
 	ev.Type = MsgType(d.U16())
 	ev.ReqID = d.U64()
-	ev.Body = d.Bytes32()
+	ev.Body = d.Bytes32Borrow()
 trailers:
 	for d.Remaining() >= 9 {
 		switch d.U8() {
@@ -220,9 +296,8 @@ trailers:
 // context. A nil journal makes it DecodeEnvelope.
 func DecodeEnvelopeLogged(b []byte, jr *journal.Journal, host string) (Envelope, error) {
 	ev, err := DecodeEnvelope(b)
-	if err == nil {
-		jr.AppendCtx(journal.WireDecode, host,
-			fmt.Sprintf("%s %dB", ev.Type, len(b)), ev.TraceID, ev.SpanID)
+	if err == nil && jr.Enabled() {
+		jr.AppendCtx(journal.WireDecode, host, sizeDetail(ev.Type, len(b)), ev.TraceID, ev.SpanID)
 	}
 	return ev, err
 }

@@ -8,6 +8,7 @@ import (
 	"ppm/internal/auth"
 	"ppm/internal/calib"
 	"ppm/internal/daemon"
+	"ppm/internal/detord"
 	"ppm/internal/journal"
 	"ppm/internal/kernel"
 	"ppm/internal/lpm"
@@ -15,6 +16,7 @@ import (
 	"ppm/internal/proc"
 	"ppm/internal/sim"
 	"ppm/internal/simnet"
+	"ppm/internal/status"
 	"ppm/internal/trace"
 	"ppm/internal/wire"
 )
@@ -280,6 +282,9 @@ func (c *Cluster) SetRecoveryList(user string, hosts ...string) {
 // Now returns the current virtual time.
 func (c *Cluster) Now() sim.Time { return c.sched.Now() }
 
+// Hosts returns the installation's host names, sorted.
+func (c *Cluster) Hosts() []string { return detord.Keys(c.kerns) }
+
 // Advance runs the simulation for a stretch of virtual time.
 func (c *Cluster) Advance(d time.Duration) error { return c.sched.RunFor(d) }
 
@@ -326,6 +331,54 @@ func (c *Cluster) JournalReport(f JournalFilter) string { return c.jr.Report(f) 
 // invariants (genealogy vs. snapshots, circuit lifecycle, flood dedup
 // and coverage); it returns nil when the journal is clean or disabled.
 func (c *Cluster) JournalAudit() []journal.Violation { return journal.Audit(c.jr) }
+
+// HostStatus re-exports one host's live status report (status.Report).
+type HostStatus = status.Report
+
+// ClusterStatus re-exports the cluster-wide sweep result (status.Sweep):
+// one report per reachable host plus the sorted unreachable-host list.
+type ClusterStatus = status.Sweep
+
+// StatusSweep gathers a live status report from the user's LPM on every
+// host of the installation, originating at the user's LPM on origin
+// (created on demand). The sweep rides the sibling-RPC retry engine;
+// under a partition it completes with the reachable subset of hosts and
+// an explicit unreachable list.
+func (c *Cluster) StatusSweep(user, origin string) (ClusterStatus, error) {
+	l, ok := c.ManagerOn(origin, user)
+	if !ok {
+		s, err := c.Attach(user, origin)
+		if err != nil {
+			return ClusterStatus{}, err
+		}
+		l = s.mgr
+	}
+	hosts := c.Hosts()
+	var sw ClusterStatus
+	var serr error
+	done := false
+	l.StatusSweep(hosts, func(s status.Sweep, err error) {
+		sw, serr, done = s, err, true
+	})
+	if err := c.await(func() bool { return done }); err != nil {
+		return ClusterStatus{}, err
+	}
+	return sw, serr
+}
+
+// StatusReport renders a cluster-wide sweep as the operator-facing
+// dashboard: a virtual-time-stamped header, one sorted row per host
+// (process table, load, timers, circuit table, reply-cache and
+// retry-backoff occupancy, journal ring occupancy, per-op latency
+// percentiles), and the unreachable-host list when the sweep is
+// partial. Byte-identical across same-seed runs.
+func (c *Cluster) StatusReport(user, origin string) (string, error) {
+	sw, err := c.StatusSweep(user, origin)
+	if err != nil {
+		return "", err
+	}
+	return sw.Render(), nil
+}
 
 // TraceNetwork installs a bounded network trace collector (limit 0
 // means 4096 events) and returns it; use it to assess message routing,

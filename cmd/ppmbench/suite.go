@@ -33,6 +33,7 @@ var suite = []suiteBench{
 	{"lpm/dispatch", "remote stop+continue round trip over a warm sibling circuit", benchLPMDispatch},
 	{"journal/append", "append one record to a saturated flight-recorder ring", benchJournalAppend},
 	{"snapshot/fanout", "distributed snapshot across a warm 8-host installation", benchSnapshotFanout},
+	{"status/gather", "cluster-wide status sweep across a warm 8-host installation", benchStatusGather},
 }
 
 // --- wire ---
@@ -217,6 +218,49 @@ func benchSnapshotFanout(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sess.Snapshot(); err != nil {
 			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(wireMsgs(c)-before)/float64(b.N), "msgs/op")
+}
+
+func benchStatusGather(b *testing.B) {
+	b.ReportAllocs()
+	hosts := make([]ppm.HostSpec, 8)
+	names := []string{"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"}
+	for i, n := range names {
+		hosts[i] = ppm.HostSpec{Name: n}
+	}
+	c, err := ppm.NewCluster(ppm.ClusterConfig{Hosts: hosts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.AddUser("u")
+	sess, err := c.Attach("u", "h0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, err := sess.Run("h0", "root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range names[1:] {
+		if _, err := sess.RunChild(n, "w", root); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := sess.Status(); err != nil { // warm every circuit and report buffer
+		b.Fatal(err)
+	}
+	before := wireMsgs(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw, err := sess.Status()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sw.Reports) != 8 || len(sw.Unreachable) != 0 {
+			b.Fatalf("sweep covered %d/8 hosts, unreachable %v", len(sw.Reports), sw.Unreachable)
 		}
 	}
 	b.StopTimer()

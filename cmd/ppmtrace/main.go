@@ -8,7 +8,10 @@
 // tracing and the assembled cross-host span waterfall is printed.
 // With --metrics it additionally prints the installation-wide metrics
 // report: what the simulated network, wire protocol, kernels, daemons
-// and LPMs counted while the scenario ran. With --journal it instead
+// and LPMs counted while the scenario ran. With --status it prints the
+// cluster live-status dashboard: one row per host with process table,
+// load, circuit table, reliability-layer occupancies and per-op latency
+// percentiles (see also cmd/ppmtop). With --journal it instead
 // prints the flight-recorder journal: the ordered stream of structured
 // events every layer appended while the scenario ran, filterable by
 // kind, host and virtual-time window. -hosts N (2..5) widens the
@@ -33,7 +36,7 @@ import (
 )
 
 func usage(w io.Writer) {
-	fmt.Fprintf(w, "usage: ppmtrace [-hosts N] [-drops N] [-spans] [-metrics] [-journal"+
+	fmt.Fprintf(w, "usage: ppmtrace [-hosts N] [-drops N] [-spans] [-metrics] [-status] [-journal"+
 		" [-journal-kinds K,...] [-journal-host H] [-journal-since D] [-journal-until D]]\n")
 	fmt.Fprintf(w, "journal record kinds: %s\n", kindList())
 }
@@ -52,6 +55,7 @@ type options struct {
 	drops        int
 	showSpans    bool
 	showMetrics  bool
+	showStatus   bool
 	showJournal  bool
 	journalKinds []journal.Kind
 	journalHost  string
@@ -74,6 +78,8 @@ func parseArgs(args []string) (options, error) {
 		"trace the remote stop and print the causal span waterfall")
 	fs.BoolVar(&o.showMetrics, "metrics", false,
 		"print the cluster metrics report after the trace output")
+	fs.BoolVar(&o.showStatus, "status", false,
+		"print the cluster live-status dashboard after the trace output")
 	fs.BoolVar(&o.showJournal, "journal", false,
 		"print the flight-recorder journal after the trace output")
 	kinds := fs.String("journal-kinds", "",
@@ -96,8 +102,8 @@ func parseArgs(args []string) (options, error) {
 	if o.drops < 0 {
 		return o, fmt.Errorf("-drops must be >= 0, got %d", o.drops)
 	}
-	if o.showJournal && (o.showSpans || o.showMetrics) {
-		return o, errors.New("-journal is mutually exclusive with -spans and -metrics")
+	if o.showJournal && (o.showSpans || o.showMetrics || o.showStatus) {
+		return o, errors.New("-journal is mutually exclusive with -spans, -metrics and -status")
 	}
 	if !o.showJournal && (*kinds != "" || o.journalHost != "" ||
 		o.journalSince != 0 || o.journalUntil != 0) {
@@ -265,6 +271,14 @@ func run(o options) error {
 	if o.showMetrics {
 		fmt.Println()
 		fmt.Print(cluster.MetricsReport())
+	}
+	if o.showStatus {
+		status, err := cluster.StatusReport("user", "vax1")
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(status)
 	}
 	if o.showJournal {
 		fmt.Println()

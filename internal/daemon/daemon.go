@@ -240,6 +240,12 @@ func (d *Daemons) KnownLPM(user string) (simnet.Addr, bool) {
 	return addr, ok
 }
 
+// Status is the pmd's live-introspection hook: whether the daemons are
+// running and how many LPM registrations the table holds.
+func (d *Daemons) Status() (running bool, lpms int) {
+	return d.running, len(d.lpms)
+}
+
 // CrashDaemon simulates a crash of the pmd alone (not the host, not the
 // LPMs). Without stable storage the table is lost and, as the paper
 // observes, "the process management mechanism does not operate

@@ -178,7 +178,10 @@ func TestKnownFlagsStayRegistered(t *testing.T) {
 	registered := registeredFlags(t, root)
 	for _, want := range []struct{ flag, cmd string }{
 		{"drops", "ppmtrace"},
+		{"status", "ppmtrace"},
 		{"journal", "ppmtrace"},
+		{"watch", "ppmtop"},
+		{"partition", "ppmtop"},
 		{"journal-kinds", "ppmtrace"},
 		{"journal-host", "ppmtrace"},
 		{"compare", "ppmbench"},

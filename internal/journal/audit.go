@@ -10,7 +10,7 @@ import (
 // Violation is one invariant breach found by Audit.
 type Violation struct {
 	Seq   uint64 // journal sequence number of the offending record
-	Check string // which invariant: "genealogy", "circuit", "flood", "dedup"
+	Check string // which invariant: "genealogy", "circuit", "flood", "dedup", "status"
 	Msg   string
 }
 
@@ -41,7 +41,13 @@ const maxViolations = 64
 //   - no double execution: an at-most-once operation (stable OpID
 //     across retransmits) is executed at most once across the whole
 //     installation, and a cached-reply replay refers to an operation
-//     that was in fact executed.
+//     that was in fact executed;
+//   - status sweep coverage: every status sweep resolves each of its
+//     targets exactly once (one status.report record per target host,
+//     reachable or not), a report never arrives from a host the sweep
+//     did not target, and a host that was crashed for the sweep's whole
+//     window is never reported reachable. The coverage check assumes
+//     the stream is quiescent: audit after sweeps have completed.
 //
 // Checks that need records outside the retained ring (creation before
 // snapshot, open before close) are skipped when the ring has evicted
@@ -61,6 +67,8 @@ func AuditRecords(records []Record, complete bool) []Violation {
 		edges:    make(map[string]map[string]*auditEdge),
 		floods:   make(map[string]*auditFlood),
 		execs:    make(map[string]string),
+		sweeps:   make(map[string]*auditSweep),
+		down:     make(map[string]bool),
 	}
 	for _, r := range records {
 		if len(a.out) >= maxViolations {
@@ -69,6 +77,9 @@ func AuditRecords(records []Record, complete bool) []Violation {
 			break
 		}
 		a.step(r)
+	}
+	if a.complete && len(a.out) < maxViolations {
+		a.finishSweeps()
 	}
 	return a.out
 }
@@ -110,6 +121,17 @@ type auditFlood struct {
 	reach   []string        // hosts reachable at origin time
 }
 
+// auditSweep is one status sweep's coverage state: the target set from
+// its request record, per-host report counts, and the targets that were
+// already crashed when the sweep started (and stayed down), which must
+// never be reported reachable.
+type auditSweep struct {
+	seq       uint64 // the request record, anchoring coverage violations
+	targets   map[string]bool
+	reports   map[string]int
+	downAtReq map[string]bool
+}
+
 type auditor struct {
 	complete bool
 	procs    map[string]*auditProc
@@ -117,6 +139,8 @@ type auditor struct {
 	edges    map[string]map[string]*auditEdge // user -> chan -> edge
 	floods   map[string]*auditFlood           // stamp -> flood
 	execs    map[string]string                // op key -> executing host
+	sweeps   map[string]*auditSweep           // user/sweep -> coverage
+	down     map[string]bool                  // hosts crashed and not restarted
 	epoch    int                              // bumped by any event that changes reachability
 	out      []Violation
 }
@@ -148,7 +172,13 @@ func (a *auditor) step(r Record) {
 		}
 	case NetHostCrash:
 		a.hostDown(r.Host)
-	case NetHostRestart, NetPartition, NetHeal, NetCircuitBreak:
+	case NetHostRestart:
+		a.epoch++
+		delete(a.down, r.Host)
+		for _, sw := range a.sweeps {
+			delete(sw.downAtReq, r.Host)
+		}
+	case NetPartition, NetHeal, NetCircuitBreak:
 		a.epoch++
 	case SnapshotTaken:
 		a.checkSnapshot(r)
@@ -192,6 +222,82 @@ func (a *auditor) step(r Record) {
 		if _, ok := a.execs[op]; !ok && a.complete {
 			a.fail(r, "dedup", "replay of op %s which was never executed", op)
 		}
+	case StatusRequest:
+		a.statusRequest(r)
+	case StatusReport:
+		a.statusReport(r)
+	}
+}
+
+// sweepKey qualifies a sweep id by its user: per-user LPMs number their
+// sweeps independently.
+func sweepKey(r Record) string {
+	return Field(r.Detail, "user") + "/" + Field(r.Detail, "sweep")
+}
+
+func (a *auditor) statusRequest(r Record) {
+	key := sweepKey(r)
+	if _, ok := a.sweeps[key]; ok {
+		a.fail(r, "status", "sweep %s requested twice", key)
+		return
+	}
+	sw := &auditSweep{
+		seq:       r.Seq,
+		targets:   make(map[string]bool),
+		reports:   make(map[string]int),
+		downAtReq: make(map[string]bool),
+	}
+	if hosts := Field(r.Detail, "hosts"); hosts != "" {
+		for _, h := range strings.Split(hosts, ",") {
+			sw.targets[h] = true
+			if a.down[h] {
+				sw.downAtReq[h] = true
+			}
+		}
+	}
+	a.sweeps[key] = sw
+}
+
+func (a *auditor) statusReport(r Record) {
+	key := sweepKey(r)
+	sw, ok := a.sweeps[key]
+	if !ok {
+		if a.complete {
+			a.fail(r, "status", "report for sweep %s with no request record", key)
+		}
+		return
+	}
+	host := Field(r.Detail, "host")
+	if !sw.targets[host] {
+		a.fail(r, "status", "sweep %s collected a report from %s, which it never targeted",
+			key, host)
+		return
+	}
+	sw.reports[host]++
+	if sw.reports[host] > 1 {
+		a.fail(r, "status", "sweep %s resolved %s %d times (want exactly once)",
+			key, host, sw.reports[host])
+	}
+	// A host that was already crashed when the sweep started, and never
+	// restarted since, cannot have produced a report.
+	if Field(r.Detail, "ok") == "true" && sw.downAtReq[host] {
+		a.fail(r, "status", "sweep %s reports crashed host %s reachable", key, host)
+	}
+}
+
+// finishSweeps runs the end-of-stream coverage check: every sweep with
+// a request record must have resolved each target exactly once. Only
+// meaningful on a complete, quiescent stream.
+func (a *auditor) finishSweeps() {
+	for _, key := range detord.Keys(a.sweeps) {
+		sw := a.sweeps[key]
+		for _, h := range detord.Keys(sw.targets) {
+			if sw.reports[h] == 0 {
+				a.out = append(a.out, Violation{Seq: sw.seq, Check: "status",
+					Msg: fmt.Sprintf("sweep %s never resolved target %s (no report record)",
+						key, h)})
+			}
+		}
 	}
 }
 
@@ -228,6 +334,7 @@ func (a *auditor) floodState(stamp string) *auditFlood {
 // endpoints die silently (no close records will arrive from it).
 func (a *auditor) hostDown(host string) {
 	a.epoch++
+	a.down[host] = true
 	for _, user := range detord.Keys(a.edges) {
 		for _, ck := range detord.Keys(a.edges[user]) {
 			e := a.edges[user][ck]

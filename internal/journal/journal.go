@@ -84,6 +84,16 @@ const (
 	// process table encoded in the detail (audited against the
 	// genealogy reconstructed from the kernel records).
 	SnapshotTaken Kind = "snapshot"
+
+	// status: a cluster-wide live-introspection sweep. The request
+	// record (at the origin) names the sweep id and its sorted target
+	// hosts; one report record follows per target — all appended at the
+	// origin, so retransmitted status RPCs (the op is read-only and
+	// re-executes freely) never double-journal. The audit holds each
+	// sweep to exactly one report per reachable target and ok=false for
+	// every unreachable one.
+	StatusRequest Kind = "status.request"
+	StatusReport  Kind = "status.report"
 )
 
 // kinds is the canonical list, in layer order.
@@ -100,6 +110,7 @@ var kinds = []Kind{
 	LPMRelayOrigin, LPMRelayForward,
 	LPMRetry, LPMRedial, LPMOpExec, LPMOpReplay,
 	SnapshotTaken,
+	StatusRequest, StatusReport,
 }
 
 // Kinds returns the canonical list of record kinds.

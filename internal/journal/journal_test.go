@@ -389,3 +389,100 @@ func TestRenderByteIdentity(t *testing.T) {
 		t.Fatalf("render:\n%s", a)
 	}
 }
+
+func TestAuditStatusSweepClean(t *testing.T) {
+	stream := seqed([]Record{
+		rec(StatusRequest, "a", "user=u sweep=a#1 hosts=a,b,c"),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=a ok=true"),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=b ok=true"),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=c ok=false"),
+	})
+	if vs := AuditRecords(stream, true); len(vs) != 0 {
+		t.Fatalf("clean sweep flagged:\n%s", AuditReport(vs))
+	}
+}
+
+func TestAuditStatusSweepDuplicateReport(t *testing.T) {
+	stream := seqed([]Record{
+		rec(StatusRequest, "a", "user=u sweep=a#1 hosts=a,b"),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=a ok=true"),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=b ok=true"),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=b ok=true"),
+	})
+	vs := AuditRecords(stream, true)
+	if len(vs) != 1 || vs[0].Check != "status" ||
+		!strings.Contains(vs[0].Msg, "resolved b 2 times") {
+		t.Fatalf("violations: %s", AuditReport(vs))
+	}
+}
+
+func TestAuditStatusSweepUntargetedHost(t *testing.T) {
+	stream := seqed([]Record{
+		rec(StatusRequest, "a", "user=u sweep=a#1 hosts=a,b"),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=a ok=true"),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=b ok=true"),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=d ok=true"),
+	})
+	vs := AuditRecords(stream, true)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "never targeted") {
+		t.Fatalf("violations: %s", AuditReport(vs))
+	}
+}
+
+func TestAuditStatusSweepMissingReport(t *testing.T) {
+	stream := seqed([]Record{
+		rec(StatusRequest, "a", "user=u sweep=a#1 hosts=a,b,c"),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=a ok=true"),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=b ok=true"),
+	})
+	vs := AuditRecords(stream, true)
+	if len(vs) != 1 || vs[0].Check != "status" ||
+		!strings.Contains(vs[0].Msg, "never resolved target c") {
+		t.Fatalf("violations: %s", AuditReport(vs))
+	}
+	// The coverage check needs the full stream: an evicted report record
+	// must not read as a missing one.
+	if vs := AuditRecords(stream, false); len(vs) != 0 {
+		t.Fatalf("incomplete stream flagged: %s", AuditReport(vs))
+	}
+}
+
+func TestAuditStatusSweepNoRequest(t *testing.T) {
+	stream := seqed([]Record{
+		rec(StatusReport, "a", "user=u sweep=a#1 host=a ok=true"),
+	})
+	vs := AuditRecords(stream, true)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "no request record") {
+		t.Fatalf("violations: %s", AuditReport(vs))
+	}
+	// The request may have been evicted from an incomplete stream.
+	if vs := AuditRecords(stream, false); len(vs) != 0 {
+		t.Fatalf("incomplete stream flagged: %s", AuditReport(vs))
+	}
+}
+
+func TestAuditStatusSweepCrashedHostReachable(t *testing.T) {
+	// c crashed before the sweep started and never restarted: an ok=true
+	// report for it cannot exist.
+	stream := seqed([]Record{
+		rec(NetHostCrash, "c", ""),
+		rec(StatusRequest, "a", "user=u sweep=a#1 hosts=a,c"),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=a ok=true"),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=c ok=true"),
+	})
+	vs := AuditRecords(stream, true)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "reports crashed host c reachable") {
+		t.Fatalf("violations: %s", AuditReport(vs))
+	}
+	// A restart mid-sweep legitimizes the report: a fresh LPM answered.
+	stream = seqed([]Record{
+		rec(NetHostCrash, "c", ""),
+		rec(StatusRequest, "a", "user=u sweep=a#1 hosts=a,c"),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=a ok=true"),
+		rec(NetHostRestart, "c", ""),
+		rec(StatusReport, "a", "user=u sweep=a#1 host=c ok=true"),
+	})
+	if vs := AuditRecords(stream, true); len(vs) != 0 {
+		t.Fatalf("restart-covered sweep flagged: %s", AuditReport(vs))
+	}
+}

@@ -760,6 +760,23 @@ func (h *Host) LiveCount(user string) int {
 	return n
 }
 
+// Status is the kernel's live-introspection hook: the user's live and
+// total process-table entry counts plus the load average as a x100
+// fixed-point integer (status reports carry no floats). It allocates
+// nothing.
+func (h *Host) Status(user string) (live, total int, load100 int64) {
+	for _, p := range h.procs {
+		if p.User != user {
+			continue
+		}
+		total++
+		if p.State == proc.Running || p.State == proc.Stopped {
+			live++
+		}
+	}
+	return live, total, int64(h.LoadAvg() * 100)
+}
+
 // KillAll terminates every live process of user (the time-to-die
 // action: "exit after having terminated all of the user's processes in
 // that host").

@@ -32,6 +32,7 @@ import (
 	"ppm/internal/recovery"
 	"ppm/internal/sim"
 	"ppm/internal/simnet"
+	"ppm/internal/status"
 	"ppm/internal/trace"
 	"ppm/internal/wire"
 )
@@ -191,6 +192,9 @@ type sibling struct {
 	// inc is the peer LPM's incarnation id, exchanged in the Hello;
 	// it scopes the peer's operation identities to that LPM instance.
 	inc uint64
+	// openedAt is when the circuit authenticated, so status reports
+	// can show per-circuit age.
+	openedAt sim.Time
 }
 
 // pendingReq tracks an outstanding request to a sibling.
@@ -198,9 +202,10 @@ type pendingReq struct {
 	host    string
 	cb      func(wire.Envelope, error)
 	timer   sim.Timer
-	handler proc.PID    // handler process assigned to block on this request
-	sentAt  sim.Time    // registration time, for the request RTT histogram
-	span    *trace.Span // handler occupancy, from assignment to response
+	handler proc.PID     // handler process assigned to block on this request
+	sentAt  sim.Time     // registration time, for the request RTT histogram
+	op      wire.MsgType // request type, for the per-op RTT histograms
+	span    *trace.Span  // handler occupancy, from assignment to response
 }
 
 // LPM is one Local Process Manager.
@@ -230,6 +235,9 @@ type LPM struct {
 
 	reqSeq  uint64
 	pending map[uint64]*pendingReq
+	// retryBackoffs counts retry timers currently waiting out their
+	// backoff delay (status-report occupancy).
+	retryBackoffs int
 
 	// opSeq assigns operation identities for the retry engine: the op id
 	// stays stable across retransmissions of one logical request, while
@@ -266,6 +274,16 @@ type LPM struct {
 	store   *history.Store
 
 	rec *recovery.Manager
+
+	// statusSeq numbers the status sweeps this LPM originates, so the
+	// journal (and its audit) can tie each report to its sweep.
+	statusSeq uint64
+	// rtts accumulates request round-trip latencies per op type for the
+	// status report's SLO percentiles.
+	rtts map[wire.MsgType]*metrics.Histogram
+	// statusScratch is the reusable report the LPM fills when serving a
+	// status request (local rebuilds allocate nothing at steady state).
+	statusScratch status.Report
 
 	floodSeq uint64
 	seen     map[string]sim.Time // stamp key -> expiry
@@ -318,6 +336,7 @@ func New(kern *kernel.Host, net *simnet.Network, dir *auth.Directory,
 		inflightOps: make(map[string]time.Duration),
 		peerIncs:    make(map[string]uint64),
 		opWindow:    cfg.opWindow(),
+		rtts:        make(map[wire.MsgType]*metrics.Histogram),
 		records:     make(map[proc.PID]proc.Info),
 		store:       history.NewStore(cfg.HistoryCapacity),
 		seen:        make(map[string]sim.Time),

@@ -688,6 +688,22 @@ func (l *LPM) serveRequest(ctx trace.Context, env wire.Envelope, reply func(t wi
 		id := l.store.AddWatch(w)
 		reply(wire.MsgWatchResp, wire.WatchResp{OK: true, ID: int32(id)}.Encode())
 
+	case wire.MsgStatusReq:
+		req, err := wire.DecodeStatusReq(env.Body)
+		if err != nil || req.User != l.user.Name {
+			reply(wire.MsgStatusResp, wire.StatusResp{OK: false, Reason: "bad status request"}.Encode())
+			return
+		}
+		// Read-only: the report is rebuilt on every (re)transmission, so
+		// the op needs no at-most-once identity. Encode before charging
+		// the gather cost — the scratch report may be reused by the time
+		// the CPU callback runs.
+		l.BuildStatus(&l.statusScratch)
+		report := l.statusScratch.Encode()
+		l.kern.ExecCPU(gatherCost(l.statusScratch.ProcsTotal), func() {
+			reply(wire.MsgStatusResp, wire.StatusResp{OK: true, Report: report}.Encode())
+		})
+
 	case wire.MsgPing:
 		pong := wire.Pong{
 			FromHost: l.Host(),

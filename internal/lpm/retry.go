@@ -79,7 +79,11 @@ func (l *LPM) callWithRetry(ctx trace.Context, host string, t wire.MsgType, body
 				l.user.Name, wire.OpKey(l.Host(), l.incarnation(), op), t, next, delay),
 			ctx.Trace, ctx.Span)
 		bsp := l.tracer.StartSpan(l.Host(), fmt.Sprintf("lpm.retry.%s", host), ctx)
+		l.retryBackoffs++
+		l.metrics.Gauge("lpm.retry.backoff_pending").Add(1)
 		l.sched.After(delay, func() {
+			l.retryBackoffs--
+			l.metrics.Gauge("lpm.retry.backoff_pending").Add(-1)
 			bsp.End()
 			if l.exited {
 				cb(wire.Envelope{}, ErrExited)

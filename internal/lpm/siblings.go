@@ -136,7 +136,7 @@ func (l *LPM) registerSibling(host string, conn *simnet.Conn, inc uint64) {
 	if old, ok := l.siblings[host]; ok && old.conn != conn && old.conn.Open() {
 		old.conn.Close()
 	}
-	sb := &sibling{host: host, conn: conn, authed: true, inc: inc}
+	sb := &sibling{host: host, conn: conn, authed: true, inc: inc, openedAt: l.sched.Now()}
 	l.siblings[host] = sb
 	l.knownHosts[host] = true
 	l.metrics.Counter("lpm.siblings.opened").Inc()
@@ -334,7 +334,7 @@ func isResponse(t wire.MsgType) bool {
 	case wire.MsgControlResp, wire.MsgCreateAck, wire.MsgSnapshotResp,
 		wire.MsgStatsResp, wire.MsgHistoryResp, wire.MsgFDResp,
 		wire.MsgBroadcastResp, wire.MsgPong, wire.MsgRelayResp,
-		wire.MsgWatchResp, wire.MsgError:
+		wire.MsgWatchResp, wire.MsgStatusResp, wire.MsgError:
 		return true
 	default:
 		return false
@@ -390,7 +390,9 @@ func (l *LPM) handleResponse(env wire.Envelope) {
 	}
 	delete(l.pending, env.ReqID)
 	pr.timer.Cancel()
-	l.metrics.Histogram("lpm.request_rtt").Observe(l.sched.Now().Sub(pr.sentAt))
+	rtt := l.sched.Now().Sub(pr.sentAt)
+	l.metrics.Histogram("lpm.request_rtt").Observe(rtt)
+	l.observeOpRTT(pr.op, rtt)
 	l.releaseHandler(pr.handler)
 	pr.span.End()
 	pr.cb(env, nil)
@@ -416,7 +418,7 @@ func (l *LPM) sendRequest(ctx trace.Context, sb *sibling, t wire.MsgType, body [
 		}
 		l.reqSeq++
 		id := l.reqSeq
-		pr := &pendingReq{host: sb.host, cb: cb, handler: h, sentAt: l.sched.Now()}
+		pr := &pendingReq{host: sb.host, cb: cb, handler: h, sentAt: l.sched.Now(), op: t}
 		pr.span = l.tracer.StartSpan(l.Host(), "lpm.request."+sb.host, ctx)
 		rctx := pr.span.Context()
 		if !rctx.Valid() {

@@ -1,0 +1,208 @@
+package lpm
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ppm/internal/detord"
+	"ppm/internal/journal"
+	"ppm/internal/metrics"
+	"ppm/internal/status"
+	"ppm/internal/trace"
+	"ppm/internal/wire"
+)
+
+// The live-introspection layer: every LPM can render a structured
+// status.Report of its own host (BuildStatus) and gather one from every
+// host in the installation (StatusSweep). The gather is an ordinary
+// point-to-point sibling RPC riding the retry engine; it carries no
+// operation id because building a report is read-only — a
+// retransmission that re-executes just rebuilds the report.
+
+// opRTTTable orders the request types whose round-trip latencies are
+// tracked per op. The labels double as registry histogram names
+// (precomputed so the response hot path never concatenates strings).
+var opRTTTable = []struct {
+	t       wire.MsgType
+	label   string
+	regName string
+}{
+	{wire.MsgBroadcast, "Broadcast", "lpm.request_rtt.Broadcast"},
+	{wire.MsgControl, "Control", "lpm.request_rtt.Control"},
+	{wire.MsgCreateProc, "CreateProc", "lpm.request_rtt.CreateProc"},
+	{wire.MsgFDReq, "FDReq", "lpm.request_rtt.FDReq"},
+	{wire.MsgHistoryReq, "HistoryReq", "lpm.request_rtt.HistoryReq"},
+	{wire.MsgPing, "Ping", "lpm.request_rtt.Ping"},
+	{wire.MsgRelay, "Relay", "lpm.request_rtt.Relay"},
+	{wire.MsgSnapshotReq, "SnapshotReq", "lpm.request_rtt.SnapshotReq"},
+	{wire.MsgStatsReq, "StatsReq", "lpm.request_rtt.StatsReq"},
+	{wire.MsgStatusReq, "StatusReq", "lpm.request_rtt.StatusReq"},
+	{wire.MsgWatch, "Watch", "lpm.request_rtt.Watch"},
+}
+
+// opRTTRegName maps a request type to its registry histogram name.
+var opRTTRegName = func() map[wire.MsgType]string {
+	m := make(map[wire.MsgType]string, len(opRTTTable))
+	for _, e := range opRTTTable {
+		m[e.t] = e.regName
+	}
+	return m
+}()
+
+// observeOpRTT records one request round trip under its op type: in the
+// installation-wide registry (per-op SLO percentiles in MetricsReport)
+// and in this LPM's own histogram (per-op percentiles in its status
+// report).
+func (l *LPM) observeOpRTT(t wire.MsgType, rtt time.Duration) {
+	name, ok := opRTTRegName[t]
+	if !ok {
+		return
+	}
+	l.metrics.Histogram(name).Observe(rtt)
+	h := l.rtts[t]
+	if h == nil {
+		h = metrics.NewHistogram()
+		l.rtts[t] = h
+	}
+	h.Observe(rtt)
+}
+
+// BuildStatus fills r with this host's live status. The report's slices
+// are reused across rebuilds, so a steady-state rebuild allocates
+// nothing.
+func (l *LPM) BuildStatus(r *status.Report) {
+	now := l.sched.Now()
+	r.Reset(l.Host(), now.Duration())
+	r.ProcsLive, r.ProcsTotal, r.Load100 = l.kern.Status(l.user.Name)
+	r.TimersPending = l.sched.Pending()
+	if l.dmns != nil {
+		r.DaemonUp, r.DaemonLPMs = l.dmns.Status()
+	}
+	r.NetUp, r.NetConns = l.net.Status(l.Host())
+	circ := r.Circuits
+	for _, sb := range l.siblings {
+		st := "closed"
+		switch {
+		case sb.conn.Breaking():
+			st = "breaking"
+		case sb.conn.Open():
+			st = "open"
+		}
+		circ = append(circ, status.CircuitStatus{
+			Peer: sb.host, State: st, Age: now.Sub(sb.openedAt),
+		})
+	}
+	detord.SortBy(circ, func(c status.CircuitStatus) string { return c.Peer })
+	r.Circuits = circ
+	r.PendingReqs = len(l.pending)
+	r.RetryBackoffs = l.retryBackoffs
+	r.ReplyCache = l.replies.Len()
+	r.InflightOps = len(l.inflightOps)
+	r.JournalLen = l.journal.Len()
+	r.JournalDropped = l.journal.Dropped()
+	ops := r.OpLatencies
+	for _, e := range opRTTTable {
+		h := l.rtts[e.t]
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		ops = append(ops, status.OpLatency{
+			Op:    e.label,
+			Count: h.Count(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		})
+	}
+	r.OpLatencies = ops
+}
+
+// StatusSweep gathers live status reports from the user's LPMs on the
+// given hosts (this host included, served locally) and delivers the
+// completed sweep: one report per reachable host plus the sorted list
+// of hosts that could not be reached. Remote gathers ride the retry
+// engine, so a transient loss is retransmitted before a host is
+// declared unreachable; under a partition the sweep still completes
+// with the reachable subset.
+//
+// The sweep is journaled at the origin only — one status.request naming
+// the targets, then one status.report per target as it resolves — so
+// retransmitted status RPCs never double-journal, and the audit can
+// hold every sweep to exactly one report per target.
+func (l *LPM) StatusSweep(hosts []string, cb func(status.Sweep, error)) {
+	if l.exited {
+		l.sched.Defer(func() { cb(status.Sweep{}, ErrExited) })
+		return
+	}
+	l.statusSeq++
+	sweepID := fmt.Sprintf("%s#%d", l.Host(), l.statusSeq)
+	targets := make([]string, 0, len(hosts))
+	dup := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		if h == "" || dup[h] {
+			continue
+		}
+		dup[h] = true
+		targets = append(targets, h)
+	}
+	detord.Sort(targets)
+	l.metrics.Counter("lpm.status.sweeps").Inc()
+	l.toolCall("status", func(ctx trace.Context, done func(func())) {
+		l.journal.AppendCtx(journal.StatusRequest, l.Host(),
+			fmt.Sprintf("user=%s sweep=%s hosts=%s",
+				l.user.Name, sweepID, strings.Join(targets, ",")),
+			ctx.Trace, ctx.Span)
+		sw := &status.Sweep{Origin: l.Host(), User: l.user.Name}
+		record := func(host string, ok bool) {
+			l.journal.AppendCtx(journal.StatusReport, l.Host(),
+				fmt.Sprintf("user=%s sweep=%s host=%s ok=%t",
+					l.user.Name, sweepID, host, ok),
+				ctx.Trace, ctx.Span)
+		}
+		issuing := true
+		outstanding := 0
+		finish := func() {
+			if issuing || outstanding != 0 {
+				return
+			}
+			sw.At = l.sched.Now().Duration()
+			sw.Sort()
+			done(func() { cb(*sw, nil) })
+		}
+		for _, host := range targets {
+			if host == l.Host() {
+				var r status.Report
+				l.BuildStatus(&r)
+				sw.Reports = append(sw.Reports, r)
+				record(host, true)
+				continue
+			}
+			outstanding++
+			host := host
+			body := wire.StatusReq{User: l.user.Name, Sweep: sweepID}.Encode()
+			l.remoteCall(ctx, host, wire.MsgStatusReq, body, func(env wire.Envelope, err error) {
+				outstanding--
+				if err == nil {
+					if resp, derr := wire.DecodeStatusResp(env.Body); derr != nil {
+						err = derr
+					} else if !resp.OK {
+						err = fmt.Errorf("%w: %s", ErrRemote, resp.Reason)
+					} else if rep, rerr := status.Decode(resp.Report); rerr != nil {
+						err = rerr
+					} else {
+						sw.Reports = append(sw.Reports, rep)
+					}
+				}
+				if err != nil {
+					l.metrics.Counter("lpm.status.unreachable").Inc()
+					sw.Unreachable = append(sw.Unreachable, host)
+				}
+				record(host, err == nil)
+				finish()
+			})
+		}
+		issuing = false
+		finish()
+	})
+}

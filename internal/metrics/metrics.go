@@ -108,9 +108,12 @@ func (c *Counter) Value() uint64 {
 }
 
 // A Gauge is an instantaneous signed level (open circuits, live
-// processes). Unlike a Counter it can go down.
+// processes). Unlike a Counter it can go down. Alongside the level it
+// remembers the highest level ever held (the high-watermark), so a
+// report taken after a burst still shows how high the burst reached.
 type Gauge struct {
-	v int64
+	v  int64
+	hi int64
 }
 
 // Set replaces the level.
@@ -119,6 +122,9 @@ func (g *Gauge) Set(v int64) {
 		return
 	}
 	g.v = v
+	if v > g.hi {
+		g.hi = v
+	}
 }
 
 // Add moves the level by d (negative d lowers it).
@@ -127,6 +133,9 @@ func (g *Gauge) Add(d int64) {
 		return
 	}
 	g.v += d
+	if g.v > g.hi {
+		g.hi = g.v
+	}
 }
 
 // Value reports the current level (0 on a nil gauge).
@@ -135,6 +144,15 @@ func (g *Gauge) Value() int64 {
 		return 0
 	}
 	return g.v
+}
+
+// High reports the highest level the gauge has ever held (0 on a nil
+// gauge, and never below 0: the watermark starts at the initial level).
+func (g *Gauge) High() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.hi
 }
 
 // bucketBounds are the inclusive upper edges of the histogram buckets,
@@ -158,6 +176,14 @@ type Histogram struct {
 	sum      time.Duration
 	min, max time.Duration
 	buckets  []uint64
+}
+
+// NewHistogram returns a standalone histogram not owned by any
+// registry, for callers that keep per-object latency series (e.g. the
+// LPM's per-op RTT tracking) and surface them through their own
+// reports.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make([]uint64, len(bucketBounds)+1)}
 }
 
 // Observe records one duration.
@@ -196,6 +222,72 @@ func (h *Histogram) Sum() time.Duration {
 	return h.sum
 }
 
+// Quantile estimates the q-quantile (0 < q < 1) of the observed
+// durations by linear interpolation within the containing bucket,
+// clamped to the exact [min, max] envelope: a rank in the overflow
+// bucket reports max, q <= 0 reports min, q >= 1 reports max, and an
+// empty (or nil) histogram reports 0. The estimate is deterministic —
+// it depends only on the bucket counts — and is rendered as a duration,
+// never as a float.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := quantileRank(q, h.count)
+	var cum uint64
+	var lower time.Duration
+	for i, n := range h.buckets {
+		if cum+n >= rank {
+			if i == len(bucketBounds) { // overflow bucket
+				return h.max
+			}
+			return clampQuantile(interpolate(lower, bucketBounds[i], rank-cum, n), h.min, h.max)
+		}
+		cum += n
+		if i < len(bucketBounds) {
+			lower = bucketBounds[i]
+		}
+	}
+	return h.max
+}
+
+// quantileRank converts a quantile into a 1-based observation rank.
+func quantileRank(q float64, count uint64) uint64 {
+	rank := uint64(math.Ceil(q * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > count {
+		rank = count
+	}
+	return rank
+}
+
+// interpolate places observation pos of n (1-based) linearly within the
+// (lower, upper] bucket.
+func interpolate(lower, upper time.Duration, pos, n uint64) time.Duration {
+	if n == 0 {
+		return upper
+	}
+	return lower + time.Duration(uint64(upper-lower)*pos/n)
+}
+
+func clampQuantile(d, min, max time.Duration) time.Duration {
+	if d < min {
+		return min
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
 // --- snapshots ---
 
 // InfBound marks the upper edge of the overflow bucket in a snapshot.
@@ -211,6 +303,7 @@ type CounterPoint struct {
 type GaugePoint struct {
 	Name  string
 	Value int64
+	High  int64
 }
 
 // BucketPoint is one histogram bucket: the count of observations at or
@@ -227,6 +320,36 @@ type HistogramPoint struct {
 	Sum      time.Duration
 	Min, Max time.Duration
 	Buckets  []BucketPoint
+}
+
+// Quantile estimates the q-quantile from the snapshotted buckets, with
+// the same interpolation and clamping rules as Histogram.Quantile.
+func (p HistogramPoint) Quantile(q float64) time.Duration {
+	if p.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return p.Min
+	}
+	if q >= 1 {
+		return p.Max
+	}
+	rank := quantileRank(q, p.Count)
+	var cum uint64
+	var lower time.Duration
+	for _, b := range p.Buckets {
+		if cum+b.Count >= rank {
+			if b.Le == InfBound {
+				return p.Max
+			}
+			return clampQuantile(interpolate(lower, b.Le, rank-cum, b.Count), p.Min, p.Max)
+		}
+		cum += b.Count
+		if b.Le != InfBound {
+			lower = b.Le
+		}
+	}
+	return p.Max
 }
 
 // Family groups the metrics sharing a name's first dotted component.
@@ -280,7 +403,8 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, name := range detord.Keys(r.gauges) {
 		f := family(name)
-		f.Gauges = append(f.Gauges, GaugePoint{Name: name, Value: r.gauges[name].v})
+		g := r.gauges[name]
+		f.Gauges = append(f.Gauges, GaugePoint{Name: name, Value: g.v, High: g.hi})
 	}
 	for _, name := range detord.Keys(r.histograms) {
 		h := r.histograms[name]
@@ -374,11 +498,12 @@ func (s Snapshot) Report() string {
 			fmt.Fprintf(&b, "  %-42s %d\n", c.Name, c.Value)
 		}
 		for _, g := range f.Gauges {
-			fmt.Fprintf(&b, "  %-42s %d (gauge)\n", g.Name, g.Value)
+			fmt.Fprintf(&b, "  %-42s %d (gauge, hi=%d)\n", g.Name, g.Value, g.High)
 		}
 		for _, h := range f.Histograms {
-			fmt.Fprintf(&b, "  %-42s count=%d sum=%v min=%v max=%v\n",
-				h.Name, h.Count, h.Sum, h.Min, h.Max)
+			fmt.Fprintf(&b, "  %-42s count=%d sum=%v min=%v max=%v p50=%v p95=%v p99=%v\n",
+				h.Name, h.Count, h.Sum, h.Min, h.Max,
+				h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
 		}
 	}
 	return b.String()

@@ -48,6 +48,155 @@ func TestGauge(t *testing.T) {
 	}
 }
 
+func TestGaugeHighWatermark(t *testing.T) {
+	r := New(nil)
+	g := r.Gauge("lpm.inflight")
+	if got := g.High(); got != 0 {
+		t.Fatalf("fresh gauge hi = %d, want 0", got)
+	}
+	g.Add(3)
+	g.Add(4) // peak: 7
+	g.Add(-6)
+	g.Set(5)
+	if got, hi := g.Value(), g.High(); got != 5 || hi != 7 {
+		t.Fatalf("gauge = %d hi = %d, want 5 and 7", got, hi)
+	}
+	g.Set(9)
+	if got := g.High(); got != 9 {
+		t.Fatalf("hi after Set(9) = %d, want 9", got)
+	}
+	g.Set(-3)
+	if got := g.High(); got != 9 {
+		t.Fatalf("hi dropped to %d after lowering the level", got)
+	}
+	snap := r.Snapshot()
+	f, _ := snap.Family("lpm")
+	if len(f.Gauges) != 1 || f.Gauges[0].High != 9 || f.Gauges[0].Value != -3 {
+		t.Fatalf("gauge point = %+v, want value=-3 high=9", f.Gauges)
+	}
+}
+
+// TestQuantileExact pins the interpolation arithmetic on a known input
+// sequence: 10 observations spread over three buckets. With count=10,
+// p50 is rank 5, p95 rank 10, p99 rank 10.
+func TestQuantileExact(t *testing.T) {
+	h := NewHistogram()
+	// 4 observations in the (2ms, 5ms] bucket, 4 in (10ms, 20ms],
+	// 2 in (50ms, 100ms].
+	for i := 0; i < 4; i++ {
+		h.Observe(4 * time.Millisecond)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(15 * time.Millisecond)
+	}
+	h.Observe(60 * time.Millisecond)
+	h.Observe(80 * time.Millisecond)
+
+	// rank 5 is the 1st of 4 in (10ms, 20ms]: 10ms + 10ms*1/4 = 12.5ms.
+	if got := h.Quantile(0.50); got != 12500*time.Microsecond {
+		t.Fatalf("p50 = %v, want 12.5ms", got)
+	}
+	// rank ceil(0.95*10)=10 is the 2nd of 2 in (50ms, 100ms]:
+	// 50ms + 50ms*2/2 = 100ms, clamped to max = 80ms.
+	if got := h.Quantile(0.95); got != 80*time.Millisecond {
+		t.Fatalf("p95 = %v, want 80ms (clamped to max)", got)
+	}
+	// rank ceil(0.99*10)=10, same bucket and clamp.
+	if got := h.Quantile(0.99); got != 80*time.Millisecond {
+		t.Fatalf("p99 = %v, want 80ms", got)
+	}
+	// rank ceil(0.25*10)=3 is the 3rd of 4 in (2ms, 5ms]:
+	// 2ms + 3ms*3/4 = 4.25ms.
+	if got := h.Quantile(0.25); got != 4250*time.Microsecond {
+		t.Fatalf("p25 = %v, want 4.25ms", got)
+	}
+	// rank ceil(0.70*10)=7 is the 3rd of 4 in (10ms, 20ms]:
+	// 10ms + 10ms*3/4 = 17.5ms.
+	if got := h.Quantile(0.70); got != 17500*time.Microsecond {
+		t.Fatalf("p70 = %v, want 17.5ms", got)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %v, want 0", got)
+	}
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(7 * time.Millisecond)
+	// One observation: every quantile is that observation (min==max clamp).
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 7*time.Millisecond {
+			t.Fatalf("single-observation q=%v = %v, want 7ms", q, got)
+		}
+	}
+	// Overflow-bucket ranks report the exact max.
+	h2 := NewHistogram()
+	h2.Observe(time.Millisecond)
+	h2.Observe(time.Hour)
+	if got := h2.Quantile(0.99); got != time.Hour {
+		t.Fatalf("overflow quantile = %v, want 1h", got)
+	}
+	if got := h2.Quantile(0.50); got != time.Millisecond {
+		t.Fatalf("p50 = %v, want 1ms", got)
+	}
+}
+
+// TestHistogramPointQuantile verifies the snapshot-side estimator
+// agrees with the live histogram.
+func TestHistogramPointQuantile(t *testing.T) {
+	r := New(nil)
+	h := r.Histogram("lpm.request_rtt")
+	for _, d := range []time.Duration{
+		4 * time.Millisecond, 4 * time.Millisecond, 15 * time.Millisecond,
+		15 * time.Millisecond, 15 * time.Millisecond, 60 * time.Millisecond,
+	} {
+		h.Observe(d)
+	}
+	f, _ := r.Snapshot().Family("lpm")
+	hp := f.Histograms[0]
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.95, 0.99} {
+		if live, snap := h.Quantile(q), hp.Quantile(q); live != snap {
+			t.Fatalf("q=%v: live %v != snapshot %v", q, live, snap)
+		}
+	}
+	if hp.Quantile(0.99) != 60*time.Millisecond {
+		t.Fatalf("p99 = %v, want 60ms", hp.Quantile(0.99))
+	}
+}
+
+// TestReportColumns pins the report's gauge and histogram line formats:
+// gauges carry their high-watermark, histograms their p50/p95/p99
+// columns, all rendered as durations (never floats).
+func TestReportColumns(t *testing.T) {
+	r := New(nil)
+	g := r.Gauge("lpm.siblings.open")
+	g.Add(4)
+	g.Add(-1)
+	h := r.Histogram("lpm.request_rtt")
+	for i := 0; i < 4; i++ {
+		h.Observe(4 * time.Millisecond)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(15 * time.Millisecond)
+	}
+	h.Observe(60 * time.Millisecond)
+	h.Observe(80 * time.Millisecond)
+	rep := r.Report()
+	if !strings.Contains(rep, "3 (gauge, hi=4)") {
+		t.Fatalf("gauge line missing high-watermark:\n%s", rep)
+	}
+	if !strings.Contains(rep, "p50=12.5ms p95=80ms p99=80ms") {
+		t.Fatalf("histogram line missing percentile columns:\n%s", rep)
+	}
+	if strings.Contains(rep, "e+") || strings.Contains(rep, "0.0") {
+		t.Fatalf("report leaked float formatting:\n%s", rep)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	r := New(nil)
 	h := r.Histogram("lpm.request_rtt")

@@ -443,6 +443,18 @@ func (n *Network) Up(host string) bool {
 	return ok && nd.up
 }
 
+// Status is the network's live-introspection hook for one host: whether
+// it is up and how many open circuit endpoints it holds (closed
+// endpoints leave the connection set immediately). It allocates
+// nothing.
+func (n *Network) Status(host string) (up bool, conns int) {
+	nd, ok := n.hosts[host]
+	if !ok {
+		return false, 0
+	}
+	return nd.up, len(nd.conns)
+}
+
 // Crash takes a host down: its listeners and datagram handlers vanish,
 // its circuit endpoints die silently, and remote peers notice after the
 // break-detection delay.
@@ -709,6 +721,10 @@ func (c *Conn) RemoteAddr() Addr { return c.remote }
 
 // Open reports whether the circuit is usable.
 func (c *Conn) Open() bool { return c.open }
+
+// Breaking reports whether the endpoint has been severed and is waiting
+// out the break-detection delay before its close handler fires.
+func (c *Conn) Breaking() bool { return c.breaking }
 
 // SetHandler installs the message callback.
 func (c *Conn) SetHandler(fn func(payload []byte)) { c.onMsg = fn }

@@ -1,0 +1,255 @@
+// Package status defines the PPM's live-introspection report: a
+// structured, deterministic per-host summary of what every layer of the
+// installation is doing right now — kernel process table, scheduler
+// timer backlog, the LPM's sibling-circuit table with per-circuit state
+// and age, the reliability layer's reply-cache / in-flight-marker /
+// retry-backoff occupancy, the flight-recorder ring occupancy, and
+// per-op latency percentiles. Reports are built by small Status() hooks
+// on each layer, gathered cluster-wide by the LPM's status sweep (a
+// read-only sibling RPC riding the retry engine), and rendered as a
+// dashboard: one sorted row per host, virtual-time-stamped, with an
+// explicit unreachable-host list when the cluster is partitioned.
+//
+// Everything here is deterministic: rows are sorted, durations render
+// as duration strings, the load average is carried as a fixed-point
+// integer — no floats ever reach the output, so two same-seed sweeps
+// are byte-identical.
+package status
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ppm/internal/detord"
+	"ppm/internal/wire"
+)
+
+// CircuitStatus is one sibling circuit in a host's circuit table.
+type CircuitStatus struct {
+	Peer  string
+	State string        // "open", "breaking" or "closed"
+	Age   time.Duration // virtual time since the circuit authenticated
+}
+
+// OpLatency is the latency envelope of one sibling-RPC op type as seen
+// from this host's LPM (request send to response receipt, retries
+// included in the last attempt's RTT).
+type OpLatency struct {
+	Op            string
+	Count         uint64
+	P50, P95, P99 time.Duration
+}
+
+// Report is one host's live status. The slices are owned by the report
+// and reused across rebuilds (Reset truncates, builders append), so a
+// steady-state local rebuild allocates nothing.
+type Report struct {
+	Host string
+	At   time.Duration // virtual time the report was built
+
+	// kernel
+	ProcsLive  int   // user's live (running/stopped) processes
+	ProcsTotal int   // user's table entries, exited included
+	Load100    int64 // load average x100 (fixed-point, no floats)
+
+	// sim
+	TimersPending int // events pending on the host-shared scheduler
+
+	// daemon
+	DaemonUp   bool
+	DaemonLPMs int // LPM registrations the pmd knows
+
+	// simnet
+	NetUp    bool
+	NetConns int // open circuit endpoints on the host
+
+	// lpm
+	Circuits       []CircuitStatus
+	PendingReqs    int // requests awaiting a response
+	RetryBackoffs  int // retry timers currently waiting to refire
+	ReplyCache     int // at-most-once cached replies held
+	InflightOps    int // in-flight execution markers held
+	JournalLen     int
+	JournalDropped uint64
+	OpLatencies    []OpLatency
+}
+
+// Reset clears the report for rebuilding, retaining slice capacity.
+func (r *Report) Reset(host string, at time.Duration) {
+	r.Host, r.At = host, at
+	r.ProcsLive, r.ProcsTotal, r.Load100 = 0, 0, 0
+	r.TimersPending = 0
+	r.DaemonUp, r.DaemonLPMs = false, 0
+	r.NetUp, r.NetConns = false, 0
+	r.Circuits = r.Circuits[:0]
+	r.PendingReqs, r.RetryBackoffs = 0, 0
+	r.ReplyCache, r.InflightOps = 0, 0
+	r.JournalLen, r.JournalDropped = 0, 0
+	r.OpLatencies = r.OpLatencies[:0]
+}
+
+// SortCircuits puts the circuit table in peer order (in place).
+func (r *Report) SortCircuits() {
+	detord.SortBy(r.Circuits, func(c CircuitStatus) string { return c.Peer })
+}
+
+// EncodeTo appends the report's wire form to enc.
+func (r *Report) EncodeTo(enc *wire.Encoder) {
+	enc.String(r.Host)
+	enc.Duration(r.At)
+	enc.I32(int32(r.ProcsLive))
+	enc.I32(int32(r.ProcsTotal))
+	enc.I64(r.Load100)
+	enc.I32(int32(r.TimersPending))
+	enc.Bool(r.DaemonUp)
+	enc.I32(int32(r.DaemonLPMs))
+	enc.Bool(r.NetUp)
+	enc.I32(int32(r.NetConns))
+	enc.U16(uint16(len(r.Circuits)))
+	for _, c := range r.Circuits {
+		enc.String(c.Peer)
+		enc.String(c.State)
+		enc.Duration(c.Age)
+	}
+	enc.I32(int32(r.PendingReqs))
+	enc.I32(int32(r.RetryBackoffs))
+	enc.I32(int32(r.ReplyCache))
+	enc.I32(int32(r.InflightOps))
+	enc.I32(int32(r.JournalLen))
+	enc.U64(r.JournalDropped)
+	enc.U16(uint16(len(r.OpLatencies)))
+	for _, o := range r.OpLatencies {
+		enc.String(o.Op)
+		enc.U64(o.Count)
+		enc.Duration(o.P50)
+		enc.Duration(o.P95)
+		enc.Duration(o.P99)
+	}
+}
+
+// Encode returns the report's wire form.
+func (r *Report) Encode() []byte {
+	enc := wire.NewEncoder(128 + 32*len(r.Circuits) + 48*len(r.OpLatencies))
+	r.EncodeTo(enc)
+	return enc.Bytes()
+}
+
+// Decode parses a wire-form report.
+func Decode(b []byte) (Report, error) {
+	d := wire.NewDecoder(b)
+	var r Report
+	r.Host = d.String()
+	r.At = d.Duration()
+	r.ProcsLive = int(d.I32())
+	r.ProcsTotal = int(d.I32())
+	r.Load100 = d.I64()
+	r.TimersPending = int(d.I32())
+	r.DaemonUp = d.Bool()
+	r.DaemonLPMs = int(d.I32())
+	r.NetUp = d.Bool()
+	r.NetConns = int(d.I32())
+	nc := int(d.U16())
+	for i := 0; i < nc && d.Err() == nil; i++ {
+		r.Circuits = append(r.Circuits, CircuitStatus{
+			Peer: d.String(), State: d.String(), Age: d.Duration(),
+		})
+	}
+	r.PendingReqs = int(d.I32())
+	r.RetryBackoffs = int(d.I32())
+	r.ReplyCache = int(d.I32())
+	r.InflightOps = int(d.I32())
+	r.JournalLen = int(d.I32())
+	r.JournalDropped = d.U64()
+	no := int(d.U16())
+	for i := 0; i < no && d.Err() == nil; i++ {
+		r.OpLatencies = append(r.OpLatencies, OpLatency{
+			Op: d.String(), Count: d.U64(),
+			P50: d.Duration(), P95: d.Duration(), P99: d.Duration(),
+		})
+	}
+	if err := d.Finish(); err != nil {
+		return Report{}, err
+	}
+	return r, nil
+}
+
+// Sweep is one cluster-wide status gather: the origin's own report plus
+// one per reachable remote host, and the explicit list of hosts that
+// could not be reached (sorted). Reports are sorted by host.
+type Sweep struct {
+	At          time.Duration // virtual time the sweep completed
+	Origin      string
+	User        string
+	Reports     []Report
+	Unreachable []string
+}
+
+// Sort puts reports in host order and the unreachable list in name
+// order (in place).
+func (s *Sweep) Sort() {
+	detord.SortBy(s.Reports, func(r Report) string { return r.Host })
+	detord.Sort(s.Unreachable)
+}
+
+// load renders a x100 fixed-point load average without float formatting.
+func load(l100 int64) string {
+	if l100 < 0 {
+		l100 = 0
+	}
+	return fmt.Sprintf("%d.%02d", l100/100, l100%100)
+}
+
+// Row renders the report as one dashboard row (no trailing newline).
+func (r *Report) Row() string {
+	var b strings.Builder
+	r.writeRow(&b)
+	return b.String()
+}
+
+func (r *Report) writeRow(b *strings.Builder) {
+	daemon := "down"
+	if r.DaemonUp {
+		daemon = "up"
+	}
+	fmt.Fprintf(b, "%-8s procs=%d/%d load=%s timers=%d daemon=%s/%d conns=%d",
+		r.Host, r.ProcsLive, r.ProcsTotal, load(r.Load100),
+		r.TimersPending, daemon, r.DaemonLPMs, r.NetConns)
+	b.WriteString(" circ=[")
+	for i, c := range r.Circuits {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(b, "%s:%s/%v", c.Peer, c.State, c.Age)
+	}
+	fmt.Fprintf(b, "] pend=%d bkoff=%d cache=%d infl=%d journal=%d/%d",
+		r.PendingReqs, r.RetryBackoffs, r.ReplyCache, r.InflightOps,
+		r.JournalLen, r.JournalDropped)
+	b.WriteString(" ops=[")
+	for i, o := range r.OpLatencies {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(b, "%s:n=%d/%v/%v/%v", o.Op, o.Count, o.P50, o.P95, o.P99)
+	}
+	b.WriteString("]")
+}
+
+// Render returns the sweep as the operator-facing dashboard: a
+// virtual-time-stamped header, one sorted row per collected host, and
+// the unreachable list (when any). Byte-identical across same-seed
+// runs.
+func (s *Sweep) Render() string {
+	var b strings.Builder
+	total := len(s.Reports) + len(s.Unreachable)
+	fmt.Fprintf(&b, "=== cluster status @ T+%v origin=%s user=%s (%d/%d hosts) ===\n",
+		s.At, s.Origin, s.User, len(s.Reports), total)
+	for i := range s.Reports {
+		s.Reports[i].writeRow(&b)
+		b.WriteByte('\n')
+	}
+	if len(s.Unreachable) > 0 {
+		fmt.Fprintf(&b, "unreachable: %s\n", strings.Join(s.Unreachable, ","))
+	}
+	return b.String()
+}

@@ -64,6 +64,13 @@ const (
 	// be set by users to trigger process state changes".
 	MsgWatch
 	MsgWatchResp
+
+	// Live introspection: a status sweep collects one per-host report
+	// from every reachable sibling. The op is read-only, so it rides
+	// the retry engine without an at-most-once op id — re-execution is
+	// free.
+	MsgStatusReq
+	MsgStatusResp
 )
 
 // msgNames maps each message type to its trace name, indexed by the
@@ -84,6 +91,7 @@ var msgNames = [...]string{
 	MsgError: "Error",
 	MsgRelay: "Relay", MsgRelayResp: "RelayResp",
 	MsgWatch: "Watch", MsgWatchResp: "WatchResp",
+	MsgStatusReq: "StatusReq", MsgStatusResp: "StatusResp",
 }
 
 // msgCounterNames precomputes the per-type metric counter names so the
@@ -1003,6 +1011,55 @@ func (m Pong) Encode() []byte {
 func DecodePong(b []byte) (Pong, error) {
 	d := NewDecoder(b)
 	m := Pong{FromHost: d.String(), CCSHost: d.String(), CCSPort: d.U16(), IsCCS: d.Bool()}
+	return m, d.Finish()
+}
+
+// --- live introspection ---
+
+// StatusReq asks a sibling LPM for its host's live status report. The
+// sweep id names the origin's gather for journal correlation; the op is
+// read-only and carries no at-most-once identity.
+type StatusReq struct {
+	User  string
+	Sweep string
+}
+
+// Encode serializes the request.
+func (m StatusReq) Encode() []byte {
+	e := NewEncoder(24)
+	e.String(m.User)
+	e.String(m.Sweep)
+	return e.Bytes()
+}
+
+// DecodeStatusReq parses a StatusReq body.
+func DecodeStatusReq(b []byte) (StatusReq, error) {
+	d := NewDecoder(b)
+	m := StatusReq{User: d.String(), Sweep: d.String()}
+	return m, d.Finish()
+}
+
+// StatusResp carries one host's status report, pre-encoded by
+// internal/status (the wire layer stays ignorant of the report schema).
+type StatusResp struct {
+	OK     bool
+	Reason string
+	Report []byte
+}
+
+// Encode serializes the response.
+func (m StatusResp) Encode() []byte {
+	e := NewEncoder(16 + len(m.Report))
+	e.Bool(m.OK)
+	e.String(m.Reason)
+	e.Bytes32(m.Report)
+	return e.Bytes()
+}
+
+// DecodeStatusResp parses a StatusResp body.
+func DecodeStatusResp(b []byte) (StatusResp, error) {
+	d := NewDecoder(b)
+	m := StatusResp{OK: d.Bool(), Reason: d.String(), Report: d.Bytes32()}
 	return m, d.Finish()
 }
 

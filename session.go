@@ -232,6 +232,20 @@ func (s *Session) Snapshot() (Snapshot, error) {
 	return snap, rerr
 }
 
+// Status gathers a live status report from the user's LPM on every
+// host of the installation, originating at this session's LPM. Hosts
+// that cannot be reached are listed in ClusterStatus.Unreachable.
+func (s *Session) Status() (ClusterStatus, error) {
+	var sw ClusterStatus
+	var rerr error
+	done := false
+	s.mgr.StatusSweep(s.c.Hosts(), func(w ClusterStatus, err error) { sw, rerr, done = w, err, true })
+	if err := s.c.await(func() bool { return done }); err != nil {
+		return ClusterStatus{}, err
+	}
+	return sw, rerr
+}
+
 // Stats returns the resource-consumption record of a process anywhere
 // in the network; for exited processes the record is the one the LPM
 // preserved.

@@ -266,6 +266,7 @@ func (c *Cluster) startDaemons(host string) error {
 func (c *Cluster) AddUser(name string) {
 	c.dir.AddUser(name)
 	for h := range c.kerns {
+		//ppmlint:allow errdrop AllowRHost only fails for unknown accounts; the user was added just above
 		_ = c.dir.AllowRHost(name, h)
 	}
 }

@@ -1,12 +1,13 @@
-// Command ppmlint is the determinism-invariant checker for this repo:
-// a go/analysis multichecker speaking the `go vet -vettool` protocol.
+// Command ppmlint is the invariant checker for this repo: a
+// go/analysis multichecker speaking the `go vet -vettool` protocol.
 //
 // Usage:
 //
 //	go build -o /tmp/ppmlint ./cmd/ppmlint
 //	go vet -vettool=/tmp/ppmlint ./...
 //
-// It enforces the four invariants the golden-output CI job depends on:
+// It enforces the four determinism invariants the golden-output CI job
+// depends on:
 //
 //	walltime      no time.Now/Since/Sleep/... outside internal/sim,
 //	              cmd/, and tests
@@ -15,29 +16,58 @@
 //	maporder      no map iteration with order-sensitive effects unless
 //	              keys are sorted first
 //
+// and the four protocol-surface and hot-path invariants:
+//
+//	wireop        every wire op constant has an opSpecs manifest row
+//	              (name, role, journal kind) and every request op a
+//	              dispatch site under the //ppmlint:protocolroot package
+//	journalkind   journal record kinds are registered constants, never
+//	              ad-hoc strings at append sites; registered kinds
+//	              nobody appends are dead
+//	hotalloc      //ppmlint:hotpath functions contain no known-
+//	              allocating constructs, and each names its
+//	              AllocsPerRun pin test (pin=<TestName>)
+//	errdrop       no discarded error returns (`_ =` or bare call)
+//	              outside tests and cmd/ flag parsing
+//
 // A finding can be silenced for one line by the comment
-// //ppmlint:allow <analyzer> on the line above; an allowance that
-// silences nothing is itself reported. See DESIGN.md "Determinism
-// invariants".
+// //ppmlint:allow <analyzer> <reason> on the line above; an allowance
+// that silences nothing is itself reported with the file:line it
+// covered. See DESIGN.md "Determinism invariants".
+//
+// Exit codes mirror internal/perf's compare policy: 0 clean, 1 at
+// least one finding (or unused allowance), 2 harness error (bad
+// invocation, unreadable config, typecheck or analyzer failure) — so a
+// red CI job is immediately diagnosable as lint debt versus a broken
+// lint run.
 package main
 
 import (
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/unitchecker"
 
+	"ppm/internal/analysis/errdrop"
+	"ppm/internal/analysis/hotalloc"
+	"ppm/internal/analysis/journalkind"
 	"ppm/internal/analysis/maporder"
 	"ppm/internal/analysis/rawgoroutine"
 	"ppm/internal/analysis/unseededrand"
 	"ppm/internal/analysis/walltime"
+	"ppm/internal/analysis/wireop"
 )
 
-// suite lists the enforced determinism invariants.
+// suite lists the enforced invariants: the determinism four and the
+// protocol-surface/hot-path four.
 func suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		walltime.Analyzer,
 		rawgoroutine.Analyzer,
 		unseededrand.Analyzer,
 		maporder.Analyzer,
+		wireop.Analyzer,
+		journalkind.Analyzer,
+		hotalloc.Analyzer,
+		errdrop.Analyzer,
 	}
 }
 

@@ -19,6 +19,8 @@ func TestSuiteCoversAllInvariants(t *testing.T) {
 	want := map[string]bool{
 		"walltime": true, "rawgoroutine": true,
 		"unseededrand": true, "maporder": true,
+		"wireop": true, "journalkind": true,
+		"hotalloc": true, "errdrop": true,
 	}
 	for _, a := range suite() {
 		if !want[a.Name] {

@@ -65,6 +65,7 @@ func run() error {
 			if ev.Detail == "unlink" && !hit {
 				hit = true
 				fmt.Printf("*** breakpoint: %s called unlink — stopping it\n", ev.Proc)
+				//ppmlint:allow errdrop example breakpoint action is best-effort; a lost Stop only means the demo process runs on
 				_ = sess.Stop(id)
 			}
 		},

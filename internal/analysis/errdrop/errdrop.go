@@ -1,0 +1,192 @@
+// Package errdrop defines an analyzer that reports discarded error
+// returns. In a recovery-oriented codebase a silently dropped error is
+// a failure the retry engine, the journal and the operator all never
+// hear about, so every drop must be either handled, routed, or visibly
+// waved through. errdrop reports:
+//
+//   - a call statement (bare or deferred) whose callee returns an
+//     error nobody reads;
+//   - an assignment that sends an error-typed result to the blank
+//     identifier (`_ = f()`, `v, _ := g()` where the blank slot is the
+//     error).
+//
+// Test files are skipped. Four callee classes are exempt because
+// their error contract is vestigial: fmt's Print/Fprint family,
+// strings.Builder and bytes.Buffer writers (documented never to fail),
+// hash.Hash.Write (same documented guarantee), and package flag calls
+// inside cmd/ packages (flag.ExitOnError parsing exits on its own).
+// Everything else that is deliberately
+// fire-and-forget carries //ppmlint:allow errdrop <reason> on the line
+// above, which is the finding turned into documentation.
+package errdrop
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ppm/internal/analysis/suppress"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "report discarded error returns (`_ =` or bare call)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var diags []analysis.Diagnostic
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		diags = append(diags, analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkCallStmt(pass, n.X, report)
+			case *ast.DeferStmt:
+				checkCallStmt(pass, n.Call, report)
+			case *ast.AssignStmt:
+				checkAssign(pass, n, report)
+			}
+			return true
+		})
+	}
+	suppress.Apply(pass, diags)
+	return nil, nil
+}
+
+// checkCallStmt flags a call used as a statement whose results include
+// an error.
+func checkCallStmt(pass *analysis.Pass, x ast.Expr, report func(token.Pos, string, ...interface{})) {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if !returnsError(pass, call) || exempt(pass, call) {
+		return
+	}
+	report(call.Pos(), "error from %s discarded (handle it, or //ppmlint:allow errdrop <why>)", types.ExprString(call.Fun))
+}
+
+// checkAssign flags blank-identifier slots receiving an error.
+func checkAssign(pass *analysis.Pass, stmt *ast.AssignStmt, report func(token.Pos, string, ...interface{})) {
+	// Either n:n assignment, or 1 multi-valued call on the right.
+	for i, lhs := range stmt.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var typ types.Type
+		var src ast.Expr
+		if len(stmt.Rhs) == len(stmt.Lhs) {
+			src = stmt.Rhs[i]
+			if tv, ok := pass.TypesInfo.Types[src]; ok {
+				typ = tv.Type
+			}
+		} else if len(stmt.Rhs) == 1 {
+			src = stmt.Rhs[0]
+			if tv, ok := pass.TypesInfo.Types[src]; ok {
+				if tuple, ok := tv.Type.(*types.Tuple); ok && i < tuple.Len() {
+					typ = tuple.At(i).Type()
+				}
+			}
+		}
+		if typ == nil || !isErrorType(typ) {
+			continue
+		}
+		if call, ok := ast.Unparen(src).(*ast.CallExpr); ok && exempt(pass, call) {
+			continue
+		}
+		report(id.Pos(), "error assigned to _ (handle it, or //ppmlint:allow errdrop <why>)")
+	}
+}
+
+// returnsError reports whether any result of call is an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// exempt reports whether the callee's error contract is vestigial.
+func exempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+		// hash.Hash.Write is documented to never return an error; the
+		// HMAC auth and stamping paths call it constantly.
+		if fun.Sel.Name == "Write" {
+			if tv, ok := pass.TypesInfo.Types[fun.X]; ok {
+				if named := recvNamed(tv.Type); named != nil && named.Obj().Pkg() != nil &&
+					named.Obj().Pkg().Path() == "hash" {
+					return true
+				}
+			}
+		}
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		return strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")
+	case "flag":
+		// cmd/ tools parse flags under ExitOnError; the returned error
+		// is unreachable.
+		return inCmd(pass.Pkg.Path())
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch named := recvNamed(sig.Recv().Type()); {
+		case named == nil:
+		case named.Obj().Pkg() == nil:
+		case named.Obj().Pkg().Path() == "strings" && named.Obj().Name() == "Builder":
+			return true
+		case named.Obj().Pkg().Path() == "bytes" && named.Obj().Name() == "Buffer":
+			return true
+		}
+	}
+	return false
+}
+
+func recvNamed(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// inCmd reports whether pkgPath is a command package.
+func inCmd(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, "cmd/") || strings.Contains(pkgPath, "/cmd/")
+}

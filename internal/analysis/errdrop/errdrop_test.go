@@ -1,0 +1,21 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"ppm/internal/analysis/analyzertest"
+	"ppm/internal/analysis/errdrop"
+)
+
+// TestErrdrop: bare calls, blank assignments and deferred drops
+// report; exempt callees, bool drops, test files and a suppressed call
+// do not.
+func TestErrdrop(t *testing.T) {
+	analyzertest.Run(t, errdrop.Analyzer, "e")
+}
+
+// TestErrdropCmd: inside a cmd/ package the flag-parsing drops are
+// exempt while ordinary drops still report.
+func TestErrdropCmd(t *testing.T) {
+	analyzertest.Run(t, errdrop.Analyzer, "cmd/tool")
+}

@@ -1,0 +1,21 @@
+// Command tool is the errdrop cmd-package fixture: package flag calls
+// are exempt here (ExitOnError parsing exits on its own), everything
+// else still reports.
+package main
+
+import (
+	"errors"
+	"flag"
+)
+
+func fail() error { return errors.New("x") }
+
+func parse(fs *flag.FlagSet, args []string) {
+	fs.Parse(args)
+	_ = fs.Parse(args)
+	fail() // want `error from fail discarded`
+}
+
+func main() {
+	parse(flag.NewFlagSet("tool", flag.ExitOnError), nil)
+}

@@ -1,0 +1,8 @@
+package e
+
+// Test files are outside errdrop's jurisdiction: a dropped error in a
+// test fails the test's own assertions, not the lint.
+func inTest() {
+	fail()
+	_ = fail()
+}

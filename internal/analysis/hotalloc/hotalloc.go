@@ -1,0 +1,208 @@
+// Package hotalloc defines an analyzer for the repo's zero-allocation
+// discipline. A function annotated
+//
+//	//ppmlint:hotpath pin=<TestName>
+//
+// in its doc comment declares itself part of a measured hot path: the
+// named test pins the path at zero allocations with
+// testing.AllocsPerRun (a repo-wide consistency test checks the pin
+// exists). Inside an annotated function the analyzer reports the
+// known-allocating constructs:
+//
+//   - calls into package fmt (formatting always allocates);
+//   - string concatenation (+ / +=);
+//   - func literals capturing enclosing variables (closure headers are
+//     heap-allocated);
+//   - make, new, and &T{} composite literals (heap allocations unless
+//     pooled);
+//   - slice and map composite literals;
+//   - explicit conversions of concrete values to interface types
+//     (boxing).
+//
+// The analysis is deliberately conservative — escape analysis would
+// prove some of these stack-allocated — so genuine cold branches
+// inside a hot function carry //ppmlint:allow hotalloc <reason> on the
+// line above the construct, keeping every exception visible and
+// justified at the call site.
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ppm/internal/analysis/suppress"
+)
+
+// Directive marks a function as a measured zero-allocation hot path.
+const Directive = "//ppmlint:hotpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid known-allocating constructs in //ppmlint:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var diags []analysis.Diagnostic
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		diags = append(diags, analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			dir, ok := directive(fd)
+			if !ok {
+				continue
+			}
+			if pin(dir.Text) == "" {
+				report(dir.Pos(), "hotpath annotation needs pin=<TestName> naming its AllocsPerRun test")
+			}
+			if fd.Body != nil {
+				checkBody(pass, fd, report)
+			}
+		}
+	}
+	suppress.Apply(pass, diags)
+	return nil, nil
+}
+
+// directive returns the //ppmlint:hotpath comment from fd's doc group.
+func directive(fd *ast.FuncDecl) (*ast.Comment, bool) {
+	if fd.Doc == nil {
+		return nil, false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// pin extracts the pin=<TestName> argument from a directive comment
+// ("" if absent).
+func pin(text string) string {
+	for _, field := range strings.Fields(text) {
+		if name, ok := strings.CutPrefix(field, "pin="); ok {
+			return name
+		}
+	}
+	return ""
+}
+
+// checkBody reports every known-allocating construct in the annotated
+// function.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, report func(token.Pos, string, ...interface{})) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, report)
+		case *ast.BinaryExpr:
+			// A constant-folded concatenation ("a"+"b") never reaches
+			// the allocator.
+			if n.Op == token.ADD && isString(pass, n.X) && pass.TypesInfo.Types[n].Value == nil {
+				report(n.OpPos, "string concatenation allocates on the hot path")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass, n.Lhs[0]) {
+				report(n.TokPos, "string concatenation allocates on the hot path")
+			}
+		case *ast.FuncLit:
+			if name, ok := captures(pass, fd, n); ok {
+				report(n.Pos(), "closure capturing %s allocates on the hot path", name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "heap-allocated composite literal on the hot path")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "slice literal allocates on the hot path")
+				case *types.Map:
+					report(n.Pos(), "map literal allocates on the hot path")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags fmt calls, make/new, and explicit interface-boxing
+// conversions.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, report func(token.Pos, string, ...interface{})) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch pass.TypesInfo.Uses[fun] {
+		case types.Universe.Lookup("make"):
+			report(call.Pos(), "un-pooled make allocates on the hot path")
+			return
+		case types.Universe.Lookup("new"):
+			report(call.Pos(), "new allocates on the hot path")
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			report(call.Pos(), "fmt.%s allocates on the hot path", fn.Name())
+			return
+		}
+	}
+	// Explicit conversion to an interface type boxes its operand.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if !types.IsInterface(tv.Type) {
+			return
+		}
+		if opnd, ok := pass.TypesInfo.Types[ast.Unparen(call.Args[0])]; ok {
+			if opnd.Type != nil && !types.IsInterface(opnd.Type) && opnd.Type != types.Typ[types.UntypedNil] {
+				report(call.Pos(), "conversion to interface type boxes on the hot path")
+			}
+		}
+	}
+}
+
+// captures reports whether lit references a variable declared in the
+// enclosing function outside the literal itself — the capture that
+// forces a heap-allocated closure — and names the first one found.
+func captures(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) (string, bool) {
+	var name string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing declaration but
+		// outside the literal (package-level vars are not captures).
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			name = v.Name()
+		}
+		return true
+	})
+	return name, name != ""
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

@@ -1,0 +1,16 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"ppm/internal/analysis/analyzertest"
+	"ppm/internal/analysis/hotalloc"
+)
+
+// TestHotalloc runs the analyzer over the fixture package: every
+// forbidden construct inside annotated functions is reported, clean
+// and unannotated functions are not, a suppressed cold branch stays
+// silent, and a pin-less annotation is itself a finding.
+func TestHotalloc(t *testing.T) {
+	analyzertest.Run(t, hotalloc.Analyzer, "hot")
+}

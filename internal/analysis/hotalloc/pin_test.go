@@ -1,0 +1,122 @@
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the module root (three levels up) and sanity-checks
+// it, following the doclint repo-scan idiom.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root %s has no go.mod: %v", root, err)
+	}
+	return root
+}
+
+// TestHotpathPinsExist is the hotpath↔AllocsPerRun consistency check:
+// every //ppmlint:hotpath annotation in the repo must carry a
+// pin=<TestName> argument naming a test function, somewhere in the
+// repo, that actually measures with testing.AllocsPerRun. An
+// annotation is a claim; the pin is its proof, and this test keeps the
+// two from drifting apart (an annotation whose pin test was renamed or
+// deleted fails here, not silently).
+func TestHotpathPinsExist(t *testing.T) {
+	root := repoRoot(t)
+	type pinSite struct {
+		at  string // file:line of the directive
+		pin string
+	}
+	var pins []pinSite
+	allocTests := make(map[string]bool) // Test funcs calling AllocsPerRun
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "vendor", "testdata", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			collectAllocTests(f, allocTests)
+			return nil
+		}
+		rel, _ := filepath.Rel(root, path)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text != Directive && !strings.HasPrefix(c.Text, Directive+" ") {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				pins = append(pins, pinSite{
+					at:  fmt.Sprintf("%s:%d", rel, p.Line),
+					pin: pin(c.Text),
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The repo annotates the wire framing, sim scheduling, journal
+	// append and status build paths — if the scan finds fewer sites
+	// than that, the scan itself (or the annotations) rotted.
+	if len(pins) < 8 {
+		t.Fatalf("found only %d //ppmlint:hotpath annotations; expected the wire/sim/journal/status paths (8+)", len(pins))
+	}
+	for _, p := range pins {
+		switch {
+		case p.pin == "":
+			t.Errorf("%s: hotpath annotation without pin=<TestName>", p.at)
+		case !allocTests[p.pin]:
+			t.Errorf("%s: pin %s does not name a test that calls testing.AllocsPerRun", p.at, p.pin)
+		}
+	}
+}
+
+// collectAllocTests records the file's Test functions whose bodies
+// call AllocsPerRun.
+func collectAllocTests(f *ast.File, out map[string]bool) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Test") {
+			continue
+		}
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "AllocsPerRun" {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			out[fd.Name.Name] = true
+		}
+	}
+}

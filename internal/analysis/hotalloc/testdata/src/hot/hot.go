@@ -1,0 +1,55 @@
+// Package hot is the hotalloc fixture: annotated functions with every
+// forbidden construct, a clean annotated function, a suppressed cold
+// branch, and a malformed annotation.
+package hot
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+//ppmlint:hotpath pin=TestHotZeroAllocs
+func Bad(n int, s string) interface{} {
+	fmt.Println(n)               // want `fmt\.Println allocates on the hot path`
+	s += "x"                     // want `string concatenation allocates on the hot path`
+	t := s + "y"                 // want `string concatenation allocates on the hot path`
+	f := func() int { return n } // want `closure capturing n allocates on the hot path`
+	b := make([]byte, 8)         // want `un-pooled make allocates on the hot path`
+	p := new(int)                // want `new allocates on the hot path`
+	q := &pair{a: 1, b: 2}       // want `heap-allocated composite literal on the hot path`
+	sl := []int{n}               // want `slice literal allocates on the hot path`
+	m := map[string]int{}        // want `map literal allocates on the hot path`
+	i := interface{}(n)          // want `conversion to interface type boxes on the hot path`
+	_, _, _, _, _, _, _ = t, f, b, p, q, sl, m
+	return i
+}
+
+// Good stays on the stack: value composite literals, arrays,
+// non-capturing literals and constant-folded concatenation are all
+// allocation-free.
+//
+//ppmlint:hotpath pin=TestHotZeroAllocs
+func Good(p pair, buf []byte) int {
+	const prefix = "a" + "b"
+	q := pair{a: p.b, b: p.a}
+	var scratch [4]byte
+	double := func(x int) int { return x * 2 }
+	buf = append(buf, prefix...)
+	return q.a + double(len(buf)) + int(scratch[0])
+}
+
+// Cold has one justified heap allocation on its slow branch.
+//
+//ppmlint:hotpath pin=TestHotZeroAllocs
+func Cold(n int) *pair {
+	if n > 0 {
+		//ppmlint:allow hotalloc cold branch: only taken on first use
+		return &pair{a: n}
+	}
+	return nil
+}
+
+//ppmlint:hotpath // want `hotpath annotation needs .+ naming its AllocsPerRun test`
+func NoPin() {}
+
+// Unannotated functions may allocate freely.
+func Unannotated(n int) []int { return []int{n, n} }

@@ -1,0 +1,324 @@
+// Package journalkind defines an analyzer that keeps the flight
+// recorder's vocabulary closed. Journal record kinds must be declared
+// as Kind constants in the journal package and registered in its
+// canonical kinds list; append sites everywhere else must name their
+// kind through those constants. An ad-hoc string at an append site
+// would produce records the audits, filters and golden-journal diffs
+// don't know, and a registered kind nothing appends is dead weight the
+// audits silently stop covering. journalkind reports:
+//
+//   - in the journal package: a Kind constant missing from the kinds
+//     registration list, and a kinds entry that is not a named Kind
+//     constant;
+//   - everywhere: an Append/AppendCtx call whose kind argument is a
+//     string literal or a Kind conversion of a constant expression
+//     (dynamic Kind values — filters parsed from a CLI — stay legal),
+//     and any Kind("literal") conversion outside the journal package;
+//   - at the //ppmlint:protocolroot package: a registered kind never
+//     referenced outside the journal package anywhere in the import
+//     graph (dead kind).
+//
+// Like wireop, the whole-program half accumulates a package fact
+// through the import graph. Suppress a finding with
+// //ppmlint:allow journalkind <reason> on the line above it.
+package journalkind
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ppm/internal/analysis/suppress"
+)
+
+// ProtocolRoot mirrors wireop's directive: the package where the
+// whole-program dead-kind check reports.
+const ProtocolRoot = "//ppmlint:protocolroot"
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "journalkind",
+	Doc:       "check journal record kinds are registered constants, never ad-hoc strings",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(kindsFact)},
+}
+
+// kindsFact accumulates the journal vocabulary (Registered, qualified
+// constant names exported by journal packages) and the evidence of its
+// use (Used, kind constants referenced outside their journal package)
+// across the import graph.
+type kindsFact struct {
+	Registered []string
+	Used       []string
+}
+
+func (*kindsFact) AFact() {}
+
+func (f *kindsFact) String() string {
+	return "journalkind(" + strings.Join(f.Registered, ",") + ")"
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var diags []analysis.Diagnostic
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		diags = append(diags, analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+
+	fact := kindsFact{}
+	if kindType := journalKindType(pass.Pkg); kindType != nil {
+		fact.Registered = checkRegistration(pass, kindType, report)
+	}
+	fact.Used = checkUses(pass, report)
+
+	for _, imp := range pass.Pkg.Imports() {
+		var f kindsFact
+		if pass.ImportPackageFact(imp, &f) {
+			fact.Registered = append(fact.Registered, f.Registered...)
+			fact.Used = append(fact.Used, f.Used...)
+		}
+	}
+	fact.Registered = dedup(fact.Registered)
+	fact.Used = dedup(fact.Used)
+	pass.ExportPackageFact(&fact)
+
+	if pos, ok := rootDirective(pass); ok {
+		used := make(map[string]bool, len(fact.Used))
+		for _, u := range fact.Used {
+			used[u] = true
+		}
+		for _, k := range fact.Registered {
+			if !used[k] {
+				report(pos, "journal kind %s is registered but never appended under the protocol root (dead kind)", k)
+			}
+		}
+	}
+
+	suppress.Apply(pass, diags)
+	return nil, nil
+}
+
+// journalKindType returns the package's named Kind type if the package
+// is a journal package (package named journal declaring a string Kind),
+// nil otherwise.
+func journalKindType(pkg *types.Package) *types.Named {
+	if pkg.Name() != "journal" {
+		return nil
+	}
+	tn, ok := pkg.Scope().Lookup("Kind").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsString == 0 {
+		return nil
+	}
+	return named
+}
+
+// checkRegistration verifies, inside the journal package, that every
+// Kind constant appears in the canonical kinds list and every list
+// entry is a named constant. It returns the registered vocabulary.
+func checkRegistration(pass *analysis.Pass, kindType *types.Named, report func(token.Pos, string, ...interface{})) []string {
+	registered := make(map[types.Object]bool)
+	var out []string
+	if lit := kindsLiteral(pass); lit != nil {
+		for _, elt := range lit.Elts {
+			obj := constOf(pass, elt)
+			if obj == nil || obj.Type() != kindType {
+				report(elt.Pos(), "kinds list entry must be a named Kind constant of this package")
+				continue
+			}
+			registered[obj] = true
+			out = append(out, qualify(obj))
+		}
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() { // sorted
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Type() != kindType {
+			continue
+		}
+		if !registered[c] {
+			report(c.Pos(), "journal kind %s is not registered in the kinds list", c.Name())
+		}
+	}
+	return out
+}
+
+// kindsLiteral finds the package-level `var kinds = []Kind{...}`.
+func kindsLiteral(pass *analysis.Pass) *ast.CompositeLit {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "kinds" || len(vs.Values) != 1 {
+					continue
+				}
+				if lit, ok := vs.Values[0].(*ast.CompositeLit); ok {
+					return lit
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkUses walks the package for ad-hoc kinds at append sites and
+// Kind conversions, and collects which journal constants it references.
+func checkUses(pass *analysis.Pass, report func(token.Pos, string, ...interface{})) []string {
+	var used []string
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := appendCallee(pass, n); fn != nil && len(n.Args) > 0 {
+					checkKindArg(pass, fn, n.Args[0], report)
+				}
+				checkConversion(pass, n, report)
+			case *ast.Ident:
+				if obj := foreignKindConst(pass, n); obj != nil {
+					used = append(used, qualify(obj))
+				}
+			}
+			return true
+		})
+	}
+	return used
+}
+
+// appendCallee returns the *types.Func if call is a Journal.Append or
+// Journal.AppendCtx method call on a journal package's Journal type.
+func appendCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Name() != "Append" && fn.Name() != "AppendCtx" {
+		return nil
+	}
+	if journalKindType(fn.Pkg()) == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return fn
+}
+
+// checkKindArg flags an append whose kind argument is an ad-hoc
+// string: a literal, or a conversion of a constant expression. A
+// non-constant expression (a variable, a parameter, a parsed filter)
+// passes — the dynamic value is somebody else's to validate.
+func checkKindArg(pass *analysis.Pass, fn *types.Func, arg ast.Expr, report func(token.Pos, string, ...interface{})) {
+	arg = ast.Unparen(arg)
+	if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		report(arg.Pos(), "ad-hoc journal kind literal at %s site; declare a Kind constant in %s", fn.Name(), fn.Pkg().Path())
+		return
+	}
+	if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+		if tv, ok := pass.TypesInfo.Types[conv.Fun]; ok && tv.IsType() {
+			if opnd, ok := pass.TypesInfo.Types[ast.Unparen(conv.Args[0])]; ok && opnd.Value != nil {
+				report(arg.Pos(), "ad-hoc journal kind conversion at %s site; declare a Kind constant in %s", fn.Name(), fn.Pkg().Path())
+			}
+		}
+	}
+}
+
+// checkConversion flags Kind("literal") conversions outside the journal
+// package: minting a kind the registry never heard of.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, report func(token.Pos, string, ...interface{})) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg() == pass.Pkg {
+		return
+	}
+	if journalKindType(named.Obj().Pkg()) != named {
+		return
+	}
+	if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		report(call.Pos(), "ad-hoc journal kind %s(%s); use a registered Kind constant", named.Obj().Name(), lit.Value)
+	}
+}
+
+// foreignKindConst resolves id to a Kind constant declared in another
+// package's journal package, nil otherwise.
+func foreignKindConst(pass *analysis.Pass, id *ast.Ident) types.Object {
+	c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg() == pass.Pkg {
+		return nil
+	}
+	named, ok := c.Type().(*types.Named)
+	if !ok || journalKindType(c.Pkg()) != named {
+		return nil
+	}
+	return c
+}
+
+func rootDirective(pass *analysis.Pass) (token.Pos, bool) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text == ProtocolRoot || strings.HasPrefix(c.Text, ProtocolRoot+" ") {
+					return c.Pos(), true
+				}
+			}
+		}
+	}
+	return token.NoPos, false
+}
+
+// constOf resolves e (ident or selector) to the constant it names.
+func constOf(pass *analysis.Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+		return c
+	}
+	return nil
+}
+
+func qualify(obj types.Object) string {
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+func dedup(s []string) []string {
+	sort.Strings(s)
+	out := s[:0]
+	for i, v := range s {
+		if i > 0 && v == s[i-1] {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

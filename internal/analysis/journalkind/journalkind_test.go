@@ -1,0 +1,16 @@
+package journalkind_test
+
+import (
+	"testing"
+
+	"ppm/internal/analysis/analyzertest"
+	"ppm/internal/analysis/journalkind"
+)
+
+// TestJournalkind runs the analyzer over the fixture tree journal (the
+// vocabulary, with an unregistered constant and an ad-hoc registry
+// entry) → user (append sites, legal and ad-hoc) → jroot (the protocol
+// root, where the dead-kind finding lands via the accumulated facts).
+func TestJournalkind(t *testing.T) {
+	analyzertest.Run(t, journalkind.Analyzer, "jroot", "journal", "user")
+}

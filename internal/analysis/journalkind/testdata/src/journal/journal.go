@@ -1,0 +1,29 @@
+// Package journal is a fixture journal package: a string Kind type, a
+// kinds registration list with seeded violations, and the append
+// surface.
+package journal
+
+type Kind string
+
+const (
+	KindA Kind = "a"
+	KindB Kind = "b"
+	KindC Kind = "c" // want `journal kind KindC is not registered in the kinds list`
+	// KindDead is registered but nothing outside this package ever
+	// appends it — the protocol root reports it dead.
+	KindDead Kind = "dead"
+)
+
+var kinds = []Kind{
+	KindA, KindB, KindDead,
+	"adhoc", // want `kinds list entry must be a named Kind constant of this package`
+}
+
+// Journal is the fixture's flight recorder.
+type Journal struct{}
+
+// Append mirrors the real journal's append surface.
+func (j *Journal) Append(kind Kind, host, detail string) {}
+
+// AppendCtx mirrors the explicit-context append.
+func (j *Journal) AppendCtx(kind Kind, host, detail string, trace, span uint64) {}

@@ -1,0 +1,11 @@
+// Package jroot is the protocol root of the journalkind fixture tree:
+// the dead-kind check reports here, fed by the facts accumulated
+// through the user package.
+//
+//ppmlint:protocolroot // want `journal kind journal.KindDead is registered but never appended under the protocol root \(dead kind\)`
+package jroot
+
+import "user"
+
+// Run exercises the appenders.
+var Run = user.Emit

@@ -1,0 +1,25 @@
+// Package user appends to the fixture journal: through constants
+// (legal), literals and constant conversions (findings), a dynamic
+// value (legal), and a suppressed drop-in.
+package user
+
+import "journal"
+
+// Emit exercises every append shape.
+func Emit(j *journal.Journal, dyn string) {
+	j.Append(journal.KindA, "h", "ok")
+	j.AppendCtx(journal.KindB, "h", "ok", 1, 2)
+	j.Append("adhoc", "h", "bad")               // want `ad-hoc journal kind literal at Append site; declare a Kind constant in journal`
+	j.Append(journal.Kind("adhoc"), "h", "bad") // want `ad-hoc journal kind conversion at Append site; declare a Kind constant in journal` `ad-hoc journal kind Kind\("adhoc"\); use a registered Kind constant`
+	j.AppendCtx("adhoc", "h", "bad", 1, 2)      // want `ad-hoc journal kind literal at AppendCtx site; declare a Kind constant in journal`
+	j.Append(journal.Kind(dyn), "h", "dynamic ok")
+	//ppmlint:allow journalkind fixture exercises suppression
+	j.Append("quiet", "h", "excused")
+}
+
+// minted is an ad-hoc kind outside any append site — still a finding.
+var minted = journal.Kind("minted") // want `ad-hoc journal kind Kind\("minted"\); use a registered Kind constant`
+
+// batch holds kind prefixes for a filter: composite-literal elements
+// convert implicitly and stay legal (filters match kind families).
+var batch = []journal.Kind{"a", "b"}

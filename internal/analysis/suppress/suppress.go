@@ -13,6 +13,7 @@ package suppress
 
 import (
 	"go/token"
+	"path/filepath"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -78,7 +79,11 @@ func Apply(pass *analysis.Pass, diags []analysis.Diagnostic) {
 
 	for _, s := range supps {
 		if !s.used {
-			pass.Reportf(s.pos, "unused //ppmlint:allow %s suppression", name)
+			// Name the line the allowance covered so a stale suppression
+			// is findable without grepping: the code it excused is at
+			// file:line+1.
+			pass.Reportf(s.pos, "unused //ppmlint:allow %s suppression (no %s finding at %s:%d)",
+				name, name, filepath.Base(s.file), s.line+1)
 		}
 	}
 }

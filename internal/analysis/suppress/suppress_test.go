@@ -1,0 +1,77 @@
+package suppress
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const testSrc = `package p
+
+func f() {
+	//ppmlint:allow demo stale excuse
+	clean()
+}
+
+func clean() {}
+`
+
+// testPass parses testSrc and returns a pass for an analyzer named
+// "demo" plus the sink its reports land in.
+func testPass(t *testing.T) (*analysis.Pass, *[]analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "demo.go", testSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := new([]analysis.Diagnostic)
+	pass := &analysis.Pass{
+		Analyzer: &analysis.Analyzer{Name: "demo"},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report:   func(d analysis.Diagnostic) { *got = append(*got, d) },
+	}
+	return pass, got
+}
+
+// lineStart returns a Pos on the given 1-based line of the pass's file.
+func lineStart(pass *analysis.Pass, line int) token.Pos {
+	return pass.Fset.File(pass.Files[0].Pos()).LineStart(line)
+}
+
+// TestUnusedAllowanceNamesCoveredLine: the unused-suppression report
+// must say which file:line the allowance covered, not just the
+// analyzer name — that line is where the stale comment sits.
+func TestUnusedAllowanceNamesCoveredLine(t *testing.T) {
+	pass, got := testPass(t)
+	Apply(pass, nil)
+	if len(*got) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 unused-suppression report", len(*got))
+	}
+	want := "unused //ppmlint:allow demo suppression (no demo finding at demo.go:5)"
+	if (*got)[0].Message != want {
+		t.Fatalf("unused-suppression message:\n got %q\nwant %q", (*got)[0].Message, want)
+	}
+}
+
+// TestSuppressionConsumesExactlyOne: one allowance silences one
+// diagnostic on the covered line; a second diagnostic on the same line
+// still surfaces, and the consumed allowance is not reported unused.
+func TestSuppressionConsumesExactlyOne(t *testing.T) {
+	pass, got := testPass(t)
+	at := lineStart(pass, 5)
+	Apply(pass, []analysis.Diagnostic{
+		{Pos: at, Message: "first finding"},
+		{Pos: at, Message: "second finding"},
+	})
+	if len(*got) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the unsuppressed second finding: %+v", len(*got), *got)
+	}
+	if (*got)[0].Message != "second finding" {
+		t.Fatalf("surviving diagnostic = %q, want %q", (*got)[0].Message, "second finding")
+	}
+}

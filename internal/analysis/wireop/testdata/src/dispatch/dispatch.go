@@ -1,0 +1,18 @@
+// Package dispatch is the handler layer of the wireop fixture tree: it
+// dispatches some of wirefix's ops and references one more.
+package dispatch
+
+import "wirefix"
+
+// Serve dispatches MsgPing through a case clause and MsgBadRole
+// through a comparison — both count as dispatch sites.
+func Serve(t wirefix.MsgType) wirefix.MsgType {
+	switch t {
+	case wirefix.MsgPing:
+		return wirefix.MsgPong
+	}
+	if t == wirefix.MsgBadRole {
+		return wirefix.MsgEvent
+	}
+	return 0
+}

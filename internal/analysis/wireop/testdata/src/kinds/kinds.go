@@ -1,0 +1,10 @@
+// Package kinds stands in for the journal package's Kind vocabulary in
+// the wireop fixtures.
+package kinds
+
+type Kind string
+
+const (
+	KindPing  Kind = "ping"
+	KindEvent Kind = "event"
+)

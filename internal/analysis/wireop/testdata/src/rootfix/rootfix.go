@@ -1,0 +1,11 @@
+// Package rootfix is the protocol root of the wireop fixture tree. It
+// imports only the dispatch layer: the ops information must reach it
+// through the accumulated coverage facts, not a direct import.
+//
+//ppmlint:protocolroot // want `wire op wirefix.MsgLonely \(request role\) has no dispatch case under the protocol root` `wire op wirefix.MsgDrop is never referenced outside its ops package \(orphan protocol surface\)` `wire op wirefix.MsgLonely is never referenced outside its ops package \(orphan protocol surface\)` `wire op wirefix.MsgQuiet is never referenced outside its ops package \(orphan protocol surface\)`
+package rootfix
+
+import "dispatch"
+
+// Run exercises the dispatcher.
+func Run() { dispatch.Serve(1) }

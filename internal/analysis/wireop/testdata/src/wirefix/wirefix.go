@@ -1,0 +1,42 @@
+// Package wirefix is an ops package fixture: it declares MsgType
+// constants and an opSpecs manifest with seeded violations.
+package wirefix
+
+import "kinds"
+
+type MsgType uint16
+
+const (
+	MsgPing MsgType = iota + 1
+	MsgPong
+	MsgDrop // want `wire op MsgDrop has no opSpecs manifest row \(missing msgNames/counter/journal-kind entry\)`
+	MsgEvent
+	MsgLonely
+	MsgBadRole
+	//ppmlint:allow wireop fixture exercises suppression of a missing row
+	MsgQuiet
+)
+
+type opRole uint8
+
+const (
+	roleRequest opRole = iota + 1
+	roleResponse
+	roleEvent
+)
+
+type opSpec struct {
+	name string
+	role opRole
+	kind kinds.Kind
+}
+
+var opSpecs = [...]opSpec{
+	MsgPing: {"Ping", roleRequest, kinds.KindPing},
+	MsgPong: {"Ping", // want `wire name "Ping" of MsgPong duplicates MsgPing \(their metrics counters would merge\)`
+		roleResponse, kinds.KindPing},
+	MsgEvent:  {"Event", roleEvent, kinds.KindEvent},
+	MsgLonely: {"Lonely", roleRequest, "adhoc"}, // want `opSpecs journal kind for MsgLonely must be a named journal constant, not a literal`
+	MsgBadRole: {"BadRole", 2, // want `opSpecs role for MsgBadRole must be a role\* constant`
+		kinds.KindPing},
+}

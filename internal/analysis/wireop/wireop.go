@@ -1,0 +1,388 @@
+// Package wireop defines an analyzer that machine-checks the wire
+// protocol surface. The wire package declares its ops as Msg*
+// constants of a named MsgType and describes each one in the opSpecs
+// manifest (trace name → metrics counter pair, dispatch role, journal
+// kind). Adding an op by hand is exactly the kind of cross-cutting
+// change that rots silently: the constant compiles fine with no
+// manifest row, no dispatch case and no journal kind. wireop reports:
+//
+//   - a Msg* constant with no opSpecs row (so no msgNames entry, no
+//     metrics counter, no journal kind);
+//   - a manifest row with an empty or duplicate wire name (duplicates
+//     would merge two ops' counter accounting);
+//   - a role that is not one of the role* constants, or a journal kind
+//     given as a literal instead of a named journal constant;
+//   - at the package bearing the //ppmlint:protocolroot directive: a
+//     request-role op with no dispatch site (case clause or ==/!=
+//     comparison) anywhere in the import graph, and a non-event op
+//     never referenced outside its ops package (orphan surface).
+//
+// The whole-program half rides the vet facts mechanism: every package
+// exports a coverage fact accumulating its own dispatch sites and op
+// references with those of its imports, so by the time the analyzer
+// reaches the protocol root the transitive closure is in hand.
+// Suppress a finding with //ppmlint:allow wireop <reason> on the line
+// above it.
+package wireop
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ppm/internal/analysis/suppress"
+)
+
+// ProtocolRoot is the directive marking the package where the
+// whole-program checks report: a package that (transitively) imports
+// every dispatcher of the protocol.
+const ProtocolRoot = "//ppmlint:protocolroot"
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "wireop",
+	Doc:       "check that every wire op has a manifest row and a dispatch site",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(coverageFact)},
+}
+
+// opInfo is one wire op as seen by the whole-program checks.
+type opInfo struct {
+	ID   string // qualified constant, "pkgpath.MsgFoo"
+	Name string // manifest wire name ("" when the row is missing)
+	Role string // "request", "response", "event" ("" when missing)
+}
+
+// coverageFact accumulates, across the import graph, the protocol
+// surface (Ops, from ops packages) and the evidence of its use:
+// Handled holds ops appearing in a dispatch position (case clause or
+// ==/!= comparison), Used holds ops referenced at all outside their
+// ops package. Every package exports the union of its own evidence
+// and its direct imports', so the fact at the protocol root covers the
+// transitive closure.
+type coverageFact struct {
+	Ops     []opInfo
+	Handled []string
+	Used    []string
+}
+
+func (*coverageFact) AFact() {}
+
+func (f *coverageFact) String() string {
+	return "wireop.coverage(" + strings.Join(f.Used, ",") + ")"
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var diags []analysis.Diagnostic
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		diags = append(diags, analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+
+	cov := coverageFact{}
+	ownConsts := opsConstants(pass.Pkg)
+	if len(ownConsts) > 0 {
+		cov.Ops = checkManifest(pass, ownConsts, report)
+	}
+
+	handled, used := collectEvidence(pass)
+	cov.Handled, cov.Used = handled, used
+
+	// Accumulate the imports' coverage. Imports() is sorted by path,
+	// so the merge is deterministic.
+	for _, imp := range pass.Pkg.Imports() {
+		var f coverageFact
+		if pass.ImportPackageFact(imp, &f) {
+			cov.Ops = append(cov.Ops, f.Ops...)
+			cov.Handled = append(cov.Handled, f.Handled...)
+			cov.Used = append(cov.Used, f.Used...)
+		}
+	}
+	sortDedup(&cov.Ops)
+	cov.Handled = dedupStrings(cov.Handled)
+	cov.Used = dedupStrings(cov.Used)
+	pass.ExportPackageFact(&cov)
+
+	if pos, ok := rootDirective(pass); ok {
+		handledSet := stringSet(cov.Handled)
+		usedSet := stringSet(cov.Used)
+		for _, op := range cov.Ops {
+			if op.Role == "request" && !handledSet[op.ID] {
+				report(pos, "wire op %s (request role) has no dispatch case under the protocol root", op.ID)
+			}
+			if op.Role != "event" && !usedSet[op.ID] {
+				report(pos, "wire op %s is never referenced outside its ops package (orphan protocol surface)", op.ID)
+			}
+		}
+	}
+
+	suppress.Apply(pass, diags)
+	return nil, nil
+}
+
+// opsConstants returns the package's Msg* constants of its named
+// MsgType, in declaration-name order, or nil if the package is not an
+// ops package.
+func opsConstants(pkg *types.Package) []*types.Const {
+	scope := pkg.Scope()
+	tn, ok := scope.Lookup("MsgType").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	var out []*types.Const
+	for _, name := range scope.Names() { // Names() is sorted
+		if !strings.HasPrefix(name, "Msg") {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && c.Type() == named {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// checkManifest verifies the opSpecs composite literal against the
+// package's op constants and returns the manifest as opInfo rows.
+func checkManifest(pass *analysis.Pass, consts []*types.Const, report func(token.Pos, string, ...interface{})) []opInfo {
+	rows := make(map[types.Object]*opInfo)
+	lit := manifestLiteral(pass)
+	var names = make(map[string]string) // wire name → op constant
+	if lit != nil {
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			obj := constObj(pass, kv.Key)
+			if obj == nil {
+				report(kv.Key.Pos(), "opSpecs key must be a Msg* constant of this package")
+				continue
+			}
+			row := &opInfo{ID: qualify(obj)}
+			rows[obj] = row
+			val, ok := kv.Value.(*ast.CompositeLit)
+			if !ok || len(val.Elts) != 3 {
+				report(kv.Value.Pos(), "opSpecs row for %s must list name, role and journal kind", obj.Name())
+				continue
+			}
+			checkRow(pass, obj, val, row, names, report)
+		}
+	}
+	out := make([]opInfo, 0, len(consts))
+	for _, c := range consts {
+		row, ok := rows[c]
+		if !ok {
+			report(c.Pos(), "wire op %s has no opSpecs manifest row (missing msgNames/counter/journal-kind entry)", c.Name())
+			out = append(out, opInfo{ID: qualify(c)})
+			continue
+		}
+		out = append(out, *row)
+	}
+	// A manifest row keyed by something that is not one of the Msg*
+	// constants is an orphan entry.
+	known := make(map[types.Object]bool, len(consts))
+	for _, c := range consts {
+		known[c] = true
+	}
+	if lit != nil {
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if obj := constObj(pass, kv.Key); obj != nil && !known[obj] {
+					report(kv.Key.Pos(), "opSpecs row %s does not correspond to a Msg* constant", obj.Name())
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkRow validates one manifest row's name, role and journal kind.
+func checkRow(pass *analysis.Pass, op types.Object, val *ast.CompositeLit, row *opInfo, names map[string]string, report func(token.Pos, string, ...interface{})) {
+	if name, ok := stringLit(val.Elts[0]); !ok || name == "" {
+		report(val.Elts[0].Pos(), "opSpecs row for %s needs a non-empty wire name literal", op.Name())
+	} else {
+		if prev, dup := names[name]; dup {
+			report(val.Elts[0].Pos(), "wire name %q of %s duplicates %s (their metrics counters would merge)", name, op.Name(), prev)
+		}
+		names[name] = op.Name()
+		row.Name = name
+	}
+	role := constObj(pass, val.Elts[1])
+	if role == nil || !strings.HasPrefix(role.Name(), "role") {
+		report(val.Elts[1].Pos(), "opSpecs role for %s must be a role* constant", op.Name())
+	} else {
+		row.Role = strings.ToLower(strings.TrimPrefix(role.Name(), "role"))
+	}
+	if kind := constObj(pass, val.Elts[2]); kind == nil {
+		report(val.Elts[2].Pos(), "opSpecs journal kind for %s must be a named journal constant, not a literal", op.Name())
+	}
+}
+
+// manifestLiteral finds the package-level `var opSpecs = [...]opSpec{...}`
+// composite literal.
+func manifestLiteral(pass *analysis.Pass) *ast.CompositeLit {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "opSpecs" || len(vs.Values) != 1 {
+					continue
+				}
+				if lit, ok := vs.Values[0].(*ast.CompositeLit); ok {
+					return lit
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collectEvidence walks the package for references to other packages'
+// ops constants: any reference counts as Used, and a reference inside
+// a case clause or an ==/!= comparison counts as Handled too.
+func collectEvidence(pass *analysis.Pass) (handled, used []string) {
+	isOpsPkg := make(map[*types.Package]bool)
+	isForeignOp := func(e ast.Expr) (types.Object, bool) {
+		obj := constObj(pass, e)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg() == pass.Pkg || !strings.HasPrefix(obj.Name(), "Msg") {
+			return nil, false
+		}
+		ops, seen := isOpsPkg[obj.Pkg()]
+		if !seen {
+			ops = len(opsConstants(obj.Pkg())) > 0
+			isOpsPkg[obj.Pkg()] = ops
+		}
+		if !ops {
+			return nil, false
+		}
+		return obj, true
+	}
+	mark := func(e ast.Expr, dispatch bool) {
+		if obj, ok := isForeignOp(e); ok {
+			used = append(used, qualify(obj))
+			if dispatch {
+				handled = append(handled, qualify(obj))
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CaseClause:
+				for _, e := range n.List {
+					mark(e, true)
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					mark(n.X, true)
+					mark(n.Y, true)
+				}
+			case *ast.Ident:
+				mark(n, false)
+			case *ast.SelectorExpr:
+				mark(n, false)
+			}
+			return true
+		})
+	}
+	return handled, used
+}
+
+// rootDirective reports whether the package carries the
+// //ppmlint:protocolroot directive and returns its position.
+func rootDirective(pass *analysis.Pass) (token.Pos, bool) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text == ProtocolRoot || strings.HasPrefix(c.Text, ProtocolRoot+" ") {
+					return c.Pos(), true
+				}
+			}
+		}
+	}
+	return token.NoPos, false
+}
+
+// --- small helpers ---
+
+// constObj resolves e (ident or selector) to the constant it names.
+func constObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+		return c
+	}
+	return nil
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s := lit.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1], true
+	}
+	return "", false
+}
+
+func qualify(obj types.Object) string {
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+func sortDedup(ops *[]opInfo) {
+	s := *ops
+	sort.Slice(s, func(i, j int) bool { return s[i].ID < s[j].ID })
+	out := s[:0]
+	for i, op := range s {
+		if i > 0 && op.ID == s[i-1].ID {
+			continue
+		}
+		out = append(out, op)
+	}
+	*ops = out
+}
+
+func dedupStrings(s []string) []string {
+	sort.Strings(s)
+	out := s[:0]
+	for i, v := range s {
+		if i > 0 && v == s[i-1] {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func stringSet(s []string) map[string]bool {
+	m := make(map[string]bool, len(s))
+	for _, v := range s {
+		m[v] = true
+	}
+	return m
+}

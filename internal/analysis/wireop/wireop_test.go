@@ -1,0 +1,19 @@
+package wireop_test
+
+import (
+	"testing"
+
+	"ppm/internal/analysis/analyzertest"
+	"ppm/internal/analysis/wireop"
+)
+
+// TestWireop runs the analyzer over the fixture tree kinds → wirefix
+// (the ops package, with seeded manifest violations) → dispatch (the
+// handler layer) → rootfix (the protocol root), chaining package facts
+// between the passes the way vet does. The rootfix expectations prove
+// the whole-program half: a request op with no dispatch site and the
+// orphaned ops are reported at the //ppmlint:protocolroot directive
+// even though rootfix never imports wirefix directly.
+func TestWireop(t *testing.T) {
+	analyzertest.Run(t, wireop.Analyzer, "rootfix", "kinds", "wirefix", "dispatch")
+}

@@ -486,3 +486,23 @@ func TestAuditStatusSweepCrashedHostReachable(t *testing.T) {
 		t.Fatalf("restart-covered sweep flagged: %s", AuditReport(vs))
 	}
 }
+
+// TestJournalAppendZeroAllocs: once the ring is full, appending evicts
+// in place — the flight recorder's steady state (the //ppmlint:hotpath
+// pin for Append/AppendCtx/push) must stay off the allocator.
+func TestJournalAppendZeroAllocs(t *testing.T) {
+	j, now := testJournal(64)
+	for i := 0; i < 64; i++ {
+		j.Append(NetSend, "a", "warm")
+	}
+	if j.Dropped() != 0 {
+		t.Fatalf("warm phase evicted %d records before filling capacity", j.Dropped())
+	}
+	*now = time.Second
+	if allocs := testing.AllocsPerRun(200, func() {
+		j.Append(NetDeliver, "a", "steady")
+		j.AppendCtx(WireEncode, "a", "steady", 7, 9)
+	}); allocs != 0 {
+		t.Fatalf("steady-state Append allocates %v times per run, want 0", allocs)
+	}
+}

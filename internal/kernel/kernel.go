@@ -787,6 +787,7 @@ func (h *Host) KillAll(user string) int {
 	for _, pid := range detord.Keys(h.procs) {
 		p := h.procs[pid]
 		if p.User == user && (p.State == proc.Running || p.State == proc.Stopped) {
+			//ppmlint:allow errdrop the state guard above makes SIGKILL infallible here
 			_ = h.Signal(pid, proc.SIGKILL)
 			n++
 		}

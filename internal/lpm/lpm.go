@@ -515,6 +515,7 @@ func (l *LPM) Exit() {
 	for _, pid := range pids {
 		if p, err := l.kern.Lookup(pid); err == nil &&
 			(p.State == proc.Running || p.State == proc.Stopped) {
+			//ppmlint:allow errdrop teardown: the process was verified live by the Lookup above
 			_ = l.kern.Exit(pid, 0)
 		}
 	}
@@ -528,6 +529,7 @@ func (l *LPM) terminateAll() {
 			continue
 		}
 		if p.State == proc.Running || p.State == proc.Stopped {
+			//ppmlint:allow errdrop time-to-die sweep: the state guard makes SIGKILL infallible here
 			_ = l.kern.Signal(p.ID.PID, proc.SIGKILL)
 		}
 	}
@@ -597,6 +599,7 @@ func (l *LPM) releaseHandler(h proc.PID) {
 	}
 	if l.cfg.NoHandlerReuse {
 		if p, err := l.kern.Lookup(h); err == nil && p.State == proc.Running {
+			//ppmlint:allow errdrop handler retirement: the process was verified running on the line above
 			_ = l.kern.Exit(h, 0)
 		}
 		delete(l.myPids, h)

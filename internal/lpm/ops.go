@@ -105,9 +105,12 @@ func (l *LPM) createLocal(ctx trace.Context, req wire.CreateProc, cb func(wire.C
 			if parent.IsZero() {
 				parent = proc.GPID{Host: l.Host(), PID: l.pid}
 			}
+			//ppmlint:allow errdrop genealogy bookkeeping on a process forked just above; only fails if it vanished
 			_ = l.kern.SetLogicalParent(p.PID, parent)
+			//ppmlint:allow errdrop genealogy bookkeeping on a process forked just above; only fails if it vanished
 			_ = l.kern.SetForeground(p.PID, req.Foreground)
 			l.kern.ExecCPU(calib.Exec, func() {
+				//ppmlint:allow errdrop exec outcome reaches the user through kernel events, not this return
 				l.withTraceCtx(ctx, func() { _ = l.kern.Exec(p.PID, req.Name) })
 				l.kern.ExecCPU(calib.Adopt, func() {
 					l.withTraceCtx(ctx, func() { err = l.kern.Adopt(p.PID, l.user.Name) })
@@ -142,7 +145,9 @@ func (l *LPM) createForRemote(ctx trace.Context, req wire.CreateProc, ack func(w
 			return
 		}
 		delete(l.myPids, p.PID)
+		//ppmlint:allow errdrop genealogy bookkeeping on a process forked just above; only fails if it vanished
 		_ = l.kern.SetLogicalParent(p.PID, req.Parent)
+		//ppmlint:allow errdrop genealogy bookkeeping on a process forked just above; only fails if it vanished
 		_ = l.kern.SetForeground(p.PID, req.Foreground)
 		l.kern.ExecCPU(calib.Adopt, func() {
 			l.withTraceCtx(ctx, func() { err = l.kern.Adopt(p.PID, l.user.Name) })
@@ -159,6 +164,7 @@ func (l *LPM) createForRemote(ctx trace.Context, req wire.CreateProc, ack func(w
 			ack(wire.CreateAck{OK: true, ID: proc.GPID{Host: l.Host(), PID: p.PID}})
 			// exec continues after the ack.
 			l.kern.ExecCPU(calib.Exec, func() {
+				//ppmlint:allow errdrop exec outcome reaches the user through kernel events, not this return
 				l.withTraceCtx(ctx, func() { _ = l.kern.Exec(p.PID, req.Name) })
 			})
 		})

@@ -62,6 +62,7 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx
 		body := wire.HelloResp{OK: false, Reason: reason}.Encode()
 		env := wire.Envelope{Type: wire.MsgHelloResp, ReqID: reqID, Body: body}
 		env.SetTrace(ctx.Trace, ctx.Span)
+		//ppmlint:allow errdrop rejection notice is best-effort; the circuit closes right after either way
 		_ = l.sendFramed(conn, env, ctx)
 		l.sched.After(0, conn.Close)
 	}
@@ -104,6 +105,7 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx
 		// sockets), not a sibling.
 		conn.SetHandler(func(b []byte) { l.onToolMsg(conn, b) })
 		conn.SetCloseHandler(func(error) {})
+		//ppmlint:allow errdrop send failure surfaces through the connection close handler, not this return
 		_ = l.sendFramed(conn, respEnv, ctx)
 		return
 	}
@@ -111,6 +113,7 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx
 	if hello.CCSHost != "" {
 		l.rec.OnContact(hello.CCSHost)
 	}
+	//ppmlint:allow errdrop send failure surfaces through the circuit close handler, not this return
 	_ = l.sendFramed(conn, respEnv, ctx)
 }
 
@@ -311,6 +314,7 @@ func (l *LPM) helloTo(ctx trace.Context, host string, conn *simnet.Conn, finish 
 		esp.End()
 		env := wire.Envelope{Type: wire.MsgHello, ReqID: 0, Body: hello.Encode()}
 		env.SetTrace(ctx.Trace, ctx.Span)
+		//ppmlint:allow errdrop a lost Hello is retried by the redial engine; failure surfaces on circuit close
 		_ = l.sendFramed(conn, env, ctx)
 	})
 }
@@ -459,6 +463,7 @@ func (l *LPM) sendRequest(ctx trace.Context, sb *sibling, t wire.MsgType, body [
 			}
 			env := wire.Envelope{Type: t, ReqID: id, Body: body, OpID: op}
 			env.SetTrace(rctx.Trace, rctx.Span)
+			//ppmlint:allow errdrop request send is at-most-once; a lost frame is the retry engine's job
 			_ = l.sendFramed(sb.conn, env, rctx)
 			l.kern.AccountIPC(l.pid, 1, 0, t.String())
 		})
@@ -474,6 +479,7 @@ func (l *LPM) sendReply(ctx trace.Context, sb *sibling, reqID uint64, t wire.Msg
 		if sb.conn.Open() {
 			env := wire.Envelope{Type: t, ReqID: reqID, Body: body}
 			env.SetTrace(ctx.Trace, ctx.Span)
+			//ppmlint:allow errdrop reply send is fire-and-forget; the requester's timeout covers a lost frame
 			_ = l.sendFramed(sb.conn, env, ctx)
 			l.kern.AccountIPC(l.pid, 1, 0, t.String())
 		}
@@ -486,6 +492,7 @@ func (l *LPM) sendOneWay(sb *sibling, t wire.MsgType, body []byte) {
 	l.kern.ExecCPU(endpointCost(t), func() {
 		if sb.conn.Open() {
 			env := wire.Envelope{Type: t, ReqID: 0, Body: body}
+			//ppmlint:allow errdrop one-way CCS update by design: no response expected, loss is tolerated
 			_ = l.sendFramed(sb.conn, env, trace.Context{})
 		}
 	})

@@ -109,6 +109,7 @@ func (t *ToolClient) hello(cb func(*ToolClient, error)) {
 		Token:    auth.MintToken(t.user, "sibling"),
 		Stamp:    wire.NewStamp(t.user.Key(), t.host, t.sched.Now().Duration(), 1),
 	}
+	//ppmlint:allow errdrop a lost Hello surfaces as onClosed; the tool reports the dead socket there
 	_ = t.sendFramed(wire.Envelope{Type: wire.MsgHello, Body: hello.Encode()})
 }
 
@@ -165,6 +166,7 @@ func (t *ToolClient) call(mt wire.MsgType, body []byte, cb func(wire.Envelope, e
 	t.reqSeq++
 	id := t.reqSeq
 	t.pending[id] = cb
+	//ppmlint:allow errdrop a lost request fails the pending callback via onClosed, not this return
 	_ = t.sendFramed(wire.Envelope{Type: mt, ReqID: id, Body: body})
 }
 
@@ -290,6 +292,7 @@ func (l *LPM) onToolMsg(conn *simnet.Conn, b []byte) {
 			if conn.Open() {
 				renv := wire.Envelope{Type: mt, ReqID: env.ReqID, Body: body}
 				renv.SetTrace(ctx.Trace, ctx.Span)
+				//ppmlint:allow errdrop tool-socket reply is fire-and-forget; the tool's timeout covers a lost frame
 				_ = l.sendFramed(conn, renv, ctx)
 			}
 		})

@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"testing"
+
+	"ppm/internal/journal"
+)
+
+// TestOpSpecsManifestTotal: every protocol op has a manifest row with a
+// unique trace name (names derive the per-op counter pair, so a
+// duplicate would merge two ops' accounting), a valid dispatch role,
+// and a registered journal kind. The ordinal space is contiguous from
+// 1, so a constant added without a row shows up as an empty row here —
+// the same hole ppmlint's wireop analyzer reports statically.
+func TestOpSpecsManifestTotal(t *testing.T) {
+	seen := make(map[string]MsgType)
+	for i := 1; i < len(opSpecs); i++ {
+		op := MsgType(i)
+		s := opSpecs[op]
+		if s.name == "" {
+			t.Errorf("op ordinal %d has no opSpecs row", i)
+			continue
+		}
+		if prev, dup := seen[s.name]; dup {
+			t.Errorf("op %d shares wire name %q (and its counter pair) with op %d", i, s.name, prev)
+		}
+		seen[s.name] = op
+		if s.role != roleRequest && s.role != roleResponse && s.role != roleEvent {
+			t.Errorf("%s: invalid role %d", s.name, s.role)
+		}
+		if !journal.ValidKind(s.kind) {
+			t.Errorf("%s: journal kind %q is not a registered kind", s.name, s.kind)
+		}
+		if op.String() != s.name {
+			t.Errorf("MsgType(%d).String() = %q, want manifest name %q", i, op.String(), s.name)
+		}
+	}
+}
+
+// TestMsgCounterNamesDerived: the precomputed counter pair for every
+// manifest row matches the name-derived convention the fallback path
+// in count uses.
+func TestMsgCounterNamesDerived(t *testing.T) {
+	for i := 1; i < len(opSpecs); i++ {
+		if opSpecs[i].name == "" {
+			continue
+		}
+		want := "wire.msgs." + opSpecs[i].name
+		if msgCounterNames[i].msgs != want {
+			t.Errorf("op %d: counter %q, want %q", i, msgCounterNames[i].msgs, want)
+		}
+	}
+}
+
+// TestOpJournalKind: the manifest's journal column resolves for known
+// ops and degrades to the generic wire.decode kind for unknown ones.
+func TestOpJournalKind(t *testing.T) {
+	if got := OpJournalKind(MsgCreateProc); got != journal.LPMAdopt {
+		t.Errorf("OpJournalKind(MsgCreateProc) = %q, want %q", got, journal.LPMAdopt)
+	}
+	if got := OpJournalKind(MsgStatusReq); got != journal.StatusRequest {
+		t.Errorf("OpJournalKind(MsgStatusReq) = %q, want %q", got, journal.StatusRequest)
+	}
+	if got := OpJournalKind(MsgType(999)); got != journal.WireDecode {
+		t.Errorf("OpJournalKind(unknown) = %q, want %q", got, journal.WireDecode)
+	}
+}

@@ -73,25 +73,90 @@ const (
 	MsgStatusResp
 )
 
-// msgNames maps each message type to its trace name, indexed by the
-// type's ordinal. A fixed table instead of a map keeps String — called
-// per encoded frame by the metrics accounting — off the allocator.
-var msgNames = [...]string{
-	MsgLPMQuery: "LPMQuery", MsgLPMQueryResp: "LPMQueryResp",
-	MsgHello: "Hello", MsgHelloResp: "HelloResp",
-	MsgCreateProc: "CreateProc", MsgCreateAck: "CreateAck",
-	MsgControl: "Control", MsgControlResp: "ControlResp",
-	MsgSnapshotReq: "SnapshotReq", MsgSnapshotResp: "SnapshotResp",
-	MsgStatsReq: "StatsReq", MsgStatsResp: "StatsResp",
-	MsgHistoryReq: "HistoryReq", MsgHistoryResp: "HistoryResp",
-	MsgFDReq: "FDReq", MsgFDResp: "FDResp",
-	MsgBroadcast: "Broadcast", MsgBroadcastResp: "BroadcastResp",
-	MsgKernelEvent: "KernelEvent",
-	MsgPing:        "Ping", MsgPong: "Pong", MsgCCSUpdate: "CCSUpdate",
-	MsgError: "Error",
-	MsgRelay: "Relay", MsgRelayResp: "RelayResp",
-	MsgWatch: "Watch", MsgWatchResp: "WatchResp",
-	MsgStatusReq: "StatusReq", MsgStatusResp: "StatusResp",
+// opRole classifies a wire op for the protocol-surface analyzer
+// (internal/analysis/wireop). Requests must have a dispatch site
+// somewhere under the protocol root; responses must be referenced by a
+// requester; events are pushed through side channels (the kernel's
+// event sink) rather than dispatched, so they are exempt from the
+// dispatch check.
+type opRole uint8
+
+const (
+	roleRequest opRole = iota + 1
+	roleResponse
+	roleEvent
+)
+
+// opSpec is one row of the protocol-surface manifest: the op's trace
+// name (which also derives its metrics counter pair), its dispatch
+// role, and the journal kind under which its effect is recorded.
+type opSpec struct {
+	name string
+	role opRole
+	kind journal.Kind
+}
+
+// opSpecs is the protocol-surface manifest, indexed by the op's
+// ordinal. msgNames and msgCounterNames are derived from it, so one
+// row per op is the single point a new message type must touch.
+// ppmlint's wireop analyzer machine-checks the manifest: every Msg*
+// constant needs a row, names must be unique (each derives a distinct
+// counter pair), kinds must be named journal constants, and every
+// request-role op must be dispatched somewhere under the protocol
+// root. Ops whose effect has no dedicated flight-recorder kind
+// (read-only queries, liveness probes) record under the generic
+// journal.WireDecode their frames already land in.
+var opSpecs = [...]opSpec{
+	MsgLPMQuery:      {"LPMQuery", roleRequest, journal.DaemonQuery},
+	MsgLPMQueryResp:  {"LPMQueryResp", roleResponse, journal.DaemonQuery},
+	MsgHello:         {"Hello", roleRequest, journal.LPMSiblingAuth},
+	MsgHelloResp:     {"HelloResp", roleResponse, journal.LPMSiblingOpen},
+	MsgCreateProc:    {"CreateProc", roleRequest, journal.LPMAdopt},
+	MsgCreateAck:     {"CreateAck", roleResponse, journal.LPMAdopt},
+	MsgControl:       {"Control", roleRequest, journal.LPMControl},
+	MsgControlResp:   {"ControlResp", roleResponse, journal.LPMControl},
+	MsgSnapshotReq:   {"SnapshotReq", roleRequest, journal.SnapshotTaken},
+	MsgSnapshotResp:  {"SnapshotResp", roleResponse, journal.SnapshotTaken},
+	MsgStatsReq:      {"StatsReq", roleRequest, journal.WireDecode},
+	MsgStatsResp:     {"StatsResp", roleResponse, journal.WireDecode},
+	MsgHistoryReq:    {"HistoryReq", roleRequest, journal.WireDecode},
+	MsgHistoryResp:   {"HistoryResp", roleResponse, journal.WireDecode},
+	MsgFDReq:         {"FDReq", roleRequest, journal.WireDecode},
+	MsgFDResp:        {"FDResp", roleResponse, journal.WireDecode},
+	MsgBroadcast:     {"Broadcast", roleRequest, journal.LPMFloodApply},
+	MsgBroadcastResp: {"BroadcastResp", roleResponse, journal.LPMFloodDone},
+	MsgKernelEvent:   {"KernelEvent", roleEvent, journal.KernelEvent},
+	MsgPing:          {"Ping", roleRequest, journal.WireDecode},
+	MsgPong:          {"Pong", roleResponse, journal.WireDecode},
+	MsgCCSUpdate:     {"CCSUpdate", roleRequest, journal.WireDecode},
+	MsgError:         {"Error", roleResponse, journal.WireDecode},
+	MsgRelay:         {"Relay", roleRequest, journal.LPMRelayForward},
+	MsgRelayResp:     {"RelayResp", roleResponse, journal.LPMRelayForward},
+	MsgWatch:         {"Watch", roleRequest, journal.WireDecode},
+	MsgWatchResp:     {"WatchResp", roleResponse, journal.WireDecode},
+	MsgStatusReq:     {"StatusReq", roleRequest, journal.StatusRequest},
+	MsgStatusResp:    {"StatusResp", roleResponse, journal.StatusReport},
+}
+
+// msgNames maps each message type to its trace name, derived from the
+// manifest. A fixed table instead of a map keeps String — called per
+// encoded frame by the metrics accounting — off the allocator.
+var msgNames = func() (t [len(opSpecs)]string) {
+	for i, s := range opSpecs {
+		t[i] = s.name
+	}
+	return t
+}()
+
+// OpJournalKind returns the flight-recorder kind under which t's
+// effect is recorded — the manifest column that lets journal audits
+// correlate a wire op with the records it should have produced. Ops
+// outside the manifest map to the generic journal.WireDecode.
+func OpJournalKind(t MsgType) journal.Kind {
+	if int(t) < len(opSpecs) && opSpecs[t].kind != "" {
+		return opSpecs[t].kind
+	}
+	return journal.WireDecode
 }
 
 // msgCounterNames precomputes the per-type metric counter names so the
@@ -107,10 +172,13 @@ var msgCounterNames = func() (t [len(msgNames)]struct{ msgs, bytes string }) {
 }()
 
 // String returns the message type name for traces.
+//
+//ppmlint:hotpath pin=TestMsgTypeStringTable
 func (t MsgType) String() string {
 	if int(t) < len(msgNames) && msgNames[t] != "" {
 		return msgNames[t]
 	}
+	//ppmlint:allow hotalloc cold fallback: only ops outside the manifest reach the formatter
 	return fmt.Sprintf("MsgType(%d)", uint16(t))
 }
 
@@ -160,6 +228,8 @@ const (
 // trailer, in that fixed order so identical envelopes produce
 // identical frames. With a reused (or pooled) encoder this is the
 // zero-allocation framing path; the returned slice is owned by e.
+//
+//ppmlint:hotpath pin=TestEncodeOpLessFrameZeroAllocs
 func (ev Envelope) EncodeTo(e *Encoder) []byte {
 	e.U16(uint16(ev.Type))
 	e.U64(ev.ReqID)
@@ -271,6 +341,8 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 // before returning control (the typed Decode* functions copy every
 // field they extract); a handler that defers work referencing the body
 // must use DecodeEnvelope.
+//
+//ppmlint:hotpath pin=TestDecodeOpLessFrameZeroAllocs
 func DecodeEnvelopeBorrow(b []byte) (Envelope, error) {
 	d := Decoder{buf: b}
 	var ev Envelope

@@ -116,7 +116,10 @@ Usage of %[1]s:
 		os.Exit(0)
 	}
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
-		log.Fatalf(`invoking "go tool vet" directly is unsupported; use "go vet"`)
+		// Local patch: a bad invocation is a harness error (exit 2),
+		// distinct from findings (exit 1). See cmd/ppmlint.
+		log.Println(`invoking "go tool vet" directly is unsupported; use "go vet"`)
+		os.Exit(2)
 	}
 	Run(args[0], analyzers)
 }
@@ -125,15 +128,20 @@ Usage of %[1]s:
 // and calls os.Exit with an appropriate error code.
 // It assumes flags have already been set.
 func Run(configFile string, analyzers []*analysis.Analyzer) {
+	// Local patch: harness failures (unreadable config, typecheck or
+	// fact-decode errors) exit 2 so CI can tell a broken lint run from
+	// a lint finding (exit 1). See cmd/ppmlint.
 	cfg, err := readConfig(configFile)
 	if err != nil {
-		log.Fatal(err)
+		log.Println(err)
+		os.Exit(2)
 	}
 
 	fset := token.NewFileSet()
 	results, err := run(fset, cfg, analyzers)
 	if err != nil {
-		log.Fatal(err)
+		log.Println(err)
+		os.Exit(2)
 	}
 
 	// In VetxOnly mode, the analysis is run only for facts.
@@ -147,17 +155,22 @@ func Run(configFile string, analyzers []*analysis.Analyzer) {
 			tree.Print(os.Stdout)
 		} else {
 			// plain text
+			// Local patch: an analyzer that errored is a harness
+			// failure (exit 2), taking precedence over findings
+			// (exit 1). See cmd/ppmlint.
 			exit := 0
 			for _, res := range results {
 				if res.err != nil {
 					log.Println(res.err)
-					exit = 1
+					exit = 2
 				}
 			}
 			for _, res := range results {
 				for _, diag := range res.diagnostics {
 					analysisflags.PrintPlain(os.Stderr, fset, analysisflags.Context, diag)
-					exit = 1
+					if exit == 0 {
+						exit = 1
+					}
 				}
 			}
 			os.Exit(exit)

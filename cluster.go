@@ -14,6 +14,7 @@ import (
 	"ppm/internal/lpm"
 	"ppm/internal/metrics"
 	"ppm/internal/proc"
+	"ppm/internal/profile"
 	"ppm/internal/sim"
 	"ppm/internal/simnet"
 	"ppm/internal/status"
@@ -330,8 +331,13 @@ func (c *Cluster) JournalReport(f JournalFilter) string { return c.jr.Report(f) 
 
 // JournalAudit replays the journal and checks the cross-layer protocol
 // invariants (genealogy vs. snapshots, circuit lifecycle, flood dedup
-// and coverage); it returns nil when the journal is clean or disabled.
-func (c *Cluster) JournalAudit() []journal.Violation { return journal.Audit(c.jr) }
+// and coverage) plus the trace-consistency invariants (every span
+// closed exactly once, children nested within parents, every journal
+// cross-link naming a recorded span); it returns nil when the run is
+// clean or recording was disabled.
+func (c *Cluster) JournalAudit() []journal.Violation {
+	return journal.AuditWithSpans(c.jr, c.tr.Spans(), c.tr.Dropped() == 0)
+}
 
 // HostStatus re-exports one host's live status report (status.Report).
 type HostStatus = status.Report
@@ -404,6 +410,23 @@ func (c *Cluster) Trace(op func() error) (uint64, error) {
 	err := op()
 	c.tr.Disable()
 	return c.tr.LastTrace(), err
+}
+
+// Profile analyzes every trace recorded so far — phase attribution
+// with the conservation invariant, critical paths, aggregation — and
+// returns the analyzed run (see internal/profile). Journal records
+// contribute the retry/timeout cross-links. Trace the traffic you care
+// about (Trace, or Tracer().Enable) before profiling; an untraced run
+// profiles to zero requests.
+func (c *Cluster) Profile() *profile.Profile {
+	return profile.Build(c.tr.Spans(), c.jr.Records())
+}
+
+// ProfileReport renders the aggregated virtual-time profile: the
+// per-op-type phase attribution table plus per-host busy/queue-depth
+// timelines. Byte-identical across same-seed runs.
+func (c *Cluster) ProfileReport(o profile.Options) string {
+	return c.Profile().Report(o)
 }
 
 // TraceReport renders one assembled trace tree as a virtual-time

@@ -10,6 +10,8 @@
 //	experiments -table 2 -breakdown
 //	                          # Table 2 plus its traced decomposition
 //	                          # (network / dispatch / kernel columns)
+//	experiments -attribution  # profile-phase latency attribution of the
+//	                          # Table 2 line (second-hop delta per phase)
 //	experiments -table 3      # only Table 3 / Figure 5
 //	experiments -figure 2     # only the Figure 2 LPM-creation exchange
 //	experiments -ablations    # only the ablations
@@ -32,20 +34,22 @@ func main() {
 	metricsOnly := flag.Bool("metrics", false, "run only the message-count experiments")
 	breakdown := flag.Bool("breakdown", false,
 		"with -table 2: decompose each cell into network/dispatch/kernel from a traced run")
+	attribution := flag.Bool("attribution", false,
+		"run only the profiler's latency attribution of the Table 2 line")
 	flag.Parse()
 	if *breakdown && *table != 2 {
 		fmt.Fprintln(os.Stderr, "experiments: -breakdown requires -table 2")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*table, *figure, *ablations, *metricsOnly, *breakdown); err != nil {
+	if err := run(*table, *figure, *ablations, *metricsOnly, *breakdown, *attribution); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, figure int, onlyAblations, onlyMetrics, breakdown bool) error {
-	all := table == 0 && figure == 0 && !onlyAblations && !onlyMetrics
+func run(table, figure int, onlyAblations, onlyMetrics, breakdown, attribution bool) error {
+	all := table == 0 && figure == 0 && !onlyAblations && !onlyMetrics && !attribution
 
 	if all || table == 1 {
 		rows, err := ppm.RunTable1()
@@ -75,6 +79,14 @@ func run(table, figure int, onlyAblations, onlyMetrics, breakdown bool) error {
 		}
 		fmt.Printf("§8 remote create over a warm circuit: measured %.1f ms, paper %.0f ms\n\n",
 			measured, paper)
+	}
+	if all || attribution {
+		rows, err := ppm.RunLatencyAttribution()
+		if err != nil {
+			return fmt.Errorf("latency attribution: %w", err)
+		}
+		fmt.Print(ppm.FormatLatencyAttribution(rows))
+		fmt.Println()
 	}
 	if all || table == 3 {
 		rows, err := ppm.RunTable3()

@@ -6,22 +6,28 @@ func TestRunSingleTables(t *testing.T) {
 	// Table 1 is the expensive one; cover tables 2-3 and figure 2 plus
 	// ablations here (the full Table 1 sweep is covered by the root
 	// package's tests and benchmarks).
-	if err := run(2, 0, false, false, true); err != nil {
+	if err := run(2, 0, false, false, true, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(3, 0, false, false, false); err != nil {
+	if err := run(3, 0, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(0, 2, false, false, false); err != nil {
+	if err := run(0, 2, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(0, 0, true, false, false); err != nil {
+	if err := run(0, 0, true, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMetricsExperiments(t *testing.T) {
-	if err := run(0, 0, false, true, false); err != nil {
+	if err := run(0, 0, false, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLatencyAttributionExperiment(t *testing.T) {
+	if err := run(0, 0, false, false, false, true); err != nil {
 		t.Fatal(err)
 	}
 }

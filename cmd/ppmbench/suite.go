@@ -6,6 +6,7 @@ import (
 
 	"ppm"
 	"ppm/internal/journal"
+	"ppm/internal/profile"
 	"ppm/internal/sim"
 	"ppm/internal/simnet"
 	"ppm/internal/wire"
@@ -34,6 +35,7 @@ var suite = []suiteBench{
 	{"journal/append", "append one record to a saturated flight-recorder ring", benchJournalAppend},
 	{"snapshot/fanout", "distributed snapshot across a warm 8-host installation", benchSnapshotFanout},
 	{"status/gather", "cluster-wide status sweep across a warm 8-host installation", benchStatusGather},
+	{"profile/build", "attribute a traced 8-host workload's span table (post-hoc analysis)", benchProfileBuild},
 }
 
 // --- wire ---
@@ -265,4 +267,70 @@ func benchStatusGather(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(wireMsgs(c)-before)/float64(b.N), "msgs/op")
+}
+
+// --- profile ---
+
+// benchProfileBuild measures the analyzer itself, not the run: an
+// 8-host workload (creates, control round trips, a snapshot flood, a
+// status sweep) is traced once during setup, then each iteration
+// re-attributes the recorded span table and journal from scratch. The
+// per-span cost of Build is additionally pinned by an AllocsPerRun
+// test in internal/profile.
+func benchProfileBuild(b *testing.B) {
+	b.ReportAllocs()
+	hosts := make([]ppm.HostSpec, 8)
+	names := []string{"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"}
+	for i, n := range names {
+		hosts[i] = ppm.HostSpec{Name: n}
+	}
+	c, err := ppm.NewCluster(ppm.ClusterConfig{Hosts: hosts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.AddUser("u")
+	sess, err := c.Attach("u", "h0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Tracer().SetMaxSpans(1 << 16)
+	c.Tracer().Enable()
+	root, err := sess.Run("h0", "root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := make([]ppm.GPID, 0, len(names)-1)
+	for _, n := range names[1:] {
+		w, err := sess.RunChild(n, "w", root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	for _, w := range workers {
+		if err := sess.Stop(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := sess.ContinueAll(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Snapshot(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Status(); err != nil {
+		b.Fatal(err)
+	}
+	c.Tracer().Disable()
+	spans := c.Tracer().Spans()
+	records := c.Journal().Records()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := profile.Build(spans, records)
+		if len(p.Requests) == 0 {
+			b.Fatal("profiled zero requests")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(spans)), "spans")
 }

@@ -8,6 +8,7 @@ import (
 	"ppm/internal/calib"
 	"ppm/internal/lpm"
 	"ppm/internal/proc"
+	"ppm/internal/profile"
 	"ppm/internal/wire"
 )
 
@@ -1144,4 +1145,162 @@ func AblationRelayVsDirect() (relayFirstMS, directFirstMS, relaySteadyMS, direct
 	}
 	directFirstMS, directSteadyMS, err = measure(false)
 	return relayFirstMS, directFirstMS, relaySteadyMS, directSteadyMS, err
+}
+
+// ---------------------------------------------------------------------
+// Latency attribution: profiling the second-hop overhead (PR 9).
+// ---------------------------------------------------------------------
+
+// LatencyAttributionRow is one operation at one gateway distance with
+// its full profile-phase decomposition. Unlike the Table 2 breakdown's
+// prefix sums, these phases come from internal/profile's conservation
+// sweep: they sum exactly to the end-to-end time, with overlap resolved
+// instant by instant, so the second-hop delta can be read off per phase
+// with nothing double-counted.
+type LatencyAttributionRow struct {
+	Action         string
+	Distance       int
+	TotalMS        float64
+	NetworkMS      float64 // request-direction wire transit
+	ReplyMS        float64 // reply-direction wire transit
+	DispatchMS     float64 // endpoint/control/pmd handler occupancy
+	BackoffMS      float64 // retry backoff waits (zero on a healthy line)
+	KernelMS       float64 // kernel execution and event delivery
+	UnattributedMS float64 // conservation remainder
+}
+
+// RunLatencyAttribution reruns the warm three-host line of Table 2
+// (a --net1-- gw --net2-- c) with create/stop/terminate at distances 0,
+// 1 and 2, and attributes each operation with the virtual-time profiler.
+// The delta between the distance-2 and distance-1 rows machine-explains
+// the paper's claim that the second hop is cheap: the formatter shows
+// which phases the extra milliseconds land in.
+func RunLatencyAttribution() ([]LatencyAttributionRow, error) {
+	c, err := NewCluster(ClusterConfig{
+		Hosts: []HostSpec{{Name: "a"}, {Name: "gw"}, {Name: "c"}},
+		Segments: map[string][]string{
+			"net1": {"a", "gw"},
+			"net2": {"gw", "c"},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.AddUser("u")
+	sess, err := c.Attach("u", "a")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sess.Run("gw", "warm"); err != nil {
+		return nil, err
+	}
+	if _, err := sess.Run("c", "warm"); err != nil {
+		return nil, err
+	}
+	if err := c.Advance(time.Second); err != nil {
+		return nil, err
+	}
+
+	hostAt := map[int]string{0: "a", 1: "gw", 2: "c"}
+	type cellID struct {
+		action   string
+		distance int
+		trace    uint64
+	}
+	var cells []cellID
+	cell := func(action string, dist int, op func() error) error {
+		id, err := c.Trace(op)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, cellID{action, dist, id})
+		return nil
+	}
+	for dist := 0; dist <= 2; dist++ {
+		host := hostAt[dist]
+		var id GPID
+		if err := cell("create", dist, func() error {
+			var rerr error
+			id, rerr = sess.Run(host, "job")
+			return rerr
+		}); err != nil {
+			return nil, err
+		}
+		if err := c.Advance(time.Second); err != nil { // let async exec settle
+			return nil, err
+		}
+		if err := cell("stop", dist, func() error { return sess.Stop(id) }); err != nil {
+			return nil, err
+		}
+		if err := cell("terminate", dist, func() error { return sess.Kill(id) }); err != nil {
+			return nil, err
+		}
+	}
+
+	prof := c.Profile()
+	byTrace := make(map[uint64]profile.Request, len(prof.Requests))
+	for _, r := range prof.Requests {
+		byTrace[r.Trace] = r
+	}
+	msOf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	rows := make([]LatencyAttributionRow, 0, len(cells))
+	for _, cl := range cells {
+		r, ok := byTrace[cl.trace]
+		if !ok {
+			return nil, fmt.Errorf("latency attribution: trace %d (%s d%d) not profiled",
+				cl.trace, cl.action, cl.distance)
+		}
+		if !r.Conserved() {
+			return nil, fmt.Errorf("latency attribution: trace %d (%s d%d) violates conservation",
+				cl.trace, cl.action, cl.distance)
+		}
+		rows = append(rows, LatencyAttributionRow{
+			Action: cl.action, Distance: cl.distance,
+			TotalMS:        msOf(r.Total()),
+			NetworkMS:      msOf(r.Phases[profile.PhaseNetwork]),
+			ReplyMS:        msOf(r.Phases[profile.PhaseReply]),
+			DispatchMS:     msOf(r.Phases[profile.PhaseDispatch]),
+			BackoffMS:      msOf(r.Phases[profile.PhaseBackoff]),
+			KernelMS:       msOf(r.Phases[profile.PhaseKernel]),
+			UnattributedMS: msOf(r.Phases[profile.PhaseUnattributed]),
+		})
+	}
+	return rows, nil
+}
+
+// FormatLatencyAttribution renders the attribution rows and closes with
+// the per-phase second-hop delta for each action: where the extra
+// milliseconds of gateway crossing actually go.
+func FormatLatencyAttribution(rows []LatencyAttributionRow) string {
+	var b strings.Builder
+	b.WriteString("Latency attribution: profile-phase decomposition per op and distance (virtual ms)\n")
+	fmt.Fprintf(&b, "%-10s %8s %7s %8s %6s %9s %8s %7s %7s\n",
+		"action", "distance", "total", "network", "reply", "dispatch", "backoff",
+		"kernel", "unattr")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8d %7.1f %8.1f %6.1f %9.1f %8.1f %7.1f %7.1f\n",
+			r.Action, r.Distance, r.TotalMS, r.NetworkMS, r.ReplyMS,
+			r.DispatchMS, r.BackoffMS, r.KernelMS, r.UnattributedMS)
+	}
+	at := func(action string, dist int) *LatencyAttributionRow {
+		for i := range rows {
+			if rows[i].Action == action && rows[i].Distance == dist {
+				return &rows[i]
+			}
+		}
+		return nil
+	}
+	b.WriteString("second hop (distance 2 minus distance 1), per phase:\n")
+	for _, action := range []string{"create", "stop", "terminate"} {
+		r1, r2 := at(action, 1), at(action, 2)
+		if r1 == nil || r2 == nil || r1.TotalMS <= 0 {
+			continue
+		}
+		extra := r2.TotalMS - r1.TotalMS
+		fmt.Fprintf(&b, "  %-10s +%5.1f ms (+%4.1f%%): network %+.1f, reply %+.1f, dispatch %+.1f, kernel %+.1f\n",
+			action, extra, extra/r1.TotalMS*100,
+			r2.NetworkMS-r1.NetworkMS, r2.ReplyMS-r1.ReplyMS,
+			r2.DispatchMS-r1.DispatchMS, r2.KernelMS-r1.KernelMS)
+	}
+	return b.String()
 }

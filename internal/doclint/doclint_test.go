@@ -190,6 +190,10 @@ func TestKnownFlagsStayRegistered(t *testing.T) {
 		{"benchtime", "ppmbench"},
 		{"supervise", "ppmrun"},
 		{"chaos", "ppmrun"},
+		{"folded", "ppmprof"},
+		{"critical", "ppmprof"},
+		{"top", "ppmprof"},
+		{"attribution", "experiments"},
 	} {
 		cmds, ok := registered[want.flag]
 		if !ok {

@@ -75,7 +75,13 @@ const (
 	// a circuit; op.exec marks the first execution of an at-most-once
 	// operation and op.replay a cached reply answering a retransmit —
 	// the audit holds each op to at most one exec.
-	LPMRetry    Kind = "lpm.request.retry"
+	// A timeout records a request whose reply never arrived within the
+	// request window — the cross-link that lets the profiler tie an
+	// attribution gap (dead air before a retry's backoff span) to the
+	// specific expired exchange.
+	LPMRetry   Kind = "lpm.request.retry"
+	LPMTimeout Kind = "lpm.request.timeout"
+
 	LPMRedial   Kind = "lpm.sibling.redial"
 	LPMOpExec   Kind = "lpm.op.exec"
 	LPMOpReplay Kind = "lpm.op.replay"
@@ -108,7 +114,7 @@ var kinds = []Kind{
 	LPMSiblingAuth, LPMSiblingOpen, LPMSiblingClose, LPMSiblingReject,
 	LPMFloodOrigin, LPMFloodApply, LPMFloodDup, LPMFloodDone,
 	LPMRelayOrigin, LPMRelayForward,
-	LPMRetry, LPMRedial, LPMOpExec, LPMOpReplay,
+	LPMRetry, LPMTimeout, LPMRedial, LPMOpExec, LPMOpReplay,
 	SnapshotTaken,
 	StatusRequest, StatusReport,
 }

@@ -1,0 +1,139 @@
+package journal
+
+import (
+	"fmt"
+	"strings"
+
+	"ppm/internal/trace"
+)
+
+// The trace-consistency audit: the journal and the tracer observe the
+// same run through different instruments, and when both are complete
+// their stories must agree. Three invariants are checked:
+//
+//   - span lifecycle: every recorded span was closed exactly once.
+//     Ends == 0 is a span leaked on some error path; Ends > 1 is a
+//     double-close, which silently rewrites the span's end instant and
+//     corrupts any attribution built on it;
+//   - nesting: a child span never starts before its parent, and starts
+//     no later than the parent's close. Child *ends* are also held
+//     inside the parent except for the known asynchronous spans —
+//     kernel event delivery and the remote-create exec tail — which by
+//     design outlive the request window that spawned them;
+//   - cross-links: every (trace, span) context a journal record carries
+//     names a span that was actually recorded.
+//
+// Existence checks require both streams to be complete: a journal ring
+// that evicted records cannot invalidate the span table, and a tracer
+// that dropped spans at its buffer cap cannot invalidate the journal.
+
+// asyncOverrun reports whether a span is allowed to end after its
+// parent: kernel event delivery pays its delivery delay after the
+// emitting operation has moved on, and createForRemote's exec leg
+// deliberately completes after the creation ack is on the wire.
+func asyncOverrun(name string) bool {
+	return strings.HasPrefix(name, "kernel.event.") || name == "exec.exec"
+}
+
+// AuditTraceRecords checks the trace-consistency invariants over an
+// extracted record slice and span table; complete says both streams
+// are full (no ring eviction, no spans dropped at the tracer's cap).
+// Violations found in the span table alone carry Seq 0 — they have no
+// offending journal record.
+func AuditTraceRecords(records []Record, spans []trace.SpanData, complete bool) []Violation {
+	var out []Violation
+	fail := func(seq uint64, format string, args ...any) {
+		out = append(out, Violation{Seq: seq, Check: "trace",
+			Msg: fmt.Sprintf(format, args...)})
+	}
+	byID := make(map[uint64]trace.SpanData, len(spans))
+	for _, s := range spans {
+		if len(out) >= maxViolations {
+			return out
+		}
+		if _, dup := byID[s.ID]; dup {
+			fail(0, "span %d (%s on %s) recorded twice", s.ID, s.Name, s.Host)
+			continue
+		}
+		byID[s.ID] = s
+		switch {
+		case s.Ends == 0:
+			fail(0, "span %d (%s on %s) opened at %v but never closed",
+				s.ID, s.Name, s.Host, s.Start)
+		case s.Ends > 1:
+			fail(0, "span %d (%s on %s) closed %d times", s.ID, s.Name, s.Host, s.Ends)
+		}
+		if s.End < s.Start {
+			fail(0, "span %d (%s on %s) ends at %v before its start %v",
+				s.ID, s.Name, s.Host, s.End, s.Start)
+		}
+	}
+	for _, s := range spans {
+		if len(out) >= maxViolations {
+			return out
+		}
+		if s.Parent == 0 {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			if complete {
+				fail(0, "span %d (%s on %s) names missing parent span %d",
+					s.ID, s.Name, s.Host, s.Parent)
+			}
+			continue
+		}
+		if s.Trace != p.Trace {
+			fail(0, "span %d (%s) belongs to trace %d but its parent %d belongs to trace %d",
+				s.ID, s.Name, s.Trace, p.ID, p.Trace)
+		}
+		if s.Start < p.Start {
+			fail(0, "span %d (%s on %s) starts at %v before its parent %d (%s) at %v",
+				s.ID, s.Name, s.Host, s.Start, p.ID, p.Name, p.Start)
+		}
+		if p.Closed() && s.Start > p.End {
+			fail(0, "span %d (%s on %s) starts at %v after its parent %d (%s) closed at %v",
+				s.ID, s.Name, s.Host, s.Start, p.ID, p.Name, p.End)
+		}
+		if p.Closed() && s.End > p.End && !asyncOverrun(s.Name) {
+			fail(0, "span %d (%s on %s) ends at %v after its parent %d (%s) closed at %v",
+				s.ID, s.Name, s.Host, s.End, p.ID, p.Name, p.End)
+		}
+	}
+	if complete {
+		for _, r := range records {
+			if len(out) >= maxViolations {
+				return out
+			}
+			if r.Trace == 0 || r.Span == 0 {
+				continue
+			}
+			s, ok := byID[r.Span]
+			if !ok {
+				fail(r.Seq, "record references span %d which was never recorded", r.Span)
+				continue
+			}
+			if s.Trace != r.Trace {
+				fail(r.Seq, "record references span %d under trace %d, but the span belongs to trace %d",
+					r.Span, r.Trace, s.Trace)
+			}
+		}
+	}
+	return out
+}
+
+// AuditWithSpans is Audit extended with the trace-consistency
+// invariants, for runs that recorded both streams. spansComplete says
+// the span table is full (Tracer.Dropped() == 0); the journal's own
+// completeness is read from its ring as in Audit.
+func AuditWithSpans(j *Journal, spans []trace.SpanData, spansComplete bool) []Violation {
+	out := Audit(j)
+	if len(out) >= maxViolations {
+		return out
+	}
+	tv := AuditTraceRecords(j.Records(), spans, j.Dropped() == 0 && spansComplete)
+	if room := maxViolations - len(out); len(tv) > room {
+		tv = tv[:room]
+	}
+	return append(out, tv...)
+}

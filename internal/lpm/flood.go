@@ -264,7 +264,7 @@ func (l *LPM) runFlood(ctx trace.Context, st *floodState, bc wire.Broadcast, inn
 			merge(res, from, nil)
 		})
 	}
-	l.kern.ExecCPU(cost, func() {
+	l.execSpan(ctx, "exec.flood_work", cost, func() {
 		l.journal.AppendCtx(journal.LPMFloodApply, l.Host(),
 			fmt.Sprintf("user=%s stamp=%s", l.user.Name, stampID(bc.Stamp)),
 			ctx.Trace, ctx.Span)

@@ -32,13 +32,31 @@ func (l *LPM) toolCall(name string, op func(ctx trace.Context, done func(func())
 	l.touch()
 	root := l.tracer.StartTrace(l.Host(), "op."+name)
 	ctx := root.Context()
-	l.kern.ExecCPU(calib.ToolLeg, func() {
+	l.execSpan(ctx, "exec.tool_leg", calib.ToolLeg, func() {
 		op(ctx, func(fin func()) {
-			l.kern.ExecCPU(calib.ToolLeg, func() {
+			l.execSpan(ctx, "exec.tool_leg", calib.ToolLeg, func() {
 				root.End()
 				fin()
 			})
 		})
+	})
+}
+
+// execSpan charges cost on this host's CPU under an "exec.*" span, so
+// post-hoc attribution sees the kernel work as the profiler's kernel
+// phase instead of an unattributed gap. With an invalid ctx the span
+// no-ops and only the CPU charge remains. The untraced fast path skips
+// the wrapping closure entirely: instrumentation must not tax hot
+// paths it is not observing.
+func (l *LPM) execSpan(ctx trace.Context, name string, cost time.Duration, fn func()) {
+	if !l.tracer.Enabled() {
+		l.kern.ExecCPU(cost, fn)
+		return
+	}
+	sp := l.tracer.StartSpan(l.Host(), name, ctx)
+	l.kern.ExecCPU(cost, func() {
+		sp.End()
+		fn()
 	})
 }
 
@@ -51,7 +69,7 @@ func (l *LPM) Adopt(pid proc.PID, cb func(error)) {
 		return
 	}
 	l.toolCall("adopt", func(ctx trace.Context, done func(func())) {
-		l.kern.ExecCPU(calib.Adopt, func() {
+		l.execSpan(ctx, "exec.adopt", calib.Adopt, func() {
 			var err error
 			l.withTraceCtx(ctx, func() { err = l.kern.Adopt(pid, l.user.Name) })
 			if err == nil {
@@ -91,8 +109,8 @@ func (l *LPM) RemoveWatch(id int) { l.store.RemoveWatch(id) }
 // createLocal forks, execs and adopts a process on this host; the
 // within-host creation path of Table 2 (77 ms).
 func (l *LPM) createLocal(ctx trace.Context, req wire.CreateProc, cb func(wire.CreateAck)) {
-	l.kern.ExecCPU(calib.CreateDispatch, func() {
-		l.kern.ExecCPU(calib.Fork, func() {
+	l.execSpan(ctx, "exec.create_dispatch", calib.CreateDispatch, func() {
+		l.execSpan(ctx, "exec.fork", calib.Fork, func() {
 			var p *kernel.Process
 			var err error
 			l.withTraceCtx(ctx, func() { p, err = l.kern.Fork(l.pid, req.Name) })
@@ -109,10 +127,10 @@ func (l *LPM) createLocal(ctx trace.Context, req wire.CreateProc, cb func(wire.C
 			_ = l.kern.SetLogicalParent(p.PID, parent)
 			//ppmlint:allow errdrop genealogy bookkeeping on a process forked just above; only fails if it vanished
 			_ = l.kern.SetForeground(p.PID, req.Foreground)
-			l.kern.ExecCPU(calib.Exec, func() {
+			l.execSpan(ctx, "exec.exec", calib.Exec, func() {
 				//ppmlint:allow errdrop exec outcome reaches the user through kernel events, not this return
 				l.withTraceCtx(ctx, func() { _ = l.kern.Exec(p.PID, req.Name) })
-				l.kern.ExecCPU(calib.Adopt, func() {
+				l.execSpan(ctx, "exec.adopt", calib.Adopt, func() {
 					l.withTraceCtx(ctx, func() { err = l.kern.Adopt(p.PID, l.user.Name) })
 					if err != nil {
 						cb(wire.CreateAck{OK: false, Reason: err.Error()})
@@ -136,7 +154,7 @@ func (l *LPM) createLocal(ctx trace.Context, req wire.CreateProc, cb func(wire.C
 // arrives at the requester as a kernel event via this LPM). This is the
 // paper's 177 ms remote creation once a circuit exists.
 func (l *LPM) createForRemote(ctx trace.Context, req wire.CreateProc, ack func(wire.CreateAck)) {
-	l.kern.ExecCPU(calib.Fork, func() {
+	l.execSpan(ctx, "exec.fork", calib.Fork, func() {
 		var p *kernel.Process
 		var err error
 		l.withTraceCtx(ctx, func() { p, err = l.kern.Fork(l.pid, req.Name) })
@@ -149,7 +167,7 @@ func (l *LPM) createForRemote(ctx trace.Context, req wire.CreateProc, ack func(w
 		_ = l.kern.SetLogicalParent(p.PID, req.Parent)
 		//ppmlint:allow errdrop genealogy bookkeeping on a process forked just above; only fails if it vanished
 		_ = l.kern.SetForeground(p.PID, req.Foreground)
-		l.kern.ExecCPU(calib.Adopt, func() {
+		l.execSpan(ctx, "exec.adopt", calib.Adopt, func() {
 			l.withTraceCtx(ctx, func() { err = l.kern.Adopt(p.PID, l.user.Name) })
 			if err != nil {
 				ack(wire.CreateAck{OK: false, Reason: err.Error()})
@@ -162,8 +180,9 @@ func (l *LPM) createForRemote(ctx trace.Context, req wire.CreateProc, ack func(w
 				l.records[p.PID] = info
 			}
 			ack(wire.CreateAck{OK: true, ID: proc.GPID{Host: l.Host(), PID: p.PID}})
-			// exec continues after the ack.
-			l.kern.ExecCPU(calib.Exec, func() {
+			// exec continues after the ack (the span is async relative
+			// to its parent, like kernel event delivery).
+			l.execSpan(ctx, "exec.exec", calib.Exec, func() {
 				//ppmlint:allow errdrop exec outcome reaches the user through kernel events, not this return
 				l.withTraceCtx(ctx, func() { _ = l.kern.Exec(p.PID, req.Name) })
 			})
@@ -630,7 +649,7 @@ func (l *LPM) serveRequest(ctx trace.Context, env wire.Envelope, reply func(t wi
 			return
 		}
 		infos := l.localInfos()
-		l.kern.ExecCPU(gatherCost(len(infos)), func() {
+		l.execSpan(ctx, "exec.gather", gatherCost(len(infos)), func() {
 			reply(wire.MsgSnapshotResp, wire.SnapshotResp{OK: true, Procs: infos}.Encode())
 		})
 
@@ -706,7 +725,7 @@ func (l *LPM) serveRequest(ctx trace.Context, env wire.Envelope, reply func(t wi
 		// the CPU callback runs.
 		l.BuildStatus(&l.statusScratch)
 		report := l.statusScratch.Encode()
-		l.kern.ExecCPU(gatherCost(l.statusScratch.ProcsTotal), func() {
+		l.execSpan(ctx, "exec.gather", gatherCost(l.statusScratch.ProcsTotal), func() {
 			reply(wire.MsgStatusResp, wire.StatusResp{OK: true, Report: report}.Encode())
 		})
 

@@ -106,7 +106,7 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx
 		conn.SetHandler(func(b []byte) { l.onToolMsg(conn, b) })
 		conn.SetCloseHandler(func(error) {})
 		//ppmlint:allow errdrop send failure surfaces through the connection close handler, not this return
-		_ = l.sendFramed(conn, respEnv, ctx)
+		_ = l.sendFramedReply(conn, respEnv, ctx)
 		return
 	}
 	l.registerSibling(hello.FromHost, conn, hello.Inc)
@@ -114,7 +114,7 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx
 		l.rec.OnContact(hello.CCSHost)
 	}
 	//ppmlint:allow errdrop send failure surfaces through the circuit close handler, not this return
-	_ = l.sendFramed(conn, respEnv, ctx)
+	_ = l.sendFramedReply(conn, respEnv, ctx)
 }
 
 // registerSibling installs an authenticated circuit. inc is the peer
@@ -330,6 +330,16 @@ func (l *LPM) sendFramed(conn *simnet.Conn, env wire.Envelope, ctx trace.Context
 	return err
 }
 
+// sendFramedReply is sendFramed for the response direction: transit is
+// traced as "net.reply.*" spans, so the profiler's reply-transit phase
+// sees it (the circuit itself carries no direction information).
+func (l *LPM) sendFramedReply(conn *simnet.Conn, env wire.Envelope, ctx trace.Context) error {
+	enc := wire.GetEncoder()
+	err := conn.SendReplyCtx(env.EncodeLoggedTo(enc, l.metrics, l.journal, l.Host()), ctx)
+	wire.PutEncoder(enc)
+	return err
+}
+
 // --- message plumbing ---
 
 // isResponse classifies envelope types that answer a pending request.
@@ -436,6 +446,9 @@ func (l *LPM) sendRequest(ctx trace.Context, sb *sibling, t wire.MsgType, body [
 			if cur, ok := l.pending[id]; ok && cur == pr {
 				delete(l.pending, id)
 				l.metrics.Counter("lpm.request.timeouts").Inc()
+				l.journal.AppendCtx(journal.LPMTimeout, l.Host(),
+					fmt.Sprintf("user=%s peer=%s type=%v op=%d", l.user.Name, sb.host, t, op),
+					rctx.Trace, rctx.Span)
 				l.releaseHandler(pr.handler)
 				pr.span.End()
 				pr.cb(wire.Envelope{}, fmt.Errorf("%w: %v to %s", ErrTimeout, t, sb.host))
@@ -480,7 +493,7 @@ func (l *LPM) sendReply(ctx trace.Context, sb *sibling, reqID uint64, t wire.Msg
 			env := wire.Envelope{Type: t, ReqID: reqID, Body: body}
 			env.SetTrace(ctx.Trace, ctx.Span)
 			//ppmlint:allow errdrop reply send is fire-and-forget; the requester's timeout covers a lost frame
-			_ = l.sendFramed(sb.conn, env, ctx)
+			_ = l.sendFramedReply(sb.conn, env, ctx)
 			l.kern.AccountIPC(l.pid, 1, 0, t.String())
 		}
 	})

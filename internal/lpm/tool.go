@@ -293,7 +293,7 @@ func (l *LPM) onToolMsg(conn *simnet.Conn, b []byte) {
 				renv := wire.Envelope{Type: mt, ReqID: env.ReqID, Body: body}
 				renv.SetTrace(ctx.Trace, ctx.Span)
 				//ppmlint:allow errdrop tool-socket reply is fire-and-forget; the tool's timeout covers a lost frame
-				_ = l.sendFramed(conn, renv, ctx)
+				_ = l.sendFramedReply(conn, renv, ctx)
 			}
 		})
 	}

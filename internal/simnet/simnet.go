@@ -381,7 +381,11 @@ func (n *Network) Path(a, b string) ([]string, bool) {
 // attributed to the forwarding host (so a gateway relaying a two-hop
 // message shows up in the trace), or a single loopback span for
 // intra-host delivery. The schedule mirrors transit()'s arithmetic.
-func (n *Network) traceTransit(ctx trace.Context, a, b string, size int) {
+// Reply-direction sends (tagged by the sender via SendReplyCtx) record
+// "net.reply.*" spans instead of "net.hop.*", so the profiler can
+// split request transit from reply transit — both directions of a
+// circuit are otherwise indistinguishable at this layer.
+func (n *Network) traceTransit(ctx trace.Context, a, b string, size int, reply bool) {
 	if n.tracer == nil || !ctx.Valid() {
 		return
 	}
@@ -391,13 +395,21 @@ func (n *Network) traceTransit(ctx trace.Context, a, b string, size int) {
 	}
 	now := n.sched.Now().Duration()
 	if len(path) == 1 {
-		n.tracer.AddSpan(a, "net.loopback", ctx, now, now+100*time.Microsecond)
+		name := "net.loopback"
+		if reply {
+			name = "net.loopback.reply"
+		}
+		n.tracer.AddSpan(a, name, ctx, now, now+100*time.Microsecond)
 		return
+	}
+	prefix := "net.hop."
+	if reply {
+		prefix = "net.reply."
 	}
 	per := n.opts.HopTransit + calib.TransmissionTime(size)
 	for i := 0; i+1 < len(path); i++ {
 		start := now + time.Duration(i)*per
-		n.tracer.AddSpan(path[i], "net.hop."+path[i+1], ctx, start, start+per)
+		n.tracer.AddSpan(path[i], prefix+path[i+1], ctx, start, start+per)
 	}
 }
 
@@ -668,7 +680,7 @@ func (n *Network) SendDatagramCtx(from, to Addr, payload []byte, ctx trace.Conte
 		n.logMsg(journal.NetDrop, from.Host, "datagram", from, to, len(payload), "injected", ctx)
 		return
 	}
-	n.traceTransit(ctx, from.Host, to.Host, len(payload))
+	n.traceTransit(ctx, from.Host, to.Host, len(payload), false)
 	delay := n.transit(from.Host, to.Host, len(payload))
 	n.metrics.Histogram("simnet.transit").Observe(delay)
 	body := n.copyBuf(payload)
@@ -744,6 +756,18 @@ func (c *Conn) Send(payload []byte) error {
 // message's per-hop transit schedule is recorded as spans attributed
 // to the hosts it crosses. An invalid ctx makes it identical to Send.
 func (c *Conn) SendCtx(payload []byte, ctx trace.Context) error {
+	return c.sendCtx(payload, ctx, false)
+}
+
+// SendReplyCtx is SendCtx for the response direction of a
+// request/reply exchange: transit spans are named "net.reply.*" so
+// post-hoc attribution can separate reply transit from request
+// transit. Delivery semantics are identical to SendCtx.
+func (c *Conn) SendReplyCtx(payload []byte, ctx trace.Context) error {
+	return c.sendCtx(payload, ctx, true)
+}
+
+func (c *Conn) sendCtx(payload []byte, ctx trace.Context, reply bool) error {
 	if !c.open {
 		return ErrConnClosed
 	}
@@ -773,7 +797,7 @@ func (c *Conn) SendCtx(payload []byte, ctx trace.Context) error {
 		n.breakRemote(c.peer)
 		return nil
 	}
-	n.traceTransit(ctx, c.local.Host, c.remote.Host, len(payload))
+	n.traceTransit(ctx, c.local.Host, c.remote.Host, len(payload), reply)
 	delay := n.transit(c.local.Host, c.remote.Host, len(payload))
 	n.metrics.Histogram("simnet.transit").Observe(delay)
 	at := n.sched.Now().Add(delay)
@@ -909,7 +933,7 @@ func (n *Network) DialCtx(fromHost string, to Addr, ctx trace.Context, cb func(*
 	}
 	src.nextPort++
 	local := Addr{Host: fromHost, Port: src.nextPort}
-	n.traceTransit(ctx, fromHost, to.Host, 64) // SYN
+	n.traceTransit(ctx, fromHost, to.Host, 64, false) // SYN
 	d := n.transit(fromHost, to.Host, 64)
 	n.sched.After(d, func() {
 		dst, ok := n.hosts[to.Host]
@@ -936,8 +960,8 @@ func (n *Network) DialCtx(fromHost string, to Addr, ctx trace.Context, cb func(*
 		n.emitTap(TapEvent{Kind: TapConnOpen, From: local, To: to, Circuit: true})
 		n.logMsg(journal.NetCircuitOpen, fromHost, "circuit", local, to, 0, "", ctx)
 		acceptFn(server)
-		n.traceTransit(ctx, to.Host, fromHost, 64) // SYN-ACK
-		n.sched.After(d, func() {                  // SYN-ACK back to the dialer
+		n.traceTransit(ctx, to.Host, fromHost, 64, true) // SYN-ACK
+		n.sched.After(d, func() {                        // SYN-ACK back to the dialer
 			if !client.open {
 				cb(nil, ErrConnClosed)
 				return

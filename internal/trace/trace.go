@@ -43,6 +43,9 @@ type Context struct {
 func (c Context) Valid() bool { return c.Trace != 0 }
 
 // SpanData is one recorded span. End == Start until the span is ended.
+// Ends counts EndAt calls, so post-hoc analysis (journal.AuditWithSpans,
+// internal/profile) can tell a zero-length span (Ends == 1) from one
+// left open on an error path (Ends == 0) or double-closed (Ends > 1).
 type SpanData struct {
 	ID     uint64
 	Trace  uint64
@@ -51,7 +54,11 @@ type SpanData struct {
 	Name   string
 	Start  time.Duration // virtual time since the simulation epoch
 	End    time.Duration
+	Ends   int
 }
+
+// Closed reports whether the span was ended exactly once.
+func (s SpanData) Closed() bool { return s.Ends == 1 }
 
 // DefaultMaxSpans bounds the span buffer. One Table 2 cell is a few
 // dozen spans; the cap only matters if an operation loops wildly.
@@ -137,6 +144,7 @@ func (s *Span) EndAt(at time.Duration) {
 		return
 	}
 	s.t.spans[s.idx].End = at
+	s.t.spans[s.idx].Ends++
 }
 
 // StartTrace opens a new trace rooted at a fresh span on host. It

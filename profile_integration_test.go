@@ -1,0 +1,190 @@
+package ppm_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ppm"
+	"ppm/internal/profile"
+	"ppm/internal/trace"
+)
+
+// buildFloodCluster builds a 24-host installation with one worker per
+// remote host (a star of circuits out of h01) and runs a traced
+// snapshot flood from the origin. It returns the cluster and the
+// flood's trace ID.
+func buildFloodCluster(t *testing.T) (*ppm.Cluster, uint64) {
+	t.Helper()
+	const hosts = 24
+	specs := make([]ppm.HostSpec, hosts)
+	for i := range specs {
+		specs[i] = ppm.HostSpec{Name: fmt.Sprintf("h%02d", i+1)}
+	}
+	c, err := ppm.NewCluster(ppm.ClusterConfig{Hosts: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddUser("u")
+	sess, err := c.Attach("u", "h01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := sess.Run("h01", "coordinator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= hosts; i++ {
+		if _, err := sess.RunChild(fmt.Sprintf("h%02d", i), "worker", root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Advance(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// One traced op: the 24-host snapshot flood. The trace buffer must
+	// hold the whole fan-out, or attribution loses spans.
+	c.Tracer().SetMaxSpans(1 << 16)
+	traceID, err := c.Trace(func() error {
+		_, serr := sess.Snapshot()
+		return serr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c, traceID
+}
+
+// TestFloodCriticalPath24Hosts is the acceptance fixture for the
+// critical-path extractor: on a 24-host star flood the known longest
+// dependent chain runs through the last leg of the fan-out — the
+// origin's sends queue in host order, so the echo from the
+// highest-numbered host is the one that gates completion. The expected
+// leg is recomputed here directly from the raw span table (latest-ending
+// lpm.request child of the op root), independent of the extractor.
+func TestFloodCriticalPath24Hosts(t *testing.T) {
+	c, traceID := buildFloodCluster(t)
+	prof := c.Profile()
+	path := prof.CriticalPath(traceID)
+	if len(path) == 0 {
+		t.Fatal("no critical path for the flood trace")
+	}
+	if path[0].Name != "op.snapshot" || path[0].Depth != 0 {
+		t.Fatalf("path root = %s (depth %d), want op.snapshot at depth 0",
+			path[0].Name, path[0].Depth)
+	}
+
+	// Hand-check the binding leg from the span table: among the root's
+	// lpm.request children, the latest-ending one (ties cannot occur in
+	// a serial fan-out).
+	spans := c.Tracer().Spans()
+	var rootSpan trace.SpanData
+	for _, s := range spans {
+		if s.Trace == traceID && s.Parent == 0 && s.Name == "op.snapshot" {
+			rootSpan = s
+		}
+	}
+	if rootSpan.ID == 0 {
+		t.Fatal("flood trace has no op.snapshot root span")
+	}
+	var wantLeg trace.SpanData
+	legs := 0
+	for _, s := range spans {
+		if s.Trace != traceID || s.Parent != rootSpan.ID ||
+			!strings.HasPrefix(s.Name, "lpm.request.") {
+			continue
+		}
+		legs++
+		if s.End > wantLeg.End {
+			wantLeg = s
+		}
+	}
+	if legs != 23 {
+		t.Fatalf("flood fanned out %d request legs, want 23", legs)
+	}
+	if wantLeg.Name != "lpm.request.h24" {
+		t.Fatalf("latest-ending leg is %s, want lpm.request.h24 (fan-out is host-ordered)",
+			wantLeg.Name)
+	}
+
+	// The extractor must route the chain through exactly that leg, and
+	// within it through the remote host's flood work.
+	legHop := -1
+	for i, h := range path {
+		if strings.HasPrefix(h.Name, "lpm.request.") && h.Depth == 1 {
+			if h.Span != wantLeg.ID {
+				t.Errorf("path runs through %s (span %d), want %s (span %d)",
+					h.Name, h.Span, wantLeg.Name, wantLeg.ID)
+			}
+			legHop = i
+		}
+	}
+	if legHop < 0 {
+		t.Fatal("path never descends into a request leg")
+	}
+	foundWork := false
+	for _, h := range path[legHop:] {
+		if h.Name == "exec.flood_work" && h.Host == "h24" {
+			foundWork = true
+		}
+	}
+	if !foundWork {
+		t.Errorf("path misses h24's exec.flood_work; hops: %+v", path)
+	}
+
+	// Structural invariants of any path: non-negative slack, hops
+	// time-ordered within each nesting level, children inside parents.
+	for i, h := range path {
+		if h.Slack < 0 {
+			t.Errorf("hop %d (%s) has negative slack %v", i, h.Name, h.Slack)
+		}
+		if h.End < h.Start {
+			t.Errorf("hop %d (%s) ends before it starts", i, h.Name)
+		}
+		for j := i + 1; j < len(path); j++ {
+			if path[j].Depth <= h.Depth {
+				if path[j].Depth == h.Depth && path[j].Start < h.End {
+					t.Errorf("sibling hops %d/%d overlap: %s ends %v, %s starts %v",
+						i, j, h.Name, h.End, path[j].Name, path[j].Start)
+				}
+				break
+			}
+			// Deeper hop: must nest inside h's window.
+			if path[j].Start < h.Start || path[j].End > h.End {
+				t.Errorf("hop %d (%s) escapes its parent hop %d (%s)",
+					j, path[j].Name, i, h.Name)
+			}
+		}
+	}
+}
+
+// TestFloodConservation24Hosts holds the real 24-host flood to the
+// conservation bar: the flood request's phase buckets must sum exactly
+// to its end-to-end time, with unattributed at most 5% of the total.
+func TestFloodConservation24Hosts(t *testing.T) {
+	c, traceID := buildFloodCluster(t)
+	prof := c.Profile()
+	var req *profile.Request
+	for i := range prof.Requests {
+		if prof.Requests[i].Trace == traceID {
+			req = &prof.Requests[i]
+		}
+	}
+	if req == nil {
+		t.Fatal("flood trace missing from the profile")
+	}
+	if !req.Conserved() {
+		t.Fatalf("conservation violated: phases %v, total %v", req.Phases, req.Total())
+	}
+	unattr := req.Phases[profile.PhaseUnattributed]
+	if total := req.Total(); float64(unattr) > 0.05*float64(total) {
+		t.Errorf("unattributed %v is over 5%% of total %v", unattr, total)
+	}
+	if vs := c.JournalAudit(); len(vs) != 0 {
+		t.Errorf("journal/trace audit found %d violations, first: %+v", len(vs), vs[0])
+	}
+}

@@ -152,8 +152,11 @@ func TestTraceDistance2Stop(t *testing.T) {
 		"lpm.request.c",       // handler occupancy on the requester
 		"dispatch.control",    // control action on the target host
 		"kernel.event.stop",   // the kernel's event message
-		"net.hop.gw",          // first hop, paid by a (and by c returning)
+		"exec.tool_leg",       // tool socket legs at the origin
+		"net.hop.gw",          // first hop, paid by a
 		"net.hop.c",           // second hop, forwarded by the gateway
+		"net.reply.gw",        // reply transit, paid by c returning
+		"net.reply.a",         // reply's second hop through the gateway
 	} {
 		if !names[want] {
 			t.Errorf("trace missing span %q (got: %v)", want, detord.Keys(names))
@@ -182,8 +185,9 @@ func TestTraceDistance2StopSpanCount(t *testing.T) {
 }
 
 // distance2StopSpans is the pinned span count for the cold distance-2
-// stop above.
-const distance2StopSpans = 34
+// stop above: the original 34 plus the two exec.tool_leg spans that
+// close the profiler's tool-leg attribution gap.
+const distance2StopSpans = 36
 
 // TestUntracedRunsRecordNothing: with tracing never enabled, the whole
 // scenario must leave the span buffer empty and put no trace bytes on

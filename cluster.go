@@ -511,6 +511,22 @@ func (c *Cluster) Heal() { c.net.Heal() }
 // injection.
 func (c *Cluster) InjectLoss(every int) { c.net.InjectLoss(every) }
 
+// InjectLossDir arranges for every Nth message from -> to (that
+// direction only) to be lost, on top of any symmetric plan — the
+// half-broken-gateway case where requests arrive but replies vanish.
+// every <= 0 clears the direction.
+func (c *Cluster) InjectLossDir(from, to string, every int) {
+	c.net.InjectLossDir(from, to, every)
+}
+
+// FlapLink schedules a deterministic flap of the a<->b link: after
+// upFor of healthy operation the pair blacks out for downFor, then
+// recovers, repeating for cycles rounds. Each boundary is journaled
+// (net.flap.down / net.flap.up).
+func (c *Cluster) FlapLink(a, b string, upFor, downFor time.Duration, cycles int) {
+	c.net.FlapLink(a, b, upFor, downFor, cycles)
+}
+
 // --- load generation ---
 
 // SpawnBackgroundLoad creates n CPU-bound background processes with the

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ppm"
+	"ppm/internal/detect"
 	"ppm/internal/journal"
 	"ppm/internal/profile"
 	"ppm/internal/sim"
@@ -30,6 +31,7 @@ var suite = []suiteBench{
 	{"wire/decode", "borrow-decode an op-less frame", benchWireDecode},
 	{"wire/roundtrip", "encode then borrow-decode a frame with both trailers", benchWireRoundTrip},
 	{"sim/step", "schedule and fire one scheduler event in the steady state", benchSimStep},
+	{"detect/observe", "one failure-detector arrival observation plus a suspicion read", benchDetectObserve},
 	{"simnet/datagram", "one-hop datagram delivery, including the scheduler drain", benchSimnetDatagram},
 	{"lpm/dispatch", "remote stop+continue round trip over a warm sibling circuit", benchLPMDispatch},
 	{"journal/append", "append one record to a saturated flight-recorder ring", benchJournalAppend},
@@ -98,6 +100,31 @@ func benchSimStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.After(time.Microsecond, fn)
 		s.Step()
+	}
+}
+
+// --- detect ---
+
+// benchDetectObserve measures the accrual detector's per-message cost:
+// every circuit arrival pays one Observe (Jacobson/Karels integer
+// filter step) and every linktest tick pays one Suspicion read, so
+// this pair is the detector's entire steady-state hot path. The
+// zero-alloc property is pinned by TestDetectorStepZeroAllocs in
+// internal/detect.
+func benchDetectObserve(b *testing.B) {
+	b.ReportAllocs()
+	now := time.Duration(0)
+	d := detect.New(detect.Config{}, now)
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 125 * time.Millisecond
+		d.Observe(now)
+		sink += d.Suspicion(now + 50*time.Millisecond)
+	}
+	b.StopTimer()
+	if sink < 0 {
+		b.Fatal("suspicion went negative")
 	}
 }
 

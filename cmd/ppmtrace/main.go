@@ -18,7 +18,11 @@
 // scenario to N hosts with one worker per extra host. -drops N loses
 // every Nth inter-host message once the computation is up, so the run
 // exercises the sibling-RPC retry/redial layer — deterministically:
-// same flags, same journal, losses included.
+// same flags, same journal, losses included. -flap N runs N down/up
+// cycles of the vax1<->vax2 link with the adaptive failure detector
+// monitoring every circuit, so the run exercises the full circuit
+// lifecycle (Established -> Suspect -> Closed -> redial) — equally
+// deterministic.
 package main
 
 import (
@@ -36,7 +40,7 @@ import (
 )
 
 func usage(w io.Writer) {
-	fmt.Fprintf(w, "usage: ppmtrace [-hosts N] [-drops N] [-spans] [-metrics] [-status] [-journal"+
+	fmt.Fprintf(w, "usage: ppmtrace [-hosts N] [-drops N] [-flap N] [-spans] [-metrics] [-status] [-journal"+
 		" [-journal-kinds K,...] [-journal-host H] [-journal-since D] [-journal-until D]]\n")
 	fmt.Fprintf(w, "journal record kinds: %s\n", kindList())
 }
@@ -53,6 +57,7 @@ func kindList() string {
 type options struct {
 	hosts        int
 	drops        int
+	flap         int
 	showSpans    bool
 	showMetrics  bool
 	showStatus   bool
@@ -74,6 +79,8 @@ func parseArgs(args []string) (options, error) {
 	fs.IntVar(&o.hosts, "hosts", 2, "number of hosts in the scenario (2..5)")
 	fs.IntVar(&o.drops, "drops", 0,
 		"lose every Nth inter-host message once the computation is up (0 = lossless)")
+	fs.IntVar(&o.flap, "flap", 0,
+		"flap the vax1<->vax2 link N down/up cycles with the failure detector on (0 = stable)")
 	fs.BoolVar(&o.showSpans, "spans", false,
 		"trace the remote stop and print the causal span waterfall")
 	fs.BoolVar(&o.showMetrics, "metrics", false,
@@ -101,6 +108,9 @@ func parseArgs(args []string) (options, error) {
 	}
 	if o.drops < 0 {
 		return o, fmt.Errorf("-drops must be >= 0, got %d", o.drops)
+	}
+	if o.flap < 0 {
+		return o, fmt.Errorf("-flap must be >= 0, got %d", o.flap)
 	}
 	if o.showJournal && (o.showSpans || o.showMetrics || o.showStatus) {
 		return o, errors.New("-journal is mutually exclusive with -spans, -metrics and -status")
@@ -164,6 +174,13 @@ func run(o options) error {
 		// scenario's control traffic still lands exactly once.
 		cc.LPM.Retry = ppm.RetryPolicy{MaxAttempts: 6}
 	}
+	if o.flap > 0 {
+		// Down windows sever circuits too, and the detector needs
+		// heartbeats to drive the Suspect transitions the flap run is
+		// meant to journal.
+		cc.LPM.Retry = ppm.RetryPolicy{MaxAttempts: 6}
+		cc.LPM.Linktest = 250 * time.Millisecond
+	}
 	cluster, err := ppm.NewCluster(cc)
 	if err != nil {
 		return err
@@ -199,6 +216,12 @@ func run(o options) error {
 	// of the scenario — control, history floods, the traced stop — runs
 	// over a lossy network, riding the reliability layer.
 	cluster.InjectLoss(o.drops)
+	// With -flap, the link to the worker host starts its down/up cycles
+	// here: the control traffic below crosses the flap schedule and the
+	// detector journals the circuit lifecycle around each outage.
+	if o.flap > 0 {
+		cluster.FlapLink("vax1", "vax2", 1200*time.Millisecond, 800*time.Millisecond, o.flap)
+	}
 
 	// Generate activity: syscalls, files, IPC, control.
 	k1, err := cluster.Kernel("vax1")
@@ -238,6 +261,13 @@ func run(o options) error {
 	}
 	if err := cluster.Advance(time.Second); err != nil {
 		return err
+	}
+	// Let every remaining flap cycle run out and the circuits re-knit,
+	// so the journal carries the full lifecycle of each outage.
+	if o.flap > 0 {
+		if err := cluster.Advance(time.Duration(o.flap) * 2 * time.Second); err != nil {
+			return err
+		}
 	}
 
 	evs, err := sess.History(ppm.HistoryQuery{})

@@ -141,6 +141,16 @@ const (
 	// dispatcher, consumed directly by the blocked handler).
 	AckEndpoint = 25 * time.Millisecond
 
+	// HeartbeatEndpoint is the per-endpoint cost of a linktest probe or
+	// its echo: a fixed-shape 25-byte frame handled entirely by the
+	// dispatcher — no marshalling of variable payloads, no handler
+	// handoff, no per-message auth. Charging heartbeats the full
+	// SiblingEndpoint cost makes sub-second probe intervals overcommit a
+	// 1986 CPU outright (4 messages/peer/interval x 39.5 ms), which
+	// showed up as an unbounded run-queue on any host with two or more
+	// monitored circuits.
+	HeartbeatEndpoint = 6 * time.Millisecond
+
 	// Fork, Exec and Adopt are the process-creation primitives. The
 	// paper's within-host creation time (77 ms) is
 	// CreateDispatch + Fork + Exec + Adopt.

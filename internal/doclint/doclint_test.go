@@ -178,6 +178,7 @@ func TestKnownFlagsStayRegistered(t *testing.T) {
 	registered := registeredFlags(t, root)
 	for _, want := range []struct{ flag, cmd string }{
 		{"drops", "ppmtrace"},
+		{"flap", "ppmtrace"},
 		{"status", "ppmtrace"},
 		{"journal", "ppmtrace"},
 		{"watch", "ppmtop"},

@@ -10,7 +10,7 @@ import (
 // Violation is one invariant breach found by Audit.
 type Violation struct {
 	Seq   uint64 // journal sequence number of the offending record
-	Check string // which invariant: "genealogy", "circuit", "flood", "dedup", "status"
+	Check string // which invariant: "genealogy", "circuit", "lifecycle", "flood", "dedup", "status"
 	Msg   string
 }
 
@@ -34,6 +34,12 @@ const maxViolations = 64
 //     close, with the Hello authentication happening exactly once per
 //     channel (the paper: authentication "need happen only once, at
 //     the time the circuit is created");
+//   - circuit state machine: every circuit.transition record steps the
+//     per-(host,peer) machine along a legal edge of the lifecycle
+//     (idle → dialing/authenticating → established ⇄ suspect → closed),
+//     the declared from-state matches the machine's tracked state, a
+//     host pair never holds two Established circuits at once, and —
+//     on a complete, quiescent stream — no circuit is left Suspect;
 //   - flood dedup: no broadcast is applied twice by the same host, every
 //     host a flood reports covering has an apply record, and — when the
 //     circuit graph was quiescent for the flood's whole window — every
@@ -64,6 +70,8 @@ func AuditRecords(records []Record, complete bool) []Violation {
 		complete: complete,
 		procs:    make(map[string]*auditProc),
 		chans:    make(map[string]*auditChan),
+		circuits: make(map[string]*auditCircuit),
+		estab:    make(map[string]map[string]bool),
 		edges:    make(map[string]map[string]*auditEdge),
 		floods:   make(map[string]*auditFlood),
 		execs:    make(map[string]string),
@@ -80,6 +88,7 @@ func AuditRecords(records []Record, complete bool) []Violation {
 	}
 	if a.complete && len(a.out) < maxViolations {
 		a.finishSweeps()
+		a.finishCircuits()
 	}
 	return a.out
 }
@@ -132,10 +141,19 @@ type auditSweep struct {
 	downAtReq map[string]bool
 }
 
+// auditCircuit is the replayed state machine of one directed circuit
+// (observer host -> peer), advanced by circuit.transition records.
+type auditCircuit struct {
+	state string
+	seq   uint64 // the record that put it in this state
+}
+
 type auditor struct {
 	complete bool
 	procs    map[string]*auditProc
 	chans    map[string]*auditChan
+	circuits map[string]*auditCircuit         // host|peer -> machine state
+	estab    map[string]map[string]bool       // user/pair -> established chan keys
 	edges    map[string]map[string]*auditEdge // user -> chan -> edge
 	floods   map[string]*auditFlood           // stamp -> flood
 	execs    map[string]string                // op key -> executing host
@@ -178,10 +196,12 @@ func (a *auditor) step(r Record) {
 		for _, sw := range a.sweeps {
 			delete(sw.downAtReq, r.Host)
 		}
-	case NetPartition, NetHeal, NetCircuitBreak:
+	case NetPartition, NetHeal, NetCircuitBreak, NetFlapDown, NetFlapUp:
 		a.epoch++
 	case SnapshotTaken:
 		a.checkSnapshot(r)
+	case CircuitTransition:
+		a.circuitStep(r)
 	case LPMSiblingAuth:
 		ch := a.chanState(Field(r.Detail, "chan"))
 		ch.auths++
@@ -330,11 +350,125 @@ func (a *auditor) floodState(stamp string) *auditFlood {
 	return fl
 }
 
+// legalCircuitSteps is the lifecycle's legal-edge table (DESIGN.md
+// §13); the auditor replays journaled transitions against it.
+var legalCircuitSteps = map[string][]string{
+	"idle":           {"dialing", "authenticating"},
+	"dialing":        {"authenticating", "closed"},
+	"authenticating": {"established", "closed"},
+	"established":    {"suspect", "closed"},
+	"suspect":        {"established", "closed"},
+	"closed":         {"dialing", "authenticating"},
+}
+
+func legalCircuitStep(from, to string) bool {
+	for _, t := range legalCircuitSteps[from] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
+
+// pairName names an unordered host pair, lower name first.
+func pairName(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// circuitStep replays one circuit.transition record: the edge must be
+// in the legal table, the declared from-state must match the machine
+// (continuity — only checkable on a complete stream), and stepping a
+// pair's circuit to Established while another established channel
+// between the same pair is still up is the cross-dial double-circuit
+// bug the tie-break exists to prevent.
+func (a *auditor) circuitStep(r Record) {
+	user, peer := Field(r.Detail, "user"), Field(r.Detail, "peer")
+	from, to := Field(r.Detail, "from"), Field(r.Detail, "to")
+	key := user + "/" + r.Host + "|" + peer
+	c, ok := a.circuits[key]
+	if !ok {
+		c = &auditCircuit{state: "idle"}
+		a.circuits[key] = c
+	}
+	// Continuity: the record's declared origin must be where the
+	// machine actually is. Two sanctioned exceptions: "*" is the
+	// post-crash wildcard (the crashed host's LPM may have survived
+	// with its old state, or restarted fresh — the first transition
+	// after the crash re-synchronizes), and a fresh LPM instance
+	// starts from Idle where its predecessor's machine parked in
+	// Closed.
+	if a.complete && c.state != from && c.state != "*" &&
+		!(c.state == "closed" && from == "idle") {
+		a.fail(r, "lifecycle", "circuit %s->%s declares from=%s but machine was in %s",
+			r.Host, peer, from, c.state)
+	}
+	if !legalCircuitStep(from, to) {
+		a.fail(r, "lifecycle", "circuit %s->%s illegal transition %s -> %s",
+			r.Host, peer, from, to)
+	}
+	c.state, c.seq = to, r.Seq
+
+	ck := Field(r.Detail, "chan")
+	pk := user + "/" + pairName(r.Host, peer)
+	switch to {
+	case "established":
+		set := a.estab[pk]
+		if set == nil {
+			set = make(map[string]bool)
+			a.estab[pk] = set
+		}
+		set[ck] = true
+		if len(set) > 1 {
+			a.fail(r, "lifecycle", "pair %s holds %d established circuits at once: %s",
+				pk, len(set), strings.Join(detord.Keys(set), ","))
+		}
+	case "closed":
+		if ck != "-" {
+			delete(a.estab[pk], ck)
+		}
+	}
+}
+
+// finishCircuits runs the end-of-stream liveness check: on a quiescent
+// stream every Suspect must have resolved — back to Established by
+// traffic, or to Closed by the detector. A machine parked in Suspect
+// means a detector that raises suspicion but never acts on it.
+func (a *auditor) finishCircuits() {
+	for _, key := range detord.Keys(a.circuits) {
+		c := a.circuits[key]
+		if c.state == "suspect" {
+			a.out = append(a.out, Violation{Seq: c.seq, Check: "lifecycle",
+				Msg: fmt.Sprintf("circuit %s left in Suspect: suspicion never resolved", key)})
+		}
+	}
+}
+
 // hostDown removes a crashed host from the circuit graph: its channel
 // endpoints die silently (no close records will arrive from it).
 func (a *auditor) hostDown(host string) {
 	a.epoch++
 	a.down[host] = true
+	for _, k := range detord.Keys(a.circuits) {
+		if _, rest, ok := strings.Cut(k, "/"); ok {
+			if h, _, ok := strings.Cut(rest, "|"); ok && h == host {
+				// Crash leaves the host's machines in an unknown state:
+				// its LPM may survive the reboot (old state) or be
+				// recreated (idle). The wildcard suspends continuity
+				// for exactly one transition per circuit.
+				a.circuits[k].state = "*"
+			}
+		}
+	}
+	for _, pk := range detord.Keys(a.estab) {
+		pair := pk[strings.LastIndex(pk, "/")+1:]
+		x, y, _ := strings.Cut(pair, "|")
+		if x == host || y == host {
+			delete(a.estab, pk)
+		}
+	}
 	for _, user := range detord.Keys(a.edges) {
 		for _, ck := range detord.Keys(a.edges[user]) {
 			e := a.edges[user][ck]

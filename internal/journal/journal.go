@@ -38,6 +38,13 @@ const (
 	NetPartition    Kind = "net.partition"
 	NetHeal         Kind = "net.heal"
 
+	// simnet link flapping: a deterministic injector taking one
+	// endpoint pair down and back up on a schedule. Flap boundaries
+	// reshape reachability like partitions do, so the audit treats
+	// them as epoch boundaries for flood-coverage purposes.
+	NetFlapDown Kind = "net.flap.down"
+	NetFlapUp   Kind = "net.flap.up"
+
 	// wire: envelope serialization, tagged with the envelope kind.
 	WireEncode Kind = "wire.encode"
 	WireDecode Kind = "wire.decode"
@@ -86,6 +93,19 @@ const (
 	LPMOpExec   Kind = "lpm.op.exec"
 	LPMOpReplay Kind = "lpm.op.replay"
 
+	// circuit lifecycle: every transition of a sibling circuit's
+	// explicit state machine (idle → dialing → authenticating →
+	// established → suspect → closed), journaled at the host whose
+	// machine stepped. The audit replays these against the legal
+	// transition table and holds each host pair to at most one
+	// Established circuit.
+	CircuitTransition Kind = "circuit.transition"
+
+	// lpm exit forwarding: a remote kernel's LPM forwarding a process
+	// exit event to the process's home LPM so home-declared watches
+	// fire (the remote-watch path).
+	LPMExitForward Kind = "lpm.exit.forward"
+
 	// snapshot: a completed distributed snapshot, with its merged
 	// process table encoded in the detail (audited against the
 	// genealogy reconstructed from the kernel records).
@@ -107,6 +127,7 @@ var kinds = []Kind{
 	NetSend, NetDeliver, NetDrop,
 	NetCircuitOpen, NetCircuitClose, NetCircuitBreak,
 	NetHostCrash, NetHostRestart, NetPartition, NetHeal,
+	NetFlapDown, NetFlapUp,
 	WireEncode, WireDecode,
 	KernelSpawn, KernelFork, KernelExit, KernelSetParent, KernelEvent,
 	DaemonQuery, DaemonAuthFail, DaemonLPMFound, DaemonLPMCreated,
@@ -115,6 +136,7 @@ var kinds = []Kind{
 	LPMFloodOrigin, LPMFloodApply, LPMFloodDup, LPMFloodDone,
 	LPMRelayOrigin, LPMRelayForward,
 	LPMRetry, LPMTimeout, LPMRedial, LPMOpExec, LPMOpReplay,
+	CircuitTransition, LPMExitForward,
 	SnapshotTaken,
 	StatusRequest, StatusReport,
 }

@@ -23,6 +23,7 @@ import (
 	"ppm/internal/auth"
 	"ppm/internal/calib"
 	"ppm/internal/daemon"
+	"ppm/internal/detect"
 	"ppm/internal/detord"
 	"ppm/internal/history"
 	"ppm/internal/journal"
@@ -83,6 +84,22 @@ type Config struct {
 	Recovery recovery.Config
 	// HistoryCapacity bounds the event store (0 = default).
 	HistoryCapacity int
+
+	// Linktest enables the adaptive failure detector: every circuit
+	// exchanges a heartbeat frame and evaluates its accrual suspicion
+	// level at this period. Zero disables the detector (circuit
+	// health is then inferred from request timeouts only, the
+	// pre-detector behavior).
+	Linktest time.Duration
+	// Detector tunes the per-circuit accrual estimator (zero fields
+	// take the detect package defaults).
+	Detector detect.Config
+	// SuspectAfter is the suspicion level at which an Established
+	// circuit steps to Suspect. Zero means 2.
+	SuspectAfter int
+	// CloseAfter is the suspicion level at which the detector closes
+	// the circuit as presumed-dead. Zero means 6.
+	CloseAfter int
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +117,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HandlerPool == 0 && !c.NoHandlerReuse {
 		c.HandlerPool = 2
+	}
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = 2
+	}
+	if c.CloseAfter == 0 {
+		c.CloseAfter = 6
 	}
 	c.Retry = c.Retry.withDefaults()
 	return c
@@ -187,7 +210,7 @@ type Stats struct {
 // sibling is one authenticated circuit to a peer LPM.
 type sibling struct {
 	host   string
-	conn   *simnet.Conn
+	conn   Conn
 	authed bool
 	// inc is the peer LPM's incarnation id, exchanged in the Hello;
 	// it scopes the peer's operation identities to that LPM instance.
@@ -195,6 +218,24 @@ type sibling struct {
 	// openedAt is when the circuit authenticated, so status reports
 	// can show per-circuit age.
 	openedAt sim.Time
+	// det is the circuit's accrual failure detector; suspicion is the
+	// level computed at the last linktest tick (cleared by traffic).
+	det       detect.Detector
+	suspicion int
+	// ltTimer drives the periodic linktest tick; ltSeq numbers the
+	// heartbeat frames.
+	ltTimer sim.Timer
+	ltSeq   uint64
+}
+
+// dialState tracks one in-flight circuit establishment: the queued
+// callbacks, the establish span (ended exactly once), and whether the
+// dial has settled — through its own error paths or through an
+// inbound circuit completing it first (cross-dial).
+type dialState struct {
+	cbs  []func(*sibling, error)
+	done bool
+	span *trace.Span
 }
 
 // pendingReq tracks an outstanding request to a sibling.
@@ -223,7 +264,13 @@ type LPM struct {
 	myPids map[proc.PID]bool
 
 	siblings map[string]*sibling
-	dialing  map[string][]func(*sibling, error)
+	dialing  map[string]*dialState
+	// circuits is the explicit per-peer circuit lifecycle machine;
+	// every step is journaled under journal.CircuitTransition.
+	circuits map[string]circuitState
+	// transport is the connection seam the circuit layer runs over;
+	// simnet is the sole implementation today.
+	transport Transport
 	// knownHosts remembers every host this LPM has ever had a sibling
 	// on (or created a process on), so snapshots can report hosts that
 	// have become unreachable as partial.
@@ -328,7 +375,9 @@ func New(kern *kernel.Host, net *simnet.Network, dir *auth.Directory,
 		accept:      simnet.Addr{Host: kern.Name(), Port: acceptPort},
 		myPids:      make(map[proc.PID]bool),
 		siblings:    make(map[string]*sibling),
-		dialing:     make(map[string][]func(*sibling, error)),
+		dialing:     make(map[string]*dialState),
+		circuits:    make(map[string]circuitState),
+		transport:   simnetTransport{net: net},
 		knownHosts:  make(map[string]bool),
 		routes:      make(map[string][]string),
 		pending:     make(map[uint64]*pendingReq),
@@ -358,7 +407,7 @@ func New(kern *kernel.Host, net *simnet.Network, dir *auth.Directory,
 		l.myPids[h.PID] = true
 		l.idleHandlers = append(l.idleHandlers, h.PID)
 	}
-	if err := net.Listen(l.accept.Host, l.accept.Port, l.acceptConn); err != nil {
+	if err := l.transport.Listen(l.accept.Host, l.accept.Port, l.acceptConn); err != nil {
 		return nil, fmt.Errorf("lpm listen: %w", err)
 	}
 	kern.SetEventSink(user.Name, l.onKernelEvent)
@@ -412,7 +461,7 @@ func (l *LPM) touch() { l.lastActivity = l.sched.Now() }
 // journal the same channel identity: the acceptor's end of the circuit
 // is its accept address, so whichever side this is, orienting the pair
 // away from the accept address yields the dialer-first form.
-func (l *LPM) chanKey(conn *simnet.Conn) string {
+func (l *LPM) chanKey(conn Conn) string {
 	local, remote := conn.LocalAddr(), conn.RemoteAddr()
 	if local == l.accept {
 		local, remote = remote, local
@@ -491,7 +540,7 @@ func (l *LPM) Exit() {
 	l.ttlTimer.Cancel()
 	l.rec.Stop()
 	l.kern.SetEventSink(l.user.Name, nil)
-	l.net.CloseListen(l.accept.Host, l.accept.Port)
+	l.transport.CloseListen(l.accept.Host, l.accept.Port)
 	if l.dmns != nil {
 		l.dmns.Unregister(l.user.Name)
 	}
@@ -499,7 +548,10 @@ func (l *LPM) Exit() {
 	// requests by id, own processes by pid — each step schedules events.
 	hosts := detord.Keys(l.siblings)
 	for _, h := range hosts {
-		l.siblings[h].conn.Close()
+		sb := l.siblings[h]
+		sb.ltTimer.Cancel()
+		l.circuitTransition(h, circuitClosed, "exit", l.chanKey(sb.conn))
+		sb.conn.Close()
 	}
 	l.siblings = make(map[string]*sibling)
 	ids := detord.Keys(l.pending)
@@ -551,6 +603,7 @@ func (l *LPM) onKernelEvent(ev proc.Event) {
 		if info, err := l.kern.Info(ev.Proc.PID); err == nil {
 			l.records[ev.Proc.PID] = info
 			l.store.RecordExit(info)
+			l.forwardExit(ev, info)
 		}
 	case proc.EvFork:
 		// Track the new child: it inherited the trace flags.
@@ -562,6 +615,27 @@ func (l *LPM) onKernelEvent(ev proc.Event) {
 			l.records[ev.Proc.PID] = info
 		}
 	}
+}
+
+// forwardExit notifies a remotely created process's home LPM of its
+// exit. The kernel event lands here, at the LPM of the host the
+// process ran on — but watches on the process were declared at its
+// home LPM (the logical parent's host), whose history store would
+// otherwise never see the exit. The notification rides the retry
+// engine as an at-most-once operation, so a retransmitted ProcExit
+// can never fire home watches twice.
+func (l *LPM) forwardExit(ev proc.Event, info proc.Info) {
+	home := info.Parent.Host
+	if home == "" || home == l.Host() {
+		return
+	}
+	l.metrics.Counter("lpm.exit.forwards").Inc()
+	if l.journal.Enabled() {
+		l.journal.Append(journal.LPMExitForward, l.Host(),
+			fmt.Sprintf("user=%s proc=%s/%d to=%s", l.user.Name, info.ID.Host, info.ID.PID, home))
+	}
+	body := wire.ProcExit{User: l.user.Name, Event: ev, Info: info}.Encode()
+	l.remoteCall(trace.Context{}, home, wire.MsgProcExit, body, func(wire.Envelope, error) {})
 }
 
 // --- handler pool ---

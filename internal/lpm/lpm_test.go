@@ -36,6 +36,14 @@ type world struct {
 // given as "seg:host1,host2" specs.
 func newWorld(t *testing.T, cfg Config, hosts []string, segments ...string) *world {
 	t.Helper()
+	return newWorldNet(t, cfg, simnet.Options{}, hosts, segments...)
+}
+
+// newWorldNet is newWorld with explicit network options (the detector
+// tests stretch BreakDetect so the transport's own fixed timeout stays
+// out of the way).
+func newWorldNet(t *testing.T, cfg Config, opts simnet.Options, hosts []string, segments ...string) *world {
+	t.Helper()
 	w := &world{
 		t:     t,
 		sched: sim.NewScheduler(1),
@@ -47,7 +55,7 @@ func newWorld(t *testing.T, cfg Config, hosts []string, segments ...string) *wor
 		cfg:   cfg,
 		port:  2000,
 	}
-	w.net = simnet.New(w.sched, simnet.Options{})
+	w.net = simnet.New(w.sched, opts)
 	for _, h := range hosts {
 		if err := w.net.AddHost(h); err != nil {
 			t.Fatal(err)

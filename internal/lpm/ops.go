@@ -605,7 +605,10 @@ func (l *LPM) evictInflight(now time.Duration) {
 // re-execute freely.
 func dedupable(t wire.MsgType) bool {
 	switch t {
-	case wire.MsgControl, wire.MsgCreateProc, wire.MsgWatch, wire.MsgBroadcast:
+	case wire.MsgControl, wire.MsgCreateProc, wire.MsgWatch, wire.MsgBroadcast,
+		wire.MsgProcExit:
+		// ProcExit appends to the home history store and fires watches
+		// there; a re-executed retransmit would fire them twice.
 		return true
 	default:
 		return false
@@ -736,6 +739,30 @@ func (l *LPM) serveRequest(ctx trace.Context, env wire.Envelope, reply func(t wi
 			IsCCS:    l.rec.IsCCS(),
 		}
 		reply(wire.MsgPong, pong.Encode())
+
+	case wire.MsgLinkTest:
+		// Heartbeat for the accrual failure detector. The frame's
+		// arrival was already observed by the circuit layer; the echo
+		// gives the sender's detector a sample in turn.
+		req, err := wire.DecodeLinkTest(env.Body)
+		if err != nil {
+			reply(wire.MsgError, wire.ErrorResp{Reason: "bad linktest"}.Encode())
+			return
+		}
+		reply(wire.MsgLinkTestResp, wire.LinkTestResp{FromHost: l.Host(), Seq: req.Seq}.Encode())
+
+	case wire.MsgProcExit:
+		// A remote kernel's LPM forwarding a watched process's exit
+		// home: append the exit event to the home history store (which
+		// fires home-declared watches) and index the final record.
+		req, err := wire.DecodeProcExit(env.Body)
+		if err != nil || req.User != l.user.Name {
+			reply(wire.MsgProcExitResp, wire.ProcExitResp{OK: false, Reason: "bad exit notification"}.Encode())
+			return
+		}
+		l.withTraceCtx(ctx, func() { l.store.Append(req.Event) })
+		l.store.RecordExit(req.Info)
+		reply(wire.MsgProcExitResp, wire.ProcExitResp{OK: true}.Encode())
 
 	default:
 		reply(wire.MsgError, wire.ErrorResp{Reason: fmt.Sprintf("unhandled %v", env.Type)}.Encode())

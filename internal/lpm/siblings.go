@@ -8,6 +8,7 @@ import (
 	"ppm/internal/auth"
 	"ppm/internal/calib"
 	"ppm/internal/daemon"
+	"ppm/internal/detect"
 	"ppm/internal/detord"
 	"ppm/internal/journal"
 	"ppm/internal/proc"
@@ -26,7 +27,7 @@ var _ recovery.Env = (*recEnv)(nil)
 // acceptConn receives new circuits on the accept socket. The first
 // message must be a Hello: authentication happens once, at channel
 // creation, not on every request.
-func (l *LPM) acceptConn(conn *simnet.Conn) {
+func (l *LPM) acceptConn(conn Conn) {
 	if l.exited {
 		conn.Close()
 		return
@@ -35,7 +36,7 @@ func (l *LPM) acceptConn(conn *simnet.Conn) {
 	conn.SetCloseHandler(func(error) {}) // unauthenticated: nothing to clean
 }
 
-func (l *LPM) onFirstMsg(conn *simnet.Conn, b []byte) {
+func (l *LPM) onFirstMsg(conn Conn, b []byte) {
 	env, err := wire.DecodeEnvelopeLogged(b, l.journal, l.Host())
 	if err != nil || env.Type != wire.MsgHello {
 		conn.Close()
@@ -54,7 +55,7 @@ func (l *LPM) onFirstMsg(conn *simnet.Conn, b []byte) {
 	})
 }
 
-func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx trace.Context) {
+func (l *LPM) handleHello(conn Conn, reqID uint64, hello wire.Hello, ctx trace.Context) {
 	reject := func(reason string) {
 		l.metrics.Counter("lpm.siblings.rejected").Inc()
 		l.journal.AppendCtx(journal.LPMSiblingReject, l.Host(),
@@ -65,6 +66,15 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx
 		//ppmlint:allow errdrop rejection notice is best-effort; the circuit closes right after either way
 		_ = l.sendFramed(conn, env, ctx)
 		l.sched.After(0, conn.Close)
+	}
+	if !conn.Open() {
+		// The dialer gave up (hello timeout, its host died) while this
+		// Hello sat in the CPU queue: the close notification already ran
+		// against the pre-auth no-op handler. Registering the corpse
+		// would create a zombie circuit — established in the machine,
+		// but with a dead conn whose close handler can never fire.
+		l.metrics.Counter("lpm.hello.dead_conn").Inc()
+		return
 	}
 	if l.exited {
 		reject("lpm exited")
@@ -90,6 +100,20 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx
 	// of scope, as in the paper).
 	if conn.RemoteAddr().Host != hello.FromHost {
 		reject("origin mismatch")
+		return
+	}
+	// Simultaneous cross-dial tie-break: when both hosts Hello each
+	// other in the same instant, each side would otherwise register
+	// the inbound circuit and then have it superseded by its own
+	// outbound one — leaving the pair with two live circuits, each
+	// host pinning a different one. Deterministic rule: the lower
+	// host name's outbound circuit wins, so the lower host rejects
+	// the inbound Hello while its own dial is still in flight; the
+	// higher host sees the "cross-dial" reason, abandons its outbound
+	// attempt, and waits for the winner's Hello to land.
+	if ds, ok := l.dialing[hello.FromHost]; ok && !ds.done && l.Host() < hello.FromHost {
+		l.metrics.Counter("lpm.crossdial.rejects").Inc()
+		reject("cross-dial")
 		return
 	}
 	// Authentication happens exactly once, here, at channel creation;
@@ -125,7 +149,7 @@ func (l *LPM) handleHello(conn *simnet.Conn, reqID uint64, hello wire.Hello, ctx
 // replies and in-flight markers — is purged. The predecessor's op
 // numbering can never be spoken again, so the entries could only ever
 // cause a fresh operation to be wrongly answered from a stale cache.
-func (l *LPM) registerSibling(host string, conn *simnet.Conn, inc uint64) {
+func (l *LPM) registerSibling(host string, conn Conn, inc uint64) {
 	if old, ok := l.peerIncs[host]; ok && old != inc {
 		prefix := wire.OpPrefix(host, old)
 		l.replies.PurgePrefix(prefix)
@@ -137,9 +161,22 @@ func (l *LPM) registerSibling(host string, conn *simnet.Conn, inc uint64) {
 	}
 	l.peerIncs[host] = inc
 	if old, ok := l.siblings[host]; ok && old.conn != conn && old.conn.Open() {
+		// A replacement circuit supersedes a live one: step the
+		// machine through Closed first so the pair never shows two
+		// Established circuits, then close (the close handler's own
+		// transition no-ops).
+		l.circuitTransition(host, circuitClosed, "superseded", l.chanKey(old.conn))
 		old.conn.Close()
 	}
+	// An inbound Hello reaches here without passing through the
+	// Dialing leg; normalize onto Authenticating before stepping to
+	// Established so the journaled walk follows the legal table from
+	// whichever state the machine was in.
+	if l.circuits[host] != circuitAuthenticating {
+		l.circuitTransition(host, circuitAuthenticating, "hello-in", l.chanKey(conn))
+	}
 	sb := &sibling{host: host, conn: conn, authed: true, inc: inc, openedAt: l.sched.Now()}
+	sb.det = detect.New(l.cfg.Detector, l.sched.Now().Duration())
 	l.siblings[host] = sb
 	l.knownHosts[host] = true
 	l.metrics.Counter("lpm.siblings.opened").Inc()
@@ -148,10 +185,18 @@ func (l *LPM) registerSibling(host string, conn *simnet.Conn, inc uint64) {
 	if conn.LocalAddr() == l.accept {
 		role = "server"
 	}
+	l.circuitTransition(host, circuitEstablished, "auth-"+role, l.chanKey(conn))
 	l.journal.Append(journal.LPMSiblingOpen, l.Host(),
 		fmt.Sprintf("user=%s peer=%s chan=%s role=%s", l.user.Name, host, l.chanKey(conn), role))
 	conn.SetHandler(func(b []byte) { l.onSiblingMsg(sb, b) })
 	conn.SetCloseHandler(func(err error) { l.onSiblingClosed(sb, err) })
+	if l.cfg.Linktest > 0 {
+		l.scheduleLinktest(sb)
+	}
+	// An inbound establishment serves any dial in flight to the same
+	// host: the queued callbacks get this circuit instead of waiting
+	// for (or cross-dialing against) the outbound attempt.
+	l.completeDial(host, sb)
 	l.rec.OnSiblingUp(host)
 	l.touch()
 }
@@ -159,6 +204,12 @@ func (l *LPM) registerSibling(host string, conn *simnet.Conn, inc uint64) {
 func (l *LPM) onSiblingClosed(sb *sibling, err error) {
 	if cur, ok := l.siblings[sb.host]; ok && cur == sb {
 		delete(l.siblings, sb.host)
+		sb.ltTimer.Cancel()
+		reason := "close"
+		if err != nil {
+			reason = "peer-lost"
+		}
+		l.circuitTransition(sb.host, circuitClosed, reason, l.chanKey(sb.conn))
 		l.metrics.Counter("lpm.siblings.closed").Inc()
 		l.metrics.Gauge("lpm.siblings.open").Add(-1)
 		l.journal.Append(journal.LPMSiblingClose, l.Host(),
@@ -207,21 +258,34 @@ func (l *LPM) ensureSibling(ctx trace.Context, host string, cb func(*sibling, er
 		l.sched.Defer(func() { cb(sb, nil) })
 		return
 	}
-	if q, ok := l.dialing[host]; ok {
-		l.dialing[host] = append(q, cb)
+	if ds, ok := l.dialing[host]; ok {
+		ds.cbs = append(ds.cbs, cb)
 		return
 	}
-	l.dialing[host] = []func(*sibling, error){cb}
 	csp := l.tracer.StartSpan(l.Host(), "circuit.establish."+host, ctx)
+	ds := &dialState{cbs: []func(*sibling, error){cb}, span: csp}
+	l.dialing[host] = ds
+	l.circuitTransition(host, circuitDialing, "dial", "-")
 	cctx := csp.Context()
 	if !cctx.Valid() {
 		cctx = ctx
 	}
+	// finish settles the dial exactly once — through the error paths
+	// here or through completeDial when an inbound circuit (the
+	// cross-dial winner's Hello) lands first. Whichever runs first
+	// ends the establish span and drains the callback queue; the
+	// loser's call no-ops.
 	finish := func(sb *sibling, err error) {
-		csp.End()
-		q := l.dialing[host]
+		if ds.done {
+			return
+		}
+		ds.done = true
+		ds.span.End()
 		delete(l.dialing, host)
-		for _, f := range q {
+		if err != nil {
+			l.circuitTransition(host, circuitClosed, "dial-failed", "-")
+		}
+		for _, f := range ds.cbs {
 			f(sb, err)
 		}
 	}
@@ -239,7 +303,7 @@ func (l *LPM) ensureSibling(ctx trace.Context, host string, cb func(*sibling, er
 			return
 		}
 		to := simnet.Addr{Host: resp.AcceptHost, Port: resp.AcceptPort}
-		l.net.DialCtx(l.Host(), to, cctx, func(conn *simnet.Conn, err error) {
+		l.transport.Dial(l.Host(), to, cctx, func(conn Conn, err error) {
 			if err != nil {
 				finish(nil, fmt.Errorf("%w: dial %s: %v", ErrNoSibling, host, err))
 				return
@@ -249,8 +313,26 @@ func (l *LPM) ensureSibling(ctx trace.Context, host string, cb func(*sibling, er
 	})
 }
 
+// completeDial settles an in-flight dial to host with an already
+// registered circuit (the inbound leg of a cross-dial, or a redial
+// racing an inbound Hello): the establish span ends and every queued
+// callback receives sb.
+func (l *LPM) completeDial(host string, sb *sibling) {
+	ds, ok := l.dialing[host]
+	if !ok || ds.done {
+		return
+	}
+	ds.done = true
+	ds.span.End()
+	delete(l.dialing, host)
+	for _, f := range ds.cbs {
+		f(sb, nil)
+	}
+}
+
 // helloTo authenticates a freshly dialed circuit.
-func (l *LPM) helloTo(ctx trace.Context, host string, conn *simnet.Conn, finish func(*sibling, error)) {
+func (l *LPM) helloTo(ctx trace.Context, host string, conn Conn, finish func(*sibling, error)) {
+	l.circuitTransition(host, circuitAuthenticating, "hello", l.chanKey(conn))
 	l.floodSeq++
 	hello := wire.Hello{
 		User:     l.user.Name,
@@ -280,12 +362,34 @@ func (l *LPM) helloTo(ctx trace.Context, host string, conn *simnet.Conn, finish 
 		resp, err := wire.DecodeHelloResp(env.Body)
 		if err != nil || !resp.OK {
 			conn.Close()
+			if err == nil && resp.Reason == "cross-dial" {
+				// The peer is the lower-named host and is dialing us
+				// right now (it only rejects with this reason while
+				// its own dial to us is in flight): its Hello is
+				// already on the wire and will settle this dial via
+				// completeDial. Keep the dial open for it, bounded by
+				// a safety timeout in case the winning circuit dies
+				// mid-handshake.
+				l.metrics.Counter("lpm.crossdial.yields").Inc()
+				l.sched.After(l.cfg.RequestTimeout, func() {
+					finish(nil, fmt.Errorf("%w: cross-dial yield to %s never completed", ErrNoSibling, host))
+				})
+				return
+			}
 			finish(nil, fmt.Errorf("%w: %s rejected hello: %s", ErrNoSibling, host, resp.Reason))
 			return
 		}
 		rsp := l.tracer.StartSpan(l.Host(), "dispatch.endpoint", ctx)
 		l.kern.ExecCPU(calib.SiblingEndpoint, func() {
 			rsp.End()
+			if !conn.Open() {
+				// Closed while the registration sat in the CPU queue
+				// (the close handler already no-opped: answered is set).
+				// Registering it would park a dead conn in Established.
+				l.metrics.Counter("lpm.hello.dead_conn").Inc()
+				finish(nil, fmt.Errorf("%w: circuit to %s closed during hello", ErrNoSibling, host))
+				return
+			}
 			l.registerSibling(host, conn, resp.Inc)
 			finish(l.siblings[host], nil)
 		})
@@ -323,7 +427,7 @@ func (l *LPM) helloTo(ctx trace.Context, host string, conn *simnet.Conn, finish 
 // to the circuit. The network copies the frame into its own delivery
 // buffer synchronously, so the encoder is released as soon as SendCtx
 // returns — the sibling send path allocates no per-message frame.
-func (l *LPM) sendFramed(conn *simnet.Conn, env wire.Envelope, ctx trace.Context) error {
+func (l *LPM) sendFramed(conn Conn, env wire.Envelope, ctx trace.Context) error {
 	enc := wire.GetEncoder()
 	err := conn.SendCtx(env.EncodeLoggedTo(enc, l.metrics, l.journal, l.Host()), ctx)
 	wire.PutEncoder(enc)
@@ -333,7 +437,7 @@ func (l *LPM) sendFramed(conn *simnet.Conn, env wire.Envelope, ctx trace.Context
 // sendFramedReply is sendFramed for the response direction: transit is
 // traced as "net.reply.*" spans, so the profiler's reply-transit phase
 // sees it (the circuit itself carries no direction information).
-func (l *LPM) sendFramedReply(conn *simnet.Conn, env wire.Envelope, ctx trace.Context) error {
+func (l *LPM) sendFramedReply(conn Conn, env wire.Envelope, ctx trace.Context) error {
 	enc := wire.GetEncoder()
 	err := conn.SendReplyCtx(env.EncodeLoggedTo(enc, l.metrics, l.journal, l.Host()), ctx)
 	wire.PutEncoder(enc)
@@ -348,7 +452,8 @@ func isResponse(t wire.MsgType) bool {
 	case wire.MsgControlResp, wire.MsgCreateAck, wire.MsgSnapshotResp,
 		wire.MsgStatsResp, wire.MsgHistoryResp, wire.MsgFDResp,
 		wire.MsgBroadcastResp, wire.MsgPong, wire.MsgRelayResp,
-		wire.MsgWatchResp, wire.MsgStatusResp, wire.MsgError:
+		wire.MsgWatchResp, wire.MsgStatusResp, wire.MsgLinkTestResp,
+		wire.MsgProcExitResp, wire.MsgError:
 		return true
 	default:
 		return false
@@ -359,8 +464,11 @@ func isResponse(t wire.MsgType) bool {
 // at one endpoint. Creation acks are lightweight: the dispatcher sends
 // them directly and the blocked handler consumes them.
 func endpointCost(t wire.MsgType) time.Duration {
-	if t == wire.MsgCreateAck {
+	switch t {
+	case wire.MsgCreateAck:
 		return calib.AckEndpoint
+	case wire.MsgLinkTest, wire.MsgLinkTestResp:
+		return calib.HeartbeatEndpoint
 	}
 	return calib.SiblingEndpoint
 }
@@ -375,6 +483,7 @@ func (l *LPM) onSiblingMsg(sb *sibling, b []byte) {
 		return
 	}
 	l.touch()
+	l.observeArrival(sb)
 	cost := endpointCost(env.Type)
 	if l.cfg.PerMessageAuth {
 		// The datagram-style scheme authenticates every message instead

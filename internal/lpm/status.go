@@ -84,15 +84,16 @@ func (l *LPM) BuildStatus(r *status.Report) {
 	r.NetUp, r.NetConns = l.net.Status(l.Host())
 	circ := r.Circuits
 	for _, sb := range l.siblings {
-		st := "closed"
-		switch {
-		case sb.conn.Breaking():
+		// The circuit machine is the authoritative state; "breaking"
+		// overlays it for the window between a severed link and its
+		// detection, which the machine itself cannot see yet.
+		st := l.circuits[sb.host].String()
+		if sb.conn.Breaking() {
 			st = "breaking"
-		case sb.conn.Open():
-			st = "open"
 		}
 		circ = append(circ, status.CircuitStatus{
 			Peer: sb.host, State: st, Age: now.Sub(sb.openedAt),
+			Suspicion: sb.suspicion,
 		})
 	}
 	detord.SortBy(circ, func(c status.CircuitStatus) string { return c.Peer })

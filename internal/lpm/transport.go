@@ -1,0 +1,64 @@
+package lpm
+
+import (
+	"ppm/internal/simnet"
+	"ppm/internal/trace"
+)
+
+// Conn is the circuit endpoint the sibling layer runs over: the exact
+// surface of simnet.Conn the LPM uses. Cutting the seam here — below
+// the circuit state machine, above the simulated network — is what
+// lets a real-TCP backend slot in later: the state machine, the
+// failure detector and the retry engine are all written against this
+// interface, not against simnet.
+type Conn interface {
+	LocalAddr() simnet.Addr
+	RemoteAddr() simnet.Addr
+	Open() bool
+	Breaking() bool
+	SetHandler(fn func(payload []byte))
+	SetCloseHandler(fn func(err error))
+	SendCtx(payload []byte, ctx trace.Context) error
+	SendReplyCtx(payload []byte, ctx trace.Context) error
+	Close()
+}
+
+// Transport is the connection factory under the circuit layer:
+// listen/accept on one side, dial on the other. Implementations must
+// deliver all callbacks on the simulation scheduler.
+type Transport interface {
+	Listen(host string, port uint16, accept func(Conn)) error
+	CloseListen(host string, port uint16)
+	Dial(fromHost string, to simnet.Addr, ctx trace.Context, connected func(Conn, error))
+}
+
+// Compile-time checks: simnet is the (currently sole) transport
+// backend, and its Conn satisfies the circuit-layer surface.
+var (
+	_ Conn      = (*simnet.Conn)(nil)
+	_ Transport = simnetTransport{}
+)
+
+// simnetTransport adapts *simnet.Network to the Transport seam. The
+// adapter only converts callback signatures; semantics are simnet's.
+type simnetTransport struct {
+	net *simnet.Network
+}
+
+func (t simnetTransport) Listen(host string, port uint16, accept func(Conn)) error {
+	return t.net.Listen(host, port, func(c *simnet.Conn) { accept(c) })
+}
+
+func (t simnetTransport) CloseListen(host string, port uint16) {
+	t.net.CloseListen(host, port)
+}
+
+func (t simnetTransport) Dial(fromHost string, to simnet.Addr, ctx trace.Context, connected func(Conn, error)) {
+	t.net.DialCtx(fromHost, to, ctx, func(c *simnet.Conn, err error) {
+		if err != nil {
+			connected(nil, err)
+			return
+		}
+		connected(c, err)
+	})
+}

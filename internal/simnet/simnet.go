@@ -108,7 +108,11 @@ type Network struct {
 	journal  *journal.Journal
 	tap      func(TapEvent)
 	loss     *lossPlan
-	bufFree  [][]byte // recycled delivery buffers (single-goroutine sim)
+	dirLoss  map[[2]string]*lossPlan // per-direction loss schedules
+	// downPairs are endpoint pairs (normalized lower-name-first)
+	// currently blacked out by a link flap.
+	downPairs map[[2]string]bool
+	bufFree   [][]byte // recycled delivery buffers (single-goroutine sim)
 }
 
 // New creates an empty network on the given scheduler.
@@ -272,8 +276,8 @@ func (n *Network) Hops(a, b string) (int, bool) {
 }
 
 // Reachable reports whether a message from a can currently be delivered
-// to b: both hosts up, a physical path exists, and no partition
-// separates them.
+// to b: both hosts up, a physical path exists, no partition separates
+// them, and no link flap currently blacks the pair out.
 func (n *Network) Reachable(a, b string) bool {
 	na, ok := n.hosts[a]
 	if !ok {
@@ -286,8 +290,19 @@ func (n *Network) Reachable(a, b string) bool {
 	if !na.up || !nb.up || na.group != nb.group {
 		return false
 	}
+	if n.downPairs[pairKey(a, b)] {
+		return false
+	}
 	_, ok = n.Hops(a, b)
 	return ok
+}
+
+// pairKey normalizes an unordered host pair (lower name first).
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
 }
 
 // sendCounters pairs the precomputed per-transport counter names, so
@@ -437,14 +452,85 @@ func (n *Network) InjectLoss(every int) {
 	n.loss = &lossPlan{every: every}
 }
 
-// loseNow advances the loss schedule and reports whether this
-// transmission is the injected casualty.
+// InjectLossDir arranges for every Nth transmission from -> to (that
+// direction only) to be lost, on top of any symmetric plan. Asymmetric
+// loss is the signature of a half-broken gateway: replies vanish while
+// requests arrive, which is exactly the case an accrual detector must
+// distinguish from a dead peer. every <= 0 clears the direction.
+func (n *Network) InjectLossDir(from, to string, every int) {
+	if n.dirLoss == nil {
+		n.dirLoss = make(map[[2]string]*lossPlan)
+	}
+	if every <= 0 {
+		delete(n.dirLoss, [2]string{from, to})
+		return
+	}
+	n.dirLoss[[2]string{from, to}] = &lossPlan{every: every}
+}
+
+// loseNow advances the loss schedules and reports whether this
+// transmission is an injected casualty. Both the symmetric and the
+// directional counter advance on every transmission they observe, so
+// the casualty schedule is a pure function of the traffic sequence —
+// identical on every same-seed run.
 func (n *Network) loseNow(from, to string) bool {
-	if n.loss == nil || from == to {
+	if from == to {
 		return false
 	}
-	n.loss.counter++
-	return n.loss.counter%uint64(n.loss.every) == 0
+	lost := false
+	if n.loss != nil {
+		n.loss.counter++
+		lost = n.loss.counter%uint64(n.loss.every) == 0
+	}
+	if p, ok := n.dirLoss[[2]string{from, to}]; ok {
+		p.counter++
+		if p.counter%uint64(p.every) == 0 {
+			lost = true
+		}
+	}
+	return lost
+}
+
+// --- failure injection: link flapping ---
+
+// FlapLink schedules a deterministic flap of the a<->b endpoint pair:
+// after upFor of healthy operation the pair blacks out (both
+// directions, like a partition scoped to one pair) for downFor, then
+// comes back, repeating for the given number of cycles. Circuits
+// between the pair crossing a down window sever with the usual
+// break-detection delay; each boundary is journaled (net.flap.down /
+// net.flap.up), so the audit sees flaps as reachability epochs.
+func (n *Network) FlapLink(a, b string, upFor, downFor time.Duration, cycles int) {
+	if n.downPairs == nil {
+		n.downPairs = make(map[[2]string]bool)
+	}
+	key := pairKey(a, b)
+	var at time.Duration
+	for i := 0; i < cycles; i++ {
+		at += upFor
+		n.sched.After(at, func() { n.flapDown(key) })
+		at += downFor
+		n.sched.After(at, func() { n.flapUp(key) })
+	}
+}
+
+func (n *Network) flapDown(key [2]string) {
+	if n.downPairs[key] {
+		return
+	}
+	n.downPairs[key] = true
+	n.metrics.Counter("simnet.flap.downs").Inc()
+	n.journal.Append(journal.NetFlapDown, "", "link="+key[0]+"|"+key[1])
+	n.breakSeveredConns()
+}
+
+func (n *Network) flapUp(key [2]string) {
+	if !n.downPairs[key] {
+		return
+	}
+	delete(n.downPairs, key)
+	n.metrics.Counter("simnet.flap.ups").Inc()
+	n.journal.Append(journal.NetFlapUp, "", "link="+key[0]+"|"+key[1])
 }
 
 // --- host lifecycle and failures ---

@@ -28,8 +28,11 @@ import (
 // CircuitStatus is one sibling circuit in a host's circuit table.
 type CircuitStatus struct {
 	Peer  string
-	State string        // "open", "breaking" or "closed"
+	State string        // circuit lifecycle state ("established", "suspect", ...)
 	Age   time.Duration // virtual time since the circuit authenticated
+	// Suspicion is the accrual failure detector's current level for the
+	// peer (0 = no doubt); nonzero renders as a /sN suffix in the row.
+	Suspicion int
 }
 
 // OpLatency is the latency envelope of one sibling-RPC op type as seen
@@ -111,6 +114,7 @@ func (r *Report) EncodeTo(enc *wire.Encoder) {
 		enc.String(c.Peer)
 		enc.String(c.State)
 		enc.Duration(c.Age)
+		enc.I32(int32(c.Suspicion))
 	}
 	enc.I32(int32(r.PendingReqs))
 	enc.I32(int32(r.RetryBackoffs))
@@ -153,6 +157,7 @@ func Decode(b []byte) (Report, error) {
 	for i := 0; i < nc && d.Err() == nil; i++ {
 		r.Circuits = append(r.Circuits, CircuitStatus{
 			Peer: d.String(), State: d.String(), Age: d.Duration(),
+			Suspicion: int(d.I32()),
 		})
 	}
 	r.PendingReqs = int(d.I32())
@@ -221,6 +226,9 @@ func (r *Report) writeRow(b *strings.Builder) {
 			b.WriteByte(' ')
 		}
 		fmt.Fprintf(b, "%s:%s/%v", c.Peer, c.State, c.Age)
+		if c.Suspicion > 0 {
+			fmt.Fprintf(b, "/s%d", c.Suspicion)
+		}
 	}
 	fmt.Fprintf(b, "] pend=%d bkoff=%d cache=%d infl=%d journal=%d/%d",
 		r.PendingReqs, r.RetryBackoffs, r.ReplyCache, r.InflightOps,

@@ -71,6 +71,18 @@ const (
 	// free.
 	MsgStatusReq
 	MsgStatusResp
+
+	// Adaptive failure detection: a linktest frame is a periodic
+	// heartbeat the circuit layer exchanges so the accrual detector
+	// has a steady inter-arrival stream even on an idle circuit.
+	MsgLinkTest
+	MsgLinkTestResp
+
+	// Exit forwarding: a remote kernel's LPM notifies the home LPM of
+	// a watched process's exit so home-declared watches fire. The op
+	// is at-most-once (it appends to the home history store).
+	MsgProcExit
+	MsgProcExitResp
 )
 
 // opRole classifies a wire op for the protocol-surface analyzer
@@ -136,6 +148,10 @@ var opSpecs = [...]opSpec{
 	MsgWatchResp:     {"WatchResp", roleResponse, journal.WireDecode},
 	MsgStatusReq:     {"StatusReq", roleRequest, journal.StatusRequest},
 	MsgStatusResp:    {"StatusResp", roleResponse, journal.StatusReport},
+	MsgLinkTest:      {"LinkTest", roleRequest, journal.WireDecode},
+	MsgLinkTestResp:  {"LinkTestResp", roleResponse, journal.WireDecode},
+	MsgProcExit:      {"ProcExit", roleRequest, journal.LPMExitForward},
+	MsgProcExitResp:  {"ProcExitResp", roleResponse, journal.LPMExitForward},
 }
 
 // msgNames maps each message type to its trace name, derived from the
@@ -1360,5 +1376,101 @@ func (m WatchResp) Encode() []byte {
 func DecodeWatchResp(b []byte) (WatchResp, error) {
 	d := NewDecoder(b)
 	m := WatchResp{OK: d.Bool(), Reason: d.String(), ID: d.I32()}
+	return m, d.Finish()
+}
+
+// --- adaptive failure detection ---
+
+// LinkTest is the periodic heartbeat frame the circuit layer sends so
+// the accrual failure detector sees a steady inter-arrival stream even
+// on an otherwise idle circuit. Seq increments per circuit.
+type LinkTest struct {
+	FromHost string
+	Seq      uint64
+}
+
+// Encode serializes the linktest frame.
+func (m LinkTest) Encode() []byte {
+	e := NewEncoder(24)
+	e.String(m.FromHost)
+	e.U64(m.Seq)
+	return e.Bytes()
+}
+
+// DecodeLinkTest parses a LinkTest body.
+func DecodeLinkTest(b []byte) (LinkTest, error) {
+	d := NewDecoder(b)
+	m := LinkTest{FromHost: d.String(), Seq: d.U64()}
+	return m, d.Finish()
+}
+
+// LinkTestResp echoes a linktest; its arrival is itself a detector
+// sample for the requesting side.
+type LinkTestResp struct {
+	FromHost string
+	Seq      uint64
+}
+
+// Encode serializes the linktest reply.
+func (m LinkTestResp) Encode() []byte {
+	e := NewEncoder(24)
+	e.String(m.FromHost)
+	e.U64(m.Seq)
+	return e.Bytes()
+}
+
+// DecodeLinkTestResp parses a LinkTestResp body.
+func DecodeLinkTestResp(b []byte) (LinkTestResp, error) {
+	d := NewDecoder(b)
+	m := LinkTestResp{FromHost: d.String(), Seq: d.U64()}
+	return m, d.Finish()
+}
+
+// --- exit forwarding (remote watches) ---
+
+// ProcExit carries a watched process's exit event from the kernel that
+// observed it to the process's home LPM, so watches declared at home
+// fire. Event is the raw kernel exit event; Info is the final process
+// record (for the home history store's exit index).
+type ProcExit struct {
+	User  string
+	Event proc.Event
+	Info  proc.Info
+}
+
+// Encode serializes the exit notification.
+func (m ProcExit) Encode() []byte {
+	e := NewEncoder(192)
+	e.String(m.User)
+	putEvent(e, m.Event)
+	putInfo(e, m.Info)
+	return e.Bytes()
+}
+
+// DecodeProcExit parses a ProcExit body.
+func DecodeProcExit(b []byte) (ProcExit, error) {
+	d := NewDecoder(b)
+	m := ProcExit{User: d.String(), Event: getEvent(d), Info: getInfo(d)}
+	return m, d.Finish()
+}
+
+// ProcExitResp acknowledges an exit notification.
+type ProcExitResp struct {
+	OK     bool
+	Reason string
+}
+
+// Encode serializes the response.
+func (m ProcExitResp) Encode() []byte {
+	e := NewEncoder(16)
+	e.Bool(m.OK)
+	e.String(m.Reason)
+	return e.Bytes()
+}
+
+// DecodeProcExitResp parses a ProcExitResp body.
+func DecodeProcExitResp(b []byte) (ProcExitResp, error) {
+	d := NewDecoder(b)
+	m := ProcExitResp{OK: d.Bool(), Reason: d.String()}
 	return m, d.Finish()
 }

@@ -515,14 +515,19 @@ watch exit of cc1 do signal coord SIGUSR1
 		t.Fatalf("coord children = %d", len(kids))
 	}
 
-	// cc1 exiting triggers the declared watch... but cc1 is remote, so
-	// its exit event lands at vax2's LPM, not the home LPM: the watch
-	// must NOT fire (documented limitation).
+	// cc1 exiting triggers the declared watch even though cc1 is
+	// remote: its exit event lands at vax2's LPM, which forwards it
+	// to the home LPM (vax1) over sibling RPC, where the declared
+	// watch fires and signals coord.
 	k2, _ := c.Kernel("vax2")
 	_ = k2.Exit(cc1.PID, 0)
 	_ = c.Advance(time.Second)
-	if len(comp.Notes()) != 0 {
-		t.Fatalf("unexpected notes: %v", comp.Notes())
+	notes := comp.Notes()
+	if len(notes) == 0 {
+		t.Fatal("remote exit never fired the home-declared watch")
+	}
+	if !strings.Contains(notes[0], "signalled coord") {
+		t.Fatalf("unexpected notes: %v", notes)
 	}
 
 	// A local process exiting does fire the equivalent local watch.
@@ -538,9 +543,9 @@ watch exit of local do note local done
 	k1, _ := c.Kernel("vax1")
 	_ = k1.Exit(local.PID, 0)
 	_ = c.Advance(time.Second)
-	notes := comp2.Notes()
-	if len(notes) != 1 || !strings.Contains(notes[0], "local done") {
-		t.Fatalf("notes = %v", notes)
+	notes2 := comp2.Notes()
+	if len(notes2) != 1 || !strings.Contains(notes2[0], "local done") {
+		t.Fatalf("notes = %v", notes2)
 	}
 }
 
